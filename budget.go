@@ -1,0 +1,85 @@
+package r2t
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Budget tracks cumulative privacy spend across queries under basic
+// composition: every query charged against the budget adds its ε, and once
+// the total is exhausted further queries are refused. Safe for concurrent
+// use.
+//
+// Basic composition is conservative but simple; it matches how the paper
+// accounts for R2T's internal races and the group-by split (Section 11).
+type Budget struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+}
+
+// NewBudget creates a budget with the given total ε (> 0).
+func NewBudget(totalEpsilon float64) (*Budget, error) {
+	if totalEpsilon <= 0 {
+		return nil, fmt.Errorf("r2t: budget must be positive, got %g", totalEpsilon)
+	}
+	return &Budget{total: totalEpsilon}, nil
+}
+
+// MustBudget is NewBudget but panics on error.
+func MustBudget(totalEpsilon float64) *Budget {
+	b, err := NewBudget(totalEpsilon)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Spend charges eps against the budget, failing (and charging nothing) if
+// the remainder is insufficient.
+func (b *Budget) Spend(eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("r2t: cannot spend non-positive ε %g", eps)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.spent+eps > b.total+1e-12 {
+		return fmt.Errorf("r2t: privacy budget exhausted: %g spent of %g, query needs %g", b.spent, b.total, eps)
+	}
+	b.spent += eps
+	return nil
+}
+
+// Remaining returns the unspent ε.
+func (b *Budget) Remaining() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - b.spent
+}
+
+// Spent returns the ε consumed so far.
+func (b *Budget) Spent() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
+
+// QueryWithBudget runs Query after charging opt.Epsilon against the budget.
+// Static failures (bad SQL, unknown relations, invalid options) are detected
+// before charging; once the mechanism runs, the charge stands.
+func (db *DB) QueryWithBudget(sqlText string, opt Options, budget *Budget) (*Answer, error) {
+	if budget == nil {
+		return nil, fmt.Errorf("r2t: nil budget")
+	}
+	// Validate statically first so syntax errors don't burn budget.
+	if _, err := db.Explain(sqlText, opt.Primary); err != nil {
+		return nil, err
+	}
+	if opt.Epsilon <= 0 || opt.GSQ < 2 {
+		return nil, fmt.Errorf("r2t: invalid options (ε=%g, GSQ=%g)", opt.Epsilon, opt.GSQ)
+	}
+	if err := budget.Spend(opt.Epsilon); err != nil {
+		return nil, err
+	}
+	return db.Query(sqlText, opt)
+}

@@ -1,0 +1,87 @@
+package r2t
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBudgetAccounting(t *testing.T) {
+	b := MustBudget(1.0)
+	if b.Remaining() != 1 || b.Spent() != 0 {
+		t.Fatal("fresh budget wrong")
+	}
+	if err := b.Spend(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(0.01); err == nil {
+		t.Fatal("overspend should fail")
+	}
+	if b.Spent() != 1 {
+		t.Fatalf("spent = %g", b.Spent())
+	}
+	if err := b.Spend(-1); err == nil {
+		t.Fatal("negative spend should fail")
+	}
+	if _, err := NewBudget(0); err == nil {
+		t.Fatal("zero budget should fail")
+	}
+}
+
+func TestBudgetConcurrentSpend(t *testing.T) {
+	b := MustBudget(10)
+	var wg sync.WaitGroup
+	granted := make(chan struct{}, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Spend(1) == nil {
+				granted <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(granted)
+	n := 0
+	for range granted {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("granted %d spends of ε=1 from a budget of 10", n)
+	}
+}
+
+func TestQueryWithBudget(t *testing.T) {
+	db := graphDB(t, [][2]int64{{0, 1}, {1, 2}}, 3)
+	b := MustBudget(2)
+	opt := Options{Epsilon: 0.8, GSQ: 16, Primary: []string{"Node"}, Noise: NewNoiseSource(1)}
+
+	if _, err := db.QueryWithBudget(edgeCount, opt, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.QueryWithBudget(edgeCount, opt, b); err != nil {
+		t.Fatal(err)
+	}
+	// 1.6 spent; a third 0.8 query exceeds 2.
+	if _, err := db.QueryWithBudget(edgeCount, opt, b); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("expected exhaustion, got %v", err)
+	}
+	if b.Spent() != 1.6 {
+		t.Fatalf("spent = %g, want 1.6 (failed query must not charge)", b.Spent())
+	}
+
+	// Static errors must not charge.
+	if _, err := db.QueryWithBudget("garbage", opt, b); err == nil {
+		t.Fatal("bad SQL should fail")
+	}
+	if b.Spent() != 1.6 {
+		t.Fatalf("static failure charged the budget: %g", b.Spent())
+	}
+	if _, err := db.QueryWithBudget(edgeCount, opt, nil); err == nil {
+		t.Fatal("nil budget should fail")
+	}
+}

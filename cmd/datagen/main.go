@@ -1,0 +1,105 @@
+// Command datagen emits the synthetic datasets as CSV files consumable by
+// cmd/r2t: either one of the graph stand-ins of Table 1 (Node.csv, Edge.csv
+// plus a matching .schema file) or a TPC-H instance (one CSV per relation).
+//
+//	datagen -kind graph -name deezer-sim -scale 0.25 -out ./data
+//	datagen -kind tpch -sf 1 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"r2t/internal/graph"
+	"r2t/internal/schema"
+	"r2t/internal/storage"
+	"r2t/internal/tpch"
+	"r2t/internal/value"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "graph", "graph or tpch")
+		name  = flag.String("name", "deezer-sim", "graph dataset name (see Table 1)")
+		scale = flag.Float64("scale", 0.25, "graph scale")
+		sf    = flag.Float64("sf", 1, "TPC-H scale factor")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	switch *kind {
+	case "graph":
+		d := graph.DatasetByName(*name)
+		if d == nil {
+			fatal(fmt.Errorf("unknown dataset %q", *name))
+		}
+		g := d.Build(*scale, *seed)
+		if err := writeGraph(g, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d nodes, %d edges (max degree %d) to %s\n",
+			d.Name, g.N, g.NumEdges(), g.MaxDegree(), *out)
+	case "tpch":
+		inst := tpch.Generate(tpch.GenOptions{SF: *sf, Seed: *seed})
+		for _, rel := range inst.Schema.Names() {
+			if err := inst.WriteCSVFile(rel, filepath.Join(*out, rel+".csv")); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(*out, "tpch.schema"), []byte(tpchSchemaText), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote TPC-H SF=%g (%d tuples) to %s\n", *sf, inst.TotalRows(), *out)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func writeGraph(g *graph.Graph, dir string) error {
+	s := schema.MustNew(
+		&schema.Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&schema.Relation{Name: "Edge", Attrs: []string{"src", "dst"},
+			FKs: []schema.FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+	inst := storage.NewInstance(s)
+	for u := 0; u < g.N; u++ {
+		inst.MustInsert("Node", storage.Row{value.IntV(int64(u))})
+		for _, v := range g.Adj[u] {
+			inst.MustInsert("Edge", storage.Row{value.IntV(int64(u)), value.IntV(int64(v))})
+		}
+	}
+	if err := inst.WriteCSVFile("Node", filepath.Join(dir, "Node.csv")); err != nil {
+		return err
+	}
+	if err := inst.WriteCSVFile("Edge", filepath.Join(dir, "Edge.csv")); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "graph.schema"), []byte(graphSchemaText), 0o644)
+}
+
+const graphSchemaText = `# Node-DP graph schema (Example 3.1)
+Node(ID*)
+Edge(src->Node, dst->Node)
+`
+
+const tpchSchemaText = `# TPC-H schema (Figure 4); dates are integer day offsets
+Region(RK*, rname)
+Nation(NK*, RK->Region, nname)
+Supplier(SK*, NK->Nation, sacctbal)
+Customer(CK*, NK->Nation, mktsegment, cacctbal)
+Part(PKEY*, brand, ptype, psize, retail)
+PartSupp(PKEY->Part, SK->Supplier, availqty, supplycost)
+Orders(OK*, CK->Customer, odate, opriority)
+Lineitem(OK->Orders, PKEY->Part, SK->Supplier, qty, price, discount, sdate, cdate, rdate, shipmode, returnflag)
+`
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"r2t/internal/graph"
+	"r2t/internal/schema"
+	"r2t/internal/storage"
+)
+
+func TestWriteGraphRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.GenRoad(10, 10, 3)
+	if err := writeGraph(g, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"Node.csv", "Edge.csv", "graph.schema"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	// Reload through the storage layer and verify shape.
+	s := schema.MustNew(
+		&schema.Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&schema.Relation{Name: "Edge", Attrs: []string{"src", "dst"},
+			FKs: []schema.FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+	inst := storage.NewInstance(s)
+	if err := inst.ReadCSVFile("Node", filepath.Join(dir, "Node.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ReadCSVFile("Edge", filepath.Join(dir, "Edge.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Table("Node").Len() != g.N {
+		t.Fatalf("nodes: %d, want %d", inst.Table("Node").Len(), g.N)
+	}
+	// Each undirected edge is stored in both directions.
+	if inst.Table("Edge").Len() != 2*g.NumEdges() {
+		t.Fatalf("edge rows: %d, want %d", inst.Table("Edge").Len(), 2*g.NumEdges())
+	}
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substrates. Examples:
+//
+//	experiments -exp table2 -scale 0.25 -reps 5
+//	experiments -exp all -out results.txt
+//
+// See EXPERIMENTS.md for the recorded reference run and the comparison with
+// the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"r2t/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1,table2,table3,table4,table5,fig6,fig7,fig8,scaling,all")
+		scale   = flag.Float64("scale", 0.25, "graph dataset scale (1.0 ≈ 1/100 of the paper's sizes)")
+		sf      = flag.Float64("sf", 1, "TPC-H scale factor (micro units)")
+		reps    = flag.Int("reps", 5, "repetitions per cell")
+		eps     = flag.Float64("eps", 0.8, "privacy budget ε")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		out     = flag.String("out", "", "write results to this file as well as stdout")
+		verbose = flag.Bool("v", true, "stream per-cell progress to stderr")
+		timeout = flag.Duration("celltimeout", 120*time.Second, "time budget per table cell")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		TPCHSF:      *sf,
+		Reps:        *reps,
+		Eps:         *eps,
+		Seed:        *seed,
+		Out:         w,
+		Verbose:     *verbose,
+		CellTimeout: *timeout,
+	}
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Fprintf(w, "--- running %s ---\n", name)
+		fn()
+		fmt.Fprintf(w, "--- %s done in %s ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == name || s == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("table1") {
+		run("table1", func() { experiments.Table1(cfg) })
+	}
+	if want("table2") {
+		run("table2", func() { experiments.Table2(cfg) })
+	}
+	if want("fig6") {
+		run("fig6", func() { experiments.Fig6(cfg) })
+	}
+	if want("table3") {
+		run("table3", func() { experiments.Table3(cfg) })
+	}
+	if want("table4") {
+		run("table4", func() { experiments.Table4(cfg) })
+	}
+	if want("table5") {
+		run("table5", func() { experiments.Table5(cfg) })
+	}
+	if want("fig7") {
+		run("fig7", func() { experiments.Fig7(cfg) })
+	}
+	if want("fig8") {
+		run("fig8", func() { experiments.Fig8(cfg) })
+	}
+	if want("scaling") {
+		run("scaling", func() { experiments.FigScaling(cfg) })
+	}
+}

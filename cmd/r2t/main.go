@@ -1,0 +1,177 @@
+// Command r2t answers one SPJA SQL query under ε-differential privacy.
+//
+// The schema is described by a small text file (one relation per line):
+//
+//	Node(ID*)                      # '*' marks the primary key
+//	Edge(src->Node, dst->Node)     # '->R' marks a foreign key into R
+//
+// Each relation is loaded from <datadir>/<relation>.csv (header row matching
+// the attribute names). Example:
+//
+//	r2t -schema graph.schema -data ./data -primary Node \
+//	    -gsq 1024 -eps 0.8 \
+//	    -query "SELECT COUNT(*) FROM Edge WHERE src < dst"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"r2t"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "schema description file")
+		dataDir    = flag.String("data", ".", "directory with <relation>.csv files")
+		query      = flag.String("query", "", "SPJA SQL query")
+		primary    = flag.String("primary", "", "comma-separated primary private relations")
+		eps        = flag.Float64("eps", 0.8, "privacy budget ε")
+		gsq        = flag.Float64("gsq", 1e6, "assumed global sensitivity bound")
+		beta       = flag.Float64("beta", 0.1, "utility failure probability β")
+		seed       = flag.Int64("seed", 0, "noise seed (0 = time-based)")
+		early      = flag.Bool("earlystop", true, "enable early-stop race pruning")
+		debug      = flag.Bool("debug", false, "print NON-PRIVATE diagnostics (true answer, τ*, races)")
+		report     = flag.String("report", "", "instead of answering, export the NON-PRIVATE reporting-query occurrences to this file (Figure 3 pipeline)")
+	)
+	flag.Parse()
+	if *schemaPath == "" || *query == "" || *primary == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := loadSchema(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	db := r2t.NewDB(s)
+	for _, name := range s.Names() {
+		path := filepath.Join(*dataDir, name+".csv")
+		if _, err := os.Stat(path); err != nil {
+			continue // relations without a file stay empty
+		}
+		if err := db.LoadCSV(name, path); err != nil {
+			fatal(fmt.Errorf("loading %s: %w", path, err))
+		}
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		fatal(err)
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.ExportReport(*query, strings.Split(*primary, ","), f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote reporting-query occurrences to %s (raw private data — do not release)\n", *report)
+		return
+	}
+
+	opt := r2t.Options{
+		Epsilon:   *eps,
+		GSQ:       *gsq,
+		Beta:      *beta,
+		Primary:   strings.Split(*primary, ","),
+		EarlyStop: *early,
+	}
+	if *seed != 0 {
+		opt.Noise = r2t.NewNoiseSource(*seed)
+	} else {
+		opt.Noise = r2t.NewNoiseSource(time.Now().UnixNano())
+	}
+
+	ans, err := db.Query(*query, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("private answer: %.6g\n", ans.Estimate)
+	if *debug {
+		fmt.Printf("NON-PRIVATE true answer: %.6g (error %.4g%%)\n",
+			ans.TrueAnswer, 100*abs(ans.Estimate-ans.TrueAnswer)/max(1, abs(ans.TrueAnswer)))
+		fmt.Printf("NON-PRIVATE τ* = %.6g, winner τ = %g, join results = %d, individuals = %d\n",
+			ans.TauStar, ans.WinnerTau, ans.NumResults, ans.Individuals)
+		for _, r := range ans.Races {
+			status := "solved"
+			if r.Pruned {
+				status = "pruned"
+			}
+			fmt.Printf("  τ=%-10g %-7s Q(I,τ)=%-12.6g Q̃=%-12.6g (%s)\n", r.Tau, status, r.Value, r.Noisy, r.Duration.Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("time: %s\n", ans.Duration.Round(time.Millisecond))
+}
+
+// loadSchema parses the minimal schema description language.
+func loadSchema(path string) (*r2t.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rels []*r2t.Relation
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		open := strings.Index(line, "(")
+		if open < 0 || !strings.HasSuffix(line, ")") {
+			return nil, fmt.Errorf("%s:%d: expected Relation(attr, ...)", path, ln+1)
+		}
+		rel := &r2t.Relation{Name: strings.TrimSpace(line[:open])}
+		for _, field := range strings.Split(line[open+1:len(line)-1], ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			switch {
+			case strings.Contains(field, "->"):
+				parts := strings.SplitN(field, "->", 2)
+				attr := strings.TrimSpace(parts[0])
+				ref := strings.TrimSpace(parts[1])
+				rel.Attrs = append(rel.Attrs, attr)
+				rel.FKs = append(rel.FKs, r2t.FK{Attr: attr, Ref: ref})
+			case strings.HasSuffix(field, "*"):
+				attr := strings.TrimSuffix(field, "*")
+				rel.Attrs = append(rel.Attrs, attr)
+				rel.PK = attr
+			default:
+				rel.Attrs = append(rel.Attrs, field)
+			}
+		}
+		rels = append(rels, rel)
+	}
+	return r2t.NewSchema(rels...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "r2t:", err)
+	os.Exit(1)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSchema(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.schema")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSchemaGraph(t *testing.T) {
+	path := writeSchema(t, `
+# Node-DP graph schema
+Node(ID*)
+Edge(src->Node, dst->Node)
+`)
+	s, err := loadSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := s.Relation("Node")
+	if node == nil || node.PK != "ID" {
+		t.Fatalf("Node relation: %+v", node)
+	}
+	edge := s.Relation("Edge")
+	if edge == nil || len(edge.FKs) != 2 {
+		t.Fatalf("Edge relation: %+v", edge)
+	}
+	if edge.FKs[0].Ref != "Node" || edge.FKs[1].Attr != "dst" {
+		t.Fatalf("Edge FKs: %+v", edge.FKs)
+	}
+}
+
+func TestLoadSchemaTPCH(t *testing.T) {
+	path := writeSchema(t, tpchLikeSchema)
+	s, err := loadSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names()) != 4 {
+		t.Fatalf("relations: %v", s.Names())
+	}
+	li := s.Relation("Lineitem")
+	if li.PK != "" || len(li.FKs) != 1 || li.AttrIndex("price") != 1 {
+		t.Fatalf("Lineitem: %+v", li)
+	}
+}
+
+const tpchLikeSchema = `
+Customer(CK*, name)
+Orders(OK*, CK->Customer)
+Lineitem(OK->Orders, price)
+Nation(NK*)   # public
+`
+
+func TestLoadSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"missing paren", "Node ID*"},
+		{"dangling FK", "Edge(src->Node)"},
+		{"cycle", "A(k*, f->B)\nB(k*, f->A)"},
+		{"empty ref", "Edge(src->)"},
+	}
+	for _, c := range cases {
+		path := writeSchema(t, c.body)
+		if _, err := loadSchema(path); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := loadSchema("/nonexistent/zzz.schema"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if abs(-2) != 2 || abs(3) != 3 {
+		t.Error("abs broken")
+	}
+	if max(1, 2) != 2 || max(5, 2) != 5 {
+		t.Error("max broken")
+	}
+}

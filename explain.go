@@ -1,0 +1,153 @@
+package r2t
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"r2t/internal/exec"
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/sql"
+)
+
+// Explanation describes how a query would be evaluated: the completed join
+// (Section 3.2), which atoms identify protected individuals, and the
+// residual predicates. It reveals nothing about the data — only the query
+// and schema — so it is safe to show freely.
+type Explanation struct {
+	Query       string   // normalized SQL
+	Aggregate   string   // COUNT(*), COUNT(DISTINCT), SUM
+	Atoms       []string // one line per atom of the completed join
+	Filters     []string // residual predicates evaluated on join results
+	Projection  bool     // SPJA (duplicate-removing projection) or SJA
+	PrivateAtom []string // atoms whose PK identifies a protected individual
+	SelfJoin    bool     // some relation appears more than once
+}
+
+// String renders the explanation as an indented report.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query:      %s\n", e.Query)
+	fmt.Fprintf(&b, "aggregate:  %s", e.Aggregate)
+	if e.Projection {
+		b.WriteString(" (SPJA: projection removes duplicates; τ* = IS_Q)")
+	}
+	b.WriteString("\ncompleted join:\n")
+	for _, a := range e.Atoms {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	if len(e.Filters) > 0 {
+		b.WriteString("filters:\n")
+		for _, f := range e.Filters {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+	}
+	fmt.Fprintf(&b, "protected individuals identified by: %s\n", strings.Join(e.PrivateAtom, ", "))
+	if e.SelfJoin {
+		b.WriteString("self-join present: naive truncation would violate DP (Example 1.2); the LP operator is required\n")
+	}
+	return b.String()
+}
+
+// SensitivityProfile summarizes the per-individual sensitivities of one
+// query on the current instance — the distribution of S_Q(I, t_P). It is
+// NON-PRIVATE (computed directly from the data) and intended for offline
+// analysis by the data owner, e.g. to sanity-check a GS_Q promise against
+// representative data before any release.
+type SensitivityProfile struct {
+	Individuals int     // referenced primary-private tuples
+	JoinResults int     // |J(I)|
+	TrueAnswer  float64 // Q(I)
+	Max         float64 // DS_Q (SJA) / IS_Q (SPJA)
+	Mean        float64
+	Median      float64
+	P95         float64
+}
+
+// Sensitivities evaluates the query and returns the NON-PRIVATE sensitivity
+// profile. Do not release any of it; use it to choose public parameters
+// from representative (non-sensitive) data.
+func (db *DB) Sensitivities(sqlText string, primary []string) (*SensitivityProfile, error) {
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: primary})
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(p, db.instance)
+	if err != nil {
+		return nil, err
+	}
+	var sens []float64
+	for _, s := range res.SensitivityByTuple() {
+		sens = append(sens, s)
+	}
+	sort.Float64s(sens)
+	prof := &SensitivityProfile{
+		Individuals: len(sens),
+		JoinResults: len(res.Rows),
+		TrueAnswer:  res.TrueAnswer(),
+		Max:         res.MaxTupleSensitivity(),
+	}
+	if len(sens) > 0 {
+		total := 0.0
+		for _, s := range sens {
+			total += s
+		}
+		prof.Mean = total / float64(len(sens))
+		prof.Median = sens[len(sens)/2]
+		p95 := int(float64(len(sens)) * 0.95)
+		if p95 >= len(sens) {
+			p95 = len(sens) - 1
+		}
+		prof.P95 = sens[p95]
+	}
+	return prof, nil
+}
+
+// Explain lowers a query without touching any data and reports the completed
+// join structure the provenance will be computed over.
+func (db *DB) Explain(sqlText string, primary []string) (*Explanation, error) {
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: primary})
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Explanation{
+		Query:      parsed.String(),
+		Aggregate:  parsed.Agg.String(),
+		Projection: len(p.ProjVars) > 0,
+	}
+	seen := map[string]int{}
+	for i, a := range p.Atoms {
+		seen[a.Rel.Name]++
+		vars := make([]string, len(a.Vars))
+		for j, v := range a.Vars {
+			vars[j] = fmt.Sprintf("$%d", v)
+		}
+		origin := ""
+		if a.Completed {
+			origin = "   [added by query completion]"
+		}
+		e.Atoms = append(e.Atoms, fmt.Sprintf("%s AS %s(%s)%s", a.Rel.Name, a.Alias, strings.Join(vars, ", "), origin))
+		if p.PrivPK[i] >= 0 {
+			e.PrivateAtom = append(e.PrivateAtom, fmt.Sprintf("%s.$%d", a.Alias, p.PrivPK[i]))
+		}
+	}
+	for _, cnt := range seen {
+		if cnt > 1 {
+			e.SelfJoin = true
+		}
+	}
+	for _, f := range p.Filters {
+		e.Filters = append(e.Filters, sql.ExprString(f.Expr))
+	}
+	return e, nil
+}

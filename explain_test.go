@@ -1,0 +1,102 @@
+package r2t
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainCompletion(t *testing.T) {
+	db := graphDB(t, [][2]int64{{0, 1}}, 2)
+	e, err := db.Explain(
+		"SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src",
+		[]string{"Node"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.SelfJoin {
+		t.Error("self-join not detected")
+	}
+	if e.Projection {
+		t.Error("no projection here")
+	}
+	completed := 0
+	for _, a := range e.Atoms {
+		if strings.Contains(a, "query completion") {
+			completed++
+		}
+	}
+	if completed != 3 {
+		t.Errorf("completed atoms = %d, want 3 Node atoms", completed)
+	}
+	if len(e.PrivateAtom) != 3 {
+		t.Errorf("private atoms = %v", e.PrivateAtom)
+	}
+	s := e.String()
+	for _, frag := range []string{"COUNT(*)", "Node", "self-join present"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered explanation missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestExplainProjection(t *testing.T) {
+	s := MustSchema(
+		&Relation{Name: "Customer", Attrs: []string{"CK"}, PK: "CK"},
+		&Relation{Name: "Orders", Attrs: []string{"OK", "CK", "status"}, PK: "OK",
+			FKs: []FK{{Attr: "CK", Ref: "Customer"}}},
+	)
+	db := NewDB(s)
+	e, err := db.Explain("SELECT COUNT(DISTINCT o.status) FROM Orders o", []string{"Customer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Projection {
+		t.Error("projection not detected")
+	}
+	if e.SelfJoin {
+		t.Error("no self-join here")
+	}
+	if !strings.Contains(e.String(), "IS_Q") {
+		t.Error("explanation should mention the SPJA optimality target")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := graphDB(t, nil, 1)
+	if _, err := db.Explain("garbage", []string{"Node"}); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	if _, err := db.Explain("SELECT COUNT(*) FROM Edge", []string{"Missing"}); err == nil {
+		t.Error("bad private spec should fail")
+	}
+}
+
+func TestSensitivities(t *testing.T) {
+	// A 10-star plus an isolated edge.
+	var edges [][2]int64
+	for i := int64(1); i <= 10; i++ {
+		edges = append(edges, [2]int64{0, i})
+	}
+	edges = append(edges, [2]int64{11, 12})
+	db := graphDB(t, edges, 13)
+	prof, err := db.Sensitivities(`SELECT COUNT(*) FROM Edge WHERE src < dst`, []string{"Node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Max != 10 {
+		t.Errorf("max = %g, want 10 (the hub)", prof.Max)
+	}
+	if prof.Individuals != 13 || prof.JoinResults != 11 || prof.TrueAnswer != 11 {
+		t.Errorf("profile: %+v", prof)
+	}
+	if prof.Median != 1 {
+		t.Errorf("median = %g, want 1 (leaves dominate)", prof.Median)
+	}
+	if prof.Mean <= 1 || prof.Mean >= 3 {
+		t.Errorf("mean = %g, want (1,3)", prof.Mean)
+	}
+	if _, err := db.Sensitivities("garbage", []string{"Node"}); err == nil {
+		t.Error("bad SQL should fail")
+	}
+}

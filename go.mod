@@ -1,0 +1,3 @@
+module r2t
+
+go 1.22

@@ -1,0 +1,73 @@
+package r2t
+
+import (
+	"fmt"
+
+	"r2t/internal/sql"
+)
+
+// GroupByAnswer is the result of one group in QueryGroupBy.
+type GroupByAnswer struct {
+	Group  Value
+	Answer *Answer
+}
+
+// QueryGroupBy answers a group-by aggregation, implementing the simple
+// strategy the paper sketches as future work (Section 11): the query runs
+// once per group with the predicate column = group value appended, and the
+// privacy budget is split evenly across groups by basic composition, so the
+// whole release is ε-DP.
+//
+// The group list must be public knowledge (e.g. the domain of a categorical
+// attribute such as NATION); deriving it from the private data would leak.
+// Columns are resolved against the query's FROM aliases, so pass the same
+// qualifier you would write in SQL ("c.NK" → qualifier "c", attr "NK").
+func (db *DB) QueryGroupBy(sqlText string, column string, groups []Value, opt Options) ([]GroupByAnswer, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("r2t: group-by needs at least one group value")
+	}
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	colRef, err := parseColumn(column)
+	if err != nil {
+		return nil, err
+	}
+
+	perGroup := opt
+	perGroup.Epsilon = opt.Epsilon / float64(len(groups))
+
+	out := make([]GroupByAnswer, 0, len(groups))
+	for _, g := range groups {
+		q := *parsed
+		pred := sql.Binary{Op: "=", L: sql.Col{Ref: colRef}, R: sql.Lit{Val: g}}
+		if q.Where == nil {
+			q.Where = pred
+		} else {
+			q.Where = sql.Binary{Op: "AND", L: q.Where, R: pred}
+		}
+		ans, err := db.run(&q, perGroup)
+		if err != nil {
+			return nil, fmt.Errorf("r2t: group %v: %w", g, err)
+		}
+		out = append(out, GroupByAnswer{Group: g, Answer: ans})
+	}
+	return out, nil
+}
+
+// parseColumn splits "alias.attr" or "attr" into a column reference.
+func parseColumn(column string) (sql.ColRef, error) {
+	for i := 0; i < len(column); i++ {
+		if column[i] == '.' {
+			if i == 0 || i == len(column)-1 {
+				return sql.ColRef{}, fmt.Errorf("r2t: malformed column %q", column)
+			}
+			return sql.ColRef{Qualifier: column[:i], Attr: column[i+1:]}, nil
+		}
+	}
+	if column == "" {
+		return sql.ColRef{}, fmt.Errorf("r2t: empty group-by column")
+	}
+	return sql.ColRef{Attr: column}, nil
+}

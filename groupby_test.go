@@ -1,0 +1,120 @@
+package r2t
+
+import (
+	"math"
+	"testing"
+)
+
+func regionDB(t *testing.T) *DB {
+	t.Helper()
+	s := MustSchema(
+		&Relation{Name: "Customer", Attrs: []string{"CK", "region"}, PK: "CK"},
+		&Relation{Name: "Orders", Attrs: []string{"OK", "CK"}, PK: "OK",
+			FKs: []FK{{Attr: "CK", Ref: "Customer"}}},
+	)
+	db := NewDB(s)
+	ok := int64(0)
+	regions := []string{"EU", "US", "APAC"}
+	perRegion := map[string]int64{"EU": 2, "US": 5, "APAC": 1}
+	for c := int64(0); c < 90; c++ {
+		region := regions[c%3]
+		if err := db.Insert("Customer", Int(c), Str(region)); err != nil {
+			t.Fatal(err)
+		}
+		for o := int64(0); o < perRegion[region]; o++ {
+			if err := db.Insert("Orders", Int(ok), Int(c)); err != nil {
+				t.Fatal(err)
+			}
+			ok++
+		}
+	}
+	return db
+}
+
+func TestQueryGroupBy(t *testing.T) {
+	db := regionDB(t)
+	groups := []Value{Str("EU"), Str("US"), Str("APAC")}
+	// True per-group counts: 30 customers × {2,5,1} orders.
+	want := map[string]float64{"EU": 60, "US": 150, "APAC": 30}
+
+	out, err := db.QueryGroupBy(
+		`SELECT COUNT(*) FROM Customer c, Orders o WHERE c.CK = o.CK`,
+		"c.region", groups,
+		Options{Epsilon: 6, GSQ: 64, Primary: []string{"Customer"}, Noise: NewNoiseSource(5)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	for _, g := range out {
+		truth := want[g.Group.S]
+		if g.Answer.TrueAnswer != truth {
+			t.Errorf("group %v: true answer %g, want %g", g.Group, g.Answer.TrueAnswer, truth)
+		}
+		// The Theorem 5.1 upper side fails with probability β/2 per group, so
+		// allow modest overshoot; just require a usable estimate.
+		if math.Abs(g.Answer.Estimate-truth) > truth {
+			t.Errorf("group %v: estimate %g unusably far from %g", g.Group, g.Answer.Estimate, truth)
+		}
+	}
+}
+
+func TestQueryGroupByUnqualifiedColumn(t *testing.T) {
+	db := regionDB(t)
+	out, err := db.QueryGroupBy(
+		`SELECT COUNT(*) FROM Orders`,
+		"region", []Value{Str("EU")},
+		Options{Epsilon: 4, GSQ: 64, Primary: []string{"Customer"}, Noise: NewNoiseSource(9)},
+	)
+	// "region" is not a column of Orders: resolution must fail cleanly.
+	if err == nil {
+		t.Fatalf("expected unknown column error, got %+v", out)
+	}
+}
+
+func TestQueryGroupByValidation(t *testing.T) {
+	db := regionDB(t)
+	opt := Options{Epsilon: 1, GSQ: 64, Primary: []string{"Customer"}}
+	if _, err := db.QueryGroupBy("SELECT COUNT(*) FROM Orders", "c.region", nil, opt); err == nil {
+		t.Error("empty group list should fail")
+	}
+	if _, err := db.QueryGroupBy("garbage", "c.region", []Value{Str("EU")}, opt); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	if _, err := db.QueryGroupBy("SELECT COUNT(*) FROM Orders", "", []Value{Str("EU")}, opt); err == nil {
+		t.Error("empty column should fail")
+	}
+	if _, err := db.QueryGroupBy("SELECT COUNT(*) FROM Orders", ".x", []Value{Str("EU")}, opt); err == nil {
+		t.Error("malformed column should fail")
+	}
+}
+
+func TestQueryGroupBySplitsBudget(t *testing.T) {
+	// With k groups each sub-query gets ε/k: the per-race noise scale in the
+	// diagnostics must reflect that. Compare single-group vs three-group runs
+	// of the same query: more groups → bigger error on the same group, on
+	// average across seeds.
+	db := regionDB(t)
+	query := `SELECT COUNT(*) FROM Customer c, Orders o WHERE c.CK = o.CK`
+	avgErr := func(groups []Value) float64 {
+		var total float64
+		const runs = 20
+		for seed := int64(0); seed < runs; seed++ {
+			out, err := db.QueryGroupBy(query, "c.region", groups,
+				Options{Epsilon: 2, GSQ: 256, Primary: []string{"Customer"}, Noise: NewNoiseSource(seed)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := out[0]
+			total += math.Abs(g.Answer.Estimate - g.Answer.TrueAnswer)
+		}
+		return total / runs
+	}
+	one := avgErr([]Value{Str("US")})
+	three := avgErr([]Value{Str("US"), Str("EU"), Str("APAC")})
+	if three < one {
+		t.Errorf("splitting the budget should not reduce error: 1 group %g vs 3 groups %g", one, three)
+	}
+}

@@ -1,0 +1,258 @@
+// Package core implements R2T — Race-to-the-Top (Section 5, Algorithm 1) —
+// the instance-optimal truncation mechanism. R2T races log2(GS_Q) truncated
+// estimators Q(I,τ) at geometrically increasing τ, privatizes each with
+// Laplace noise of scale log2(GS_Q)·τ/ε, shifts each down by its own noise
+// tail bound, and releases the maximum. With the LP truncators of Sections
+// 6–7 the released value is within O(log GS_Q · log log GS_Q)·DS_Q(I)/ε of the
+// truth with probability 1−β (Theorem 5.1), which is instance-optimal for SJA
+// queries.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"r2t/internal/dp"
+	"r2t/internal/lp"
+	"r2t/internal/truncation"
+)
+
+// Config parameterizes one R2T invocation.
+type Config struct {
+	Epsilon float64 // privacy budget ε (> 0)
+	Beta    float64 // failure probability β of the utility bound; 0 → 0.1
+	GSQ     float64 // assumed global sensitivity bound (≥ 2)
+
+	Noise dp.NoiseSource // nil → a fresh time-seeded source
+
+	// EarlyStop enables Algorithm 1: races are killed as soon as a dual
+	// upper bound proves they cannot beat the current best. Requires a
+	// truncator that can produce dual bounds (the LP truncator can); other
+	// truncators silently fall back to the plain algorithm.
+	EarlyStop bool
+
+	// DualRounds and DualItersPerRound tune the early-stop bounder
+	// (defaults: 8 rounds of 20 iterations).
+	DualRounds        int
+	DualItersPerRound int
+
+	// Workers is the number of races solved concurrently (Section 9 solves
+	// the LPs in parallel). Default 1 (serial); ≤ 0 uses GOMAXPROCS. The
+	// truncator must be safe for concurrent Value calls — the operators in
+	// internal/truncation are (they only read shared structure). The released
+	// estimate is identical to the serial run for the same noise source;
+	// only the per-race pruned/solved diagnostics may differ.
+	Workers int
+}
+
+func (c *Config) fill() error {
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("r2t: ε must be positive, got %g", c.Epsilon)
+	}
+	if c.GSQ < 2 {
+		return fmt.Errorf("r2t: GS_Q must be at least 2, got %g", c.GSQ)
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		if c.Beta == 0 {
+			c.Beta = 0.1
+		} else {
+			return fmt.Errorf("r2t: β must be in (0,1), got %g", c.Beta)
+		}
+	}
+	if c.Noise == nil {
+		c.Noise = dp.NewSource(time.Now().UnixNano())
+	}
+	if c.DualRounds <= 0 {
+		c.DualRounds = 8
+	}
+	if c.DualItersPerRound <= 0 {
+		c.DualItersPerRound = 20
+	}
+	return nil
+}
+
+// Race records one τ's fate, for diagnostics and the early-stop experiments.
+type Race struct {
+	Tau      float64
+	Solved   bool    // the exact LP was solved
+	Pruned   bool    // killed by a dual bound before an exact solve
+	Value    float64 // exact Q(I,τ), when Solved
+	Noisy    float64 // Q̃(I,τ) = Value + noise − penalty, when Solved
+	Duration time.Duration
+}
+
+// Output is the result of one R2T run.
+type Output struct {
+	Estimate  float64 // the released, ε-DP answer
+	WinnerTau float64 // τ of the winning race (0 if the floor Q(I,0) won)
+	Races     []Race
+	Duration  time.Duration
+}
+
+// DualBounded is implemented by truncators (the LP one) that can provide a
+// monotonically tightening upper bound on Q(I,τ) — R2T's early-stop hook.
+type DualBounded interface {
+	truncation.Truncator
+	Bounder(tau float64) *lp.DualBounder
+}
+
+// Run executes R2T over the truncated estimator tr.
+//
+// Privacy: each race's Q(I,τ^(j)) has global sensitivity ≤ τ^(j) (truncator
+// property 1), so adding Lap(L·τ^(j)/ε) with L = log2(GS_Q) makes it
+// (ε/L)-DP; basic composition over the L races gives ε-DP, and taking the
+// max is post-processing. The penalty term is data-independent.
+func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	L := float64(dp.Log2Ceil(cfg.GSQ))
+	penaltyFactor := L * math.Log(L/cfg.Beta) / cfg.Epsilon
+	noiseScaleFactor := L / cfg.Epsilon
+
+	// Q(I,0) is the floor of the max (always 0 for the operators in this
+	// repository, but ask the truncator to stay faithful to eq. 8).
+	floor, err := tr.Value(0)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Estimate: floor, WinnerTau: 0}
+
+	// Noise is drawn up front (as in Algorithm 1) so pruning decisions can
+	// be made before the corresponding LP is solved.
+	n := int(L)
+	taus := make([]float64, n)
+	noise := make([]float64, n)
+	for j := 1; j <= n; j++ {
+		taus[j-1] = math.Pow(2, float64(j))
+		noise[j-1] = cfg.Noise.Laplace(noiseScaleFactor * taus[j-1])
+	}
+
+	bounded, canBound := tr.(DualBounded)
+	useEarly := cfg.EarlyStop && canBound
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// shared race state: the running maximum (used both for pruning and as
+	// the final estimate) and the collected diagnostics.
+	var mu sync.Mutex
+	best, winner := out.Estimate, out.WinnerTau
+	races := make([]Race, 0, n)
+	readBest := func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return best
+	}
+	finish := func(race Race) {
+		mu.Lock()
+		defer mu.Unlock()
+		races = append(races, race)
+		if race.Solved && race.Noisy > best {
+			best = race.Noisy
+			winner = race.Tau
+		}
+	}
+
+	// runRace executes one race: tighten dual bounds until pruned or solve
+	// the LP exactly. Returns the first hard error.
+	runRace := func(j int) error {
+		tau := taus[j]
+		shift := noise[j] - penaltyFactor*tau
+		raceStart := time.Now()
+		race := Race{Tau: tau}
+		if useEarly {
+			b := bounded.Bounder(tau)
+			prev := math.Inf(1)
+			for round := 0; round < cfg.DualRounds; round++ {
+				bound := b.Tighten(cfg.DualItersPerRound)
+				if bound+shift <= readBest() {
+					race.Pruned = true
+					race.Duration = time.Since(raceStart)
+					finish(race)
+					return nil
+				}
+				// The bound has plateaued without proving a prune: further
+				// subgradient rounds are wasted — solve exactly instead.
+				// (This keeps early stop from slowing down the easy LPs,
+				// where solving costs less than bounding.)
+				if bound > prev*0.999 {
+					break
+				}
+				prev = bound
+			}
+		}
+		v, err := tr.Value(tau)
+		if err != nil {
+			return err
+		}
+		race.Solved = true
+		race.Value = v
+		race.Noisy = v + shift
+		race.Duration = time.Since(raceStart)
+		finish(race)
+		return nil
+	}
+
+	// Largest τ first: those LPs tend to solve fastest (their capacity rows
+	// are mostly redundant), and a strong early best prunes the rest.
+	if workers == 1 {
+		for j := n - 1; j >= 0; j-- {
+			if err := runRace(j); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		idx := make(chan int, n)
+		for j := n - 1; j >= 0; j-- {
+			idx <- j
+		}
+		close(idx)
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for j := range idx {
+					if err := runRace(j); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Deterministic diagnostics order (descending τ), regardless of how the
+	// workers interleaved.
+	sort.Slice(races, func(i, j int) bool { return races[i].Tau > races[j].Tau })
+	out.Races = races
+	out.Estimate = best
+	out.WinnerTau = winner
+	out.Duration = time.Since(start)
+	return out, nil
+}
+
+// ErrorBound returns the Theorem 5.1 bound: with probability ≥ 1−β,
+// Q(I) − 4·log2(GS_Q)·ln(log2(GS_Q)/β)·τ*(I)/ε ≤ Q̃(I) ≤ Q(I).
+func ErrorBound(cfg Config, tauStar float64) float64 {
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.1
+	}
+	L := float64(dp.Log2Ceil(cfg.GSQ))
+	return 4 * L * math.Log(L/cfg.Beta) * tauStar / cfg.Epsilon
+}

@@ -1,0 +1,158 @@
+// Package dp provides the differential-privacy primitives R2T and the
+// baseline mechanisms build on: Laplace noise with injectable sources,
+// tail-bound helpers, and the sparse vector technique used by the
+// local-sensitivity baseline.
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// NoiseSource draws the random noise a mechanism adds. Implementations must
+// be safe for use from a single goroutine; wrap with NewLockedSource to share.
+type NoiseSource interface {
+	// Laplace returns one sample of Lap(scale) (mean 0, b = scale).
+	Laplace(scale float64) float64
+}
+
+// rngSource samples from a seeded PRNG. Experiments use explicit seeds so
+// every table is reproducible run-to-run. (A deployment would substitute a
+// cryptographically secure source; the mechanism code is agnostic.)
+type rngSource struct {
+	r *rand.Rand
+}
+
+// NewSource returns a deterministic, seeded noise source.
+func NewSource(seed int64) NoiseSource {
+	return &rngSource{r: rand.New(rand.NewSource(seed))}
+}
+
+// Laplace samples by inverse CDF: for U uniform in (−1/2, 1/2),
+// −b·sgn(U)·ln(1−2|U|) ~ Lap(b).
+func (s *rngSource) Laplace(scale float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	u := s.r.Float64() - 0.5
+	// Guard the measure-zero endpoint u = ±0.5.
+	for 1-2*math.Abs(u) <= 0 {
+		u = s.r.Float64() - 0.5
+	}
+	if u < 0 {
+		return scale * math.Log(1-2*math.Abs(u))
+	}
+	return -scale * math.Log(1-2*math.Abs(u))
+}
+
+// lockedSource serializes access to an inner source.
+type lockedSource struct {
+	mu sync.Mutex
+	s  NoiseSource
+}
+
+// NewLockedSource wraps s so it can be shared across goroutines.
+func NewLockedSource(s NoiseSource) NoiseSource { return &lockedSource{s: s} }
+
+func (l *lockedSource) Laplace(scale float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Laplace(scale)
+}
+
+// ZeroNoise adds no noise. Only for tests that need the deterministic part
+// of a mechanism.
+type ZeroNoise struct{}
+
+// Laplace returns 0.
+func (ZeroNoise) Laplace(float64) float64 { return 0 }
+
+// LaplaceTail returns t such that P(Lap(scale) > t) = prob (one-sided):
+// t = scale·ln(1/(2·prob)). It is the quantity R2T's penalty term uses.
+func LaplaceTail(scale, prob float64) float64 {
+	if prob >= 0.5 {
+		return 0
+	}
+	return scale * math.Log(1/(2*prob))
+}
+
+// Log2Ceil returns ⌈log2(x)⌉ for x ≥ 1, treating values below 2 as 1 —
+// the number of races R2T runs for a given GS_Q.
+func Log2Ceil(x float64) int {
+	if x <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(x) - 1e-12))
+}
+
+// Exponential selects an index from weights w_k ∝ exp(ε·u_k / (2·sens))
+// where u are the utilities and sens bounds each utility's sensitivity —
+// the exponential mechanism of McSherry–Talwar. The single uniform draw is
+// derived from the noise source so runs stay reproducible.
+func Exponential(utilities []float64, sens, eps float64, src NoiseSource) int {
+	if len(utilities) == 0 {
+		return -1
+	}
+	// Stabilize: shift by the max utility before exponentiating.
+	maxU := utilities[0]
+	for _, u := range utilities {
+		if u > maxU {
+			maxU = u
+		}
+	}
+	weights := make([]float64, len(utilities))
+	total := 0.0
+	for k, u := range utilities {
+		weights[k] = math.Exp(eps * (u - maxU) / (2 * sens))
+		total += weights[k]
+	}
+	u := UniformFromLaplace(src.Laplace(1))
+	acc := 0.0
+	for k, w := range weights {
+		acc += w
+		if u <= acc/total {
+			return k
+		}
+	}
+	return len(utilities) - 1
+}
+
+// UniformFromLaplace maps a standard Laplace draw back to a uniform in
+// (0,1) via its CDF — a convenience for mechanisms that need uniform
+// randomness but only hold a NoiseSource.
+func UniformFromLaplace(x float64) float64 {
+	if x < 0 {
+		return 0.5 * math.Exp(x)
+	}
+	return 1 - 0.5*math.Exp(-x)
+}
+
+// SVT runs the sparse vector technique: it scans queries q_1, q_2, ... (each
+// with sensitivity at most sens) and returns the index of the first query
+// whose noisy value crosses the noisy threshold, or -1 if none does. The
+// total privacy cost is eps. This is the selection loop of the
+// local-sensitivity mechanism of Tao et al. (Appendix A of the paper).
+type SVT struct {
+	noisyThreshold float64
+	sens           float64
+	eps2           float64
+	src            NoiseSource
+}
+
+// NewSVT prepares an SVT against threshold with per-query sensitivity sens
+// and total budget eps (split evenly between threshold and query noise).
+func NewSVT(threshold, sens, eps float64, src NoiseSource) *SVT {
+	return &SVT{
+		noisyThreshold: threshold + src.Laplace(2*sens/eps),
+		sens:           sens,
+		eps2:           eps / 2,
+		src:            src,
+	}
+}
+
+// Above tests one query value; it returns true when the noisy value crosses
+// the noisy threshold (after which the SVT must not be reused).
+func (s *SVT) Above(q float64) bool {
+	return q+s.src.Laplace(4*s.sens/s.eps2) >= s.noisyThreshold
+}

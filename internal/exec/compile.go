@@ -1,0 +1,200 @@
+// Package exec evaluates lowered SPJA plans against storage instances using
+// hash joins, with predicate pushdown, and tracks provenance: for every join
+// result, the set of primary-private tuples it references (Section 3.2). Its
+// output — per-result weights ψ(q_k) and referencing sets C_j, plus projection
+// groups D_l for SPJA — is exactly the input the truncation LPs consume.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"r2t/internal/plan"
+	"r2t/internal/sql"
+	"r2t/internal/value"
+)
+
+// scalarFn evaluates a scalar expression over a variable assignment.
+type scalarFn func(row []value.V) value.V
+
+// boolFn evaluates a boolean expression over a variable assignment.
+type boolFn func(row []value.V) bool
+
+// compileScalar resolves column references through the plan and returns an
+// evaluator closure.
+func compileScalar(e sql.Expr, p *plan.Plan) (scalarFn, error) {
+	switch t := e.(type) {
+	case sql.Col:
+		v := p.ColVar(t.Ref)
+		if v < 0 {
+			return nil, fmt.Errorf("exec: unresolved column %s", t.Ref)
+		}
+		return func(row []value.V) value.V { return row[v] }, nil
+	case sql.Lit:
+		val := t.Val
+		return func([]value.V) value.V { return val }, nil
+	case sql.Binary:
+		switch t.Op {
+		case "+", "-", "*", "/":
+			l, err := compileScalar(t.L, p)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileScalar(t.R, p)
+			if err != nil {
+				return nil, err
+			}
+			op := t.Op
+			return func(row []value.V) value.V {
+				a, b := l(row), r(row)
+				switch op {
+				case "+":
+					return value.Add(a, b)
+				case "-":
+					return value.Sub(a, b)
+				case "*":
+					return value.Mul(a, b)
+				default:
+					return value.Div(a, b)
+				}
+			}, nil
+		}
+		return nil, fmt.Errorf("exec: boolean operator %q in scalar context", t.Op)
+	default:
+		return nil, fmt.Errorf("exec: unsupported scalar expression %T", e)
+	}
+}
+
+// compileBool compiles a boolean expression (comparisons, AND/OR/NOT).
+func compileBool(e sql.Expr, p *plan.Plan) (boolFn, error) {
+	switch t := e.(type) {
+	case sql.Binary:
+		switch t.Op {
+		case "AND", "OR":
+			l, err := compileBool(t.L, p)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileBool(t.R, p)
+			if err != nil {
+				return nil, err
+			}
+			if t.Op == "AND" {
+				return func(row []value.V) bool { return l(row) && r(row) }, nil
+			}
+			return func(row []value.V) bool { return l(row) || r(row) }, nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, err := compileScalar(t.L, p)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileScalar(t.R, p)
+			if err != nil {
+				return nil, err
+			}
+			op := t.Op
+			return func(row []value.V) bool {
+				c := value.Compare(l(row), r(row))
+				switch op {
+				case "=":
+					return c == 0
+				case "<>":
+					return c != 0
+				case "<":
+					return c < 0
+				case "<=":
+					return c <= 0
+				case ">":
+					return c > 0
+				default:
+					return c >= 0
+				}
+			}, nil
+		}
+		return nil, fmt.Errorf("exec: operator %q is not boolean", t.Op)
+	case sql.Not:
+		inner, err := compileBool(t.E, p)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []value.V) bool { return !inner(row) }, nil
+	case sql.In:
+		inner, err := compileScalar(t.E, p)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[value.V]bool, len(t.List))
+		for _, v := range t.List {
+			set[v.Key()] = true
+		}
+		return func(row []value.V) bool { return set[inner(row).Key()] }, nil
+	case sql.Between:
+		inner, err := compileScalar(t.E, p)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileScalar(t.Lo, p)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileScalar(t.Hi, p)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []value.V) bool {
+			v := inner(row)
+			return value.Compare(lo(row), v) <= 0 && value.Compare(v, hi(row)) <= 0
+		}, nil
+	case sql.Like:
+		inner, err := compileScalar(t.E, p)
+		if err != nil {
+			return nil, err
+		}
+		match, err := compileLike(t.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []value.V) bool {
+			v := inner(row)
+			return v.K == value.String && match(v.S)
+		}, nil
+	default:
+		return nil, fmt.Errorf("exec: expression %s is not boolean", sql.ExprString(e))
+	}
+}
+
+// compileLike supports the common % wildcard placements ('abc', 'abc%',
+// '%abc', '%abc%', and general multi-% patterns with greedy segment search).
+// The _ single-character wildcard is not supported.
+func compileLike(pattern string) (func(string) bool, error) {
+	if strings.ContainsRune(pattern, '_') {
+		return nil, fmt.Errorf("exec: LIKE '_' wildcard not supported")
+	}
+	segs := strings.Split(pattern, "%")
+	return func(s string) bool {
+		// First segment must anchor the front, last the back.
+		if !strings.HasPrefix(s, segs[0]) {
+			return false
+		}
+		s = s[len(segs[0]):]
+		if len(segs) == 1 {
+			return s == ""
+		}
+		last := segs[len(segs)-1]
+		if !strings.HasSuffix(s, last) {
+			return false
+		}
+		s = s[:len(s)-len(last)]
+		for _, mid := range segs[1 : len(segs)-1] {
+			if mid == "" {
+				continue
+			}
+			i := strings.Index(s, mid)
+			if i < 0 {
+				return false
+			}
+			s = s[i+len(mid):]
+		}
+		return true
+	}, nil
+}

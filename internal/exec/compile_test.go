@@ -1,0 +1,311 @@
+package exec
+
+import (
+	"testing"
+
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/sql"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+// oneTableSchema is a single private relation with assorted column types.
+func oneTableSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Relation{Name: "T", Attrs: []string{"k", "a", "b", "s"}, PK: "k"},
+	)
+}
+
+func oneTableInstance() *storage.Instance {
+	inst := storage.NewInstance(oneTableSchema())
+	rows := []struct {
+		k, a, b int64
+		s       string
+	}{
+		{1, 1, 10, "x"},
+		{2, 2, 20, "y"},
+		{3, 3, 30, "x"},
+		{4, 4, 40, "z"},
+		{5, 5, 50, "y"},
+	}
+	for _, r := range rows {
+		inst.MustInsert("T", storage.Row{value.IntV(r.k), value.IntV(r.a), value.IntV(r.b), value.StringV(r.s)})
+	}
+	return inst
+}
+
+func countWhere(t *testing.T, where string) float64 {
+	t.Helper()
+	src := "SELECT COUNT(*) FROM T"
+	if where != "" {
+		src += " WHERE " + where
+	}
+	q := sql.MustParse(src)
+	p, err := plan.Build(q, oneTableSchema(), schema.PrivateSpec{Primary: []string{"T"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, oneTableInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.TrueAnswer()
+}
+
+func TestPredicateOperators(t *testing.T) {
+	cases := []struct {
+		where string
+		want  float64
+	}{
+		{"", 5},
+		{"a = 3", 1},
+		{"a <> 3", 4},
+		{"a < 3", 2},
+		{"a <= 3", 3},
+		{"a > 3", 2},
+		{"a >= 3", 3},
+		{"s = 'x'", 2},
+		{"s <> 'x'", 3},
+		{"a = 1 OR a = 5", 2},
+		{"a > 1 AND a < 5", 3},
+		{"NOT a = 3", 4},
+		{"NOT (a = 1 OR s = 'y')", 2},
+		{"a + 1 = b / 10 AND a >= 1", 0}, // a+1 == b/10 never (b=10a)
+		{"a * 10 = b", 5},
+		{"b - a = 9", 1},  // only row a=1,b=10
+		{"0 - a < -4", 1}, // unary minus path: -a < -4 → a > 4
+		{"a * 2.5 = 5", 1},
+	}
+	for _, c := range cases {
+		if got := countWhere(t, c.where); got != c.want {
+			t.Errorf("WHERE %q: count %g, want %g", c.where, got, c.want)
+		}
+	}
+}
+
+func TestInBetweenLikePredicates(t *testing.T) {
+	cases := []struct {
+		where string
+		want  float64
+	}{
+		{"a IN (1, 3, 5)", 3},
+		{"a IN (99)", 0},
+		{"a NOT IN (1, 3, 5)", 2},
+		{"s IN ('x', 'z')", 3},
+		{"a BETWEEN 2 AND 4", 3},
+		{"a NOT BETWEEN 2 AND 4", 2},
+		{"b BETWEEN a AND a * 20", 5}, // column bounds: 10a ∈ [a, 20a] always
+		{"s LIKE 'x'", 2},
+		{"s LIKE '%'", 5},
+		{"s LIKE 'x%'", 2},
+		{"s NOT LIKE 'x%'", 3},
+		{"a = 1 AND s LIKE '%x%'", 1},
+	}
+	for _, c := range cases {
+		if got := countWhere(t, c.where); got != c.want {
+			t.Errorf("WHERE %q: count %g, want %g", c.where, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abcd", false},
+		{"abc%", "abcd", true},
+		{"abc%", "ab", false},
+		{"%abc", "xxabc", true},
+		{"%abc", "abcx", false},
+		{"%abc%", "xabcx", true},
+		{"%abc%", "ab", false},
+		{"a%b%c", "aXbYc", true},
+		{"a%b%c", "acb", false},
+		{"a%a", "aa", true},
+		{"a%a", "a", false},
+		{"%", "", true},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		m, err := compileLike(c.pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m(c.s); got != c.want {
+			t.Errorf("LIKE %q on %q = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+	if _, err := compileLike("a_c"); err == nil {
+		t.Error("underscore wildcard should be rejected")
+	}
+}
+
+func TestSumExpressions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"a", 15},
+		{"b", 150},
+		{"a + b", 165},
+		{"b - a", 135},
+		{"a * 2", 30},
+		{"b / 10", 15},
+	}
+	for _, c := range cases {
+		q := sql.MustParse("SELECT SUM(" + c.expr + ") FROM T")
+		p, err := plan.Build(q, oneTableSchema(), schema.PrivateSpec{Primary: []string{"T"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(p, oneTableInstance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.TrueAnswer(); got != c.want {
+			t.Errorf("SUM(%s) = %g, want %g", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	s := oneTableSchema()
+	// Boolean expression where a scalar is expected: SUM(a = 1).
+	q := &sql.Query{
+		Agg:     sql.AggSum,
+		SumExpr: sql.Binary{Op: "=", L: sql.Col{Ref: sql.ColRef{Attr: "a"}}, R: sql.Lit{Val: value.IntV(1)}},
+		From:    []sql.TableRef{{Table: "T", Alias: "T"}},
+	}
+	p, err := plan.Build(q, s, schema.PrivateSpec{Primary: []string{"T"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, oneTableInstance()); err == nil {
+		t.Error("boolean in scalar context should fail at compile")
+	}
+
+	// Scalar expression where a boolean is expected: WHERE a + 1.
+	q2 := &sql.Query{
+		Agg:   sql.AggCount,
+		From:  []sql.TableRef{{Table: "T", Alias: "T"}},
+		Where: sql.Binary{Op: "+", L: sql.Col{Ref: sql.ColRef{Attr: "a"}}, R: sql.Lit{Val: value.IntV(1)}},
+	}
+	p2, err := plan.Build(q2, s, schema.PrivateSpec{Primary: []string{"T"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p2, oneTableInstance()); err == nil {
+		t.Error("arithmetic in boolean context should fail at compile")
+	}
+
+	// A bare column as a predicate is not boolean either.
+	q3 := &sql.Query{
+		Agg:   sql.AggCount,
+		From:  []sql.TableRef{{Table: "T", Alias: "T"}},
+		Where: sql.Col{Ref: sql.ColRef{Attr: "a"}},
+	}
+	p3, err := plan.Build(q3, s, schema.PrivateSpec{Primary: []string{"T"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p3, oneTableInstance()); err == nil {
+		t.Error("bare column predicate should fail at compile")
+	}
+}
+
+func TestAppendValueKeyCollisionFree(t *testing.T) {
+	// Distinct values must encode distinctly; equal-under-SQL values must
+	// collide. Most importantly, composite keys must not be confusable
+	// (["ab","c"] vs ["a","bc"]) and null ≠ empty string.
+	cases := [][]value.V{
+		{value.IntV(1)},
+		{value.FloatV(1.5)},
+		{value.StringV("1")},
+		{value.StringV("")},
+		{value.NullV()},
+		{value.StringV("ab"), value.StringV("c")},
+		{value.StringV("a"), value.StringV("bc")},
+		{value.StringV("a|b")},
+		{value.StringV("a"), value.StringV("b")},
+		{value.IntV(97), value.IntV(98)}, // bytes of "ab"
+	}
+	seen := map[string]int{}
+	for i, vals := range cases {
+		var buf []byte
+		for _, v := range vals {
+			buf = appendValueKey(buf, v)
+		}
+		k := string(buf)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("cases %d and %d collide: %v vs %v", prev, i, cases[prev], vals)
+		}
+		seen[k] = i
+	}
+	// Equal-under-SQL values collide as they must.
+	a := appendValueKey(nil, value.IntV(2))
+	b := appendValueKey(nil, value.FloatV(2.0))
+	if string(a) != string(b) {
+		t.Error("IntV(2) and FloatV(2.0) should share a key")
+	}
+}
+
+func TestTupleRefString(t *testing.T) {
+	ref := TupleRef{Rel: "Node", Key: value.IntV(7)}
+	if ref.String() != "Node:7" {
+		t.Errorf("TupleRef.String() = %q", ref.String())
+	}
+}
+
+func TestCrossProductDisconnectedQuery(t *testing.T) {
+	// Two atoms with no shared variables: a cross product. Provenance still
+	// references the private tuple from each pairing.
+	s := schema.MustNew(
+		&schema.Relation{Name: "P", Attrs: []string{"k"}, PK: "k"},
+		&schema.Relation{Name: "Pub", Attrs: []string{"v"}},
+	)
+	inst := storage.NewInstance(s)
+	inst.MustInsert("P", storage.Row{value.IntV(1)}, storage.Row{value.IntV(2)})
+	inst.MustInsert("Pub", storage.Row{value.IntV(10)}, storage.Row{value.IntV(20)}, storage.Row{value.IntV(30)})
+	q := sql.MustParse("SELECT COUNT(*) FROM P, Pub")
+	p, err := plan.Build(q, s, schema.PrivateSpec{Primary: []string{"P"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueAnswer() != 6 {
+		t.Fatalf("cross product count = %g, want 6", res.TrueAnswer())
+	}
+	if res.MaxTupleSensitivity() != 3 {
+		t.Fatalf("S per private tuple = %g, want 3", res.MaxTupleSensitivity())
+	}
+}
+
+func TestNumericKeyJoin(t *testing.T) {
+	// IntV(2) must join with FloatV(2.0) — SQL equality semantics via Key().
+	s := schema.MustNew(
+		&schema.Relation{Name: "A", Attrs: []string{"k"}, PK: "k"},
+		&schema.Relation{Name: "B", Attrs: []string{"k2"}, FKs: []schema.FK{{Attr: "k2", Ref: "A"}}},
+	)
+	inst := storage.NewInstance(s)
+	inst.MustInsert("A", storage.Row{value.IntV(2)})
+	inst.MustInsert("B", storage.Row{value.FloatV(2.0)})
+	q := sql.MustParse("SELECT COUNT(*) FROM A, B WHERE A.k = B.k2")
+	p, err := plan.Build(q, s, schema.PrivateSpec{Primary: []string{"A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueAnswer() != 1 {
+		t.Fatalf("numeric key join count = %g, want 1", res.TrueAnswer())
+	}
+}

@@ -1,0 +1,465 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"r2t/internal/plan"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+// TupleRef identifies one tuple of a primary private relation — one
+// individual. With multiple primary private relations the Rel field is the
+// namespace of the Section 8 reduction.
+type TupleRef struct {
+	Rel string
+	Key value.V
+}
+
+// String renders the individual as relation:key.
+func (t TupleRef) String() string { return t.Rel + ":" + t.Key.String() }
+
+// JoinRow is one join result q_k: its weight ψ(q_k) and the individuals it
+// references.
+type JoinRow struct {
+	Psi  float64
+	Refs []TupleRef
+}
+
+// Result is the evaluated reporting query (Section 9): everything the
+// truncation operators need.
+type Result struct {
+	Plan *plan.Plan
+	Rows []JoinRow
+
+	// Projection structure, set only for COUNT(DISTINCT ...) queries:
+	// Groups[l] lists the row indices whose projection equals p_l (the D_l
+	// sets of Section 7), and GroupPsi[l] = ψ(p_l).
+	IsProjection bool
+	Groups       [][]int
+	GroupPsi     []float64
+}
+
+// TrueAnswer returns Q(I): Σψ(q_k) for SJA, Σψ(p_l) for SPJA.
+func (r *Result) TrueAnswer() float64 {
+	var s float64
+	if r.IsProjection {
+		for _, w := range r.GroupPsi {
+			s += w
+		}
+		return s
+	}
+	for _, row := range r.Rows {
+		s += row.Psi
+	}
+	return s
+}
+
+// SensitivityByTuple returns S_Q(I, t_P) for every referenced individual
+// (eq. 4): the total ψ-weight of join results referencing that tuple.
+func (r *Result) SensitivityByTuple() map[TupleRef]float64 {
+	out := make(map[TupleRef]float64)
+	for _, row := range r.Rows {
+		for _, t := range row.Refs {
+			out[t] += row.Psi
+		}
+	}
+	return out
+}
+
+// MaxTupleSensitivity returns max_t S_Q(I,t): DS_Q(I) for SJA queries and
+// IS_Q(I) (the indirect sensitivity, Section 7) for SPJA queries.
+func (r *Result) MaxTupleSensitivity() float64 {
+	var m float64
+	for _, s := range r.SensitivityByTuple() {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// DownwardSensitivity returns DS_Q(I) exactly. For SJA it equals
+// MaxTupleSensitivity; for SPJA it accounts for overlapping contributions:
+// removing t only loses the projected results all of whose witnesses
+// reference t.
+func (r *Result) DownwardSensitivity() float64 {
+	if !r.IsProjection {
+		return r.MaxTupleSensitivity()
+	}
+	loss := make(map[TupleRef]float64)
+	for l, group := range r.Groups {
+		// Individuals referenced by *every* witness of p_l.
+		common := make(map[TupleRef]int)
+		for _, k := range group {
+			for _, t := range r.Rows[k].Refs {
+				common[t]++
+			}
+		}
+		for t, c := range common {
+			if c == len(group) {
+				loss[t] += r.GroupPsi[l]
+			}
+		}
+	}
+	var m float64
+	for _, v := range loss {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// NumIndividuals returns the number of distinct referenced individuals.
+func (r *Result) NumIndividuals() int {
+	seen := make(map[TupleRef]bool)
+	for _, row := range r.Rows {
+		for _, t := range row.Refs {
+			seen[t] = true
+		}
+	}
+	return len(seen)
+}
+
+// RunSplit evaluates a SUM query whose expression may go negative, splitting
+// the join results into two non-negative halves: pos carries ψ⁺ = max(ψ,0)
+// and neg carries ψ⁻ = max(−ψ,0), so Q(I) = pos.TrueAnswer() −
+// neg.TrueAnswer(). Each half is a valid input to a truncation operator;
+// privatizing both (with split budget) and subtracting is the standard way
+// to lift the paper's ψ ≥ 0 requirement. Projection queries are rejected
+// (COUNT DISTINCT weights are always 1).
+func RunSplit(p *plan.Plan, inst *storage.Instance) (pos, neg *Result, err error) {
+	if len(p.ProjVars) > 0 {
+		return nil, nil, fmt.Errorf("exec: signed split does not apply to projection queries")
+	}
+	full, err := run(p, inst, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos = &Result{Plan: p}
+	neg = &Result{Plan: p}
+	for _, row := range full.Rows {
+		if row.Psi >= 0 {
+			pos.Rows = append(pos.Rows, row)
+		} else {
+			neg.Rows = append(neg.Rows, JoinRow{Psi: -row.Psi, Refs: row.Refs})
+		}
+	}
+	return pos, neg, nil
+}
+
+// Run evaluates p against inst with left-deep hash joins and predicate
+// pushdown, producing join rows with provenance.
+func Run(p *plan.Plan, inst *storage.Instance) (*Result, error) {
+	return run(p, inst, false)
+}
+
+func run(p *plan.Plan, inst *storage.Instance, allowNegative bool) (*Result, error) {
+	// Compile filters and the aggregate expression.
+	filters := make([]boolFn, len(p.Filters))
+	for i, f := range p.Filters {
+		fn, err := compileBool(f.Expr, p)
+		if err != nil {
+			return nil, err
+		}
+		filters[i] = fn
+	}
+	var sumFn scalarFn
+	if p.SumExpr != nil {
+		fn, err := compileScalar(p.SumExpr, p)
+		if err != nil {
+			return nil, err
+		}
+		sumFn = fn
+	}
+
+	steps, err := orderSteps(p, inst)
+	if err != nil {
+		return nil, err
+	}
+
+	// Attach each filter to the earliest step where all its variables bind.
+	bound := make([]bool, p.NumVars)
+	filterAt := make([][]boolFn, len(steps))
+	assigned := make([]bool, len(filters))
+	for si := range steps {
+		for _, v := range steps[si].newVars {
+			bound[v] = true
+		}
+		for fi, f := range p.Filters {
+			if assigned[fi] {
+				continue
+			}
+			ok := true
+			for _, v := range f.Vars {
+				if !bound[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				filterAt[si] = append(filterAt[si], filters[fi])
+				assigned[fi] = true
+			}
+		}
+	}
+	for fi := range assigned {
+		if !assigned[fi] {
+			return nil, fmt.Errorf("exec: filter %d references unbound variables", fi)
+		}
+	}
+
+	// Join.
+	current := [][]value.V{make([]value.V, p.NumVars)} // one empty assignment
+	for si, st := range steps {
+		table := inst.Table(p.Atoms[st.atom].Rel.Name)
+		if table == nil {
+			return nil, fmt.Errorf("exec: no table for relation %q", p.Atoms[st.atom].Rel.Name)
+		}
+		current = joinStep(current, st, table.Rows, filterAt[si], p.NumVars)
+		if len(current) == 0 {
+			break
+		}
+	}
+
+	// Build join rows with ψ and provenance.
+	res := &Result{Plan: p}
+	res.Rows = make([]JoinRow, 0, len(current))
+	var projKeys map[string]int
+	isProj := len(p.ProjVars) > 0
+	if isProj {
+		res.IsProjection = true
+		projKeys = make(map[string]int)
+	}
+	var keyBuf []byte
+	for _, asg := range current {
+		var psi float64 = 1
+		if sumFn != nil {
+			v := sumFn(asg)
+			if !v.IsNumeric() {
+				return nil, fmt.Errorf("exec: SUM expression evaluated to non-numeric value %v", v)
+			}
+			psi = v.AsFloat()
+			if psi < 0 && !allowNegative {
+				return nil, fmt.Errorf("exec: SUM expression produced negative weight %v (ψ must be non-negative; set AllowNegativeSum to split the query)", psi)
+			}
+			if math.IsNaN(psi) || math.IsInf(psi, 0) {
+				return nil, fmt.Errorf("exec: SUM expression produced non-finite weight")
+			}
+		}
+		row := JoinRow{Psi: psi}
+		for i, pk := range p.PrivPK {
+			if pk < 0 {
+				continue
+			}
+			ref := TupleRef{Rel: p.Atoms[i].Rel.Name, Key: asg[pk].Key()}
+			dup := false
+			for _, ex := range row.Refs {
+				if ex == ref {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				row.Refs = append(row.Refs, ref)
+			}
+		}
+		k := len(res.Rows)
+		res.Rows = append(res.Rows, row)
+		if isProj {
+			keyBuf = keyBuf[:0]
+			for _, v := range p.ProjVars {
+				keyBuf = appendValueKey(keyBuf, asg[v])
+			}
+			ks := string(keyBuf)
+			l, ok := projKeys[ks]
+			if !ok {
+				l = len(res.Groups)
+				projKeys[ks] = l
+				res.Groups = append(res.Groups, nil)
+				res.GroupPsi = append(res.GroupPsi, 1) // COUNT(DISTINCT): ψ(p_l)=1
+			}
+			res.Groups[l] = append(res.Groups[l], k)
+		}
+	}
+	return res, nil
+}
+
+// step describes joining one atom into the current assignment set.
+type step struct {
+	atom       int
+	sharedVars []int    // bound vars appearing in the atom (distinct)
+	sharedCols []int    // first atom column per shared var
+	checkCols  [][2]int // column pairs that must be equal (repeated vars)
+	newVars    []int    // vars newly bound by this atom
+	newCols    []int    // first atom column per new var
+}
+
+// orderSteps picks a greedy left-deep join order: start from the smallest
+// user atom, then repeatedly take the atom that shares a variable with the
+// bound set (smallest table first), falling back to a cross product.
+func orderSteps(p *plan.Plan, inst *storage.Instance) ([]step, error) {
+	n := len(p.Atoms)
+	used := make([]bool, n)
+	bound := make([]bool, p.NumVars)
+	size := func(i int) int {
+		t := inst.Table(p.Atoms[i].Rel.Name)
+		if t == nil {
+			return 0
+		}
+		return t.Len()
+	}
+	shares := func(i int) bool {
+		for _, v := range p.Atoms[i].Vars {
+			if bound[v] {
+				return true
+			}
+		}
+		return false
+	}
+	pick := func(requireShare bool) int {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if requireShare && !shares(i) {
+				continue
+			}
+			if best < 0 || size(i) < size(best) {
+				best = i
+			}
+		}
+		return best
+	}
+
+	var steps []step
+	for len(steps) < n {
+		i := pick(true)
+		if i < 0 {
+			i = pick(false)
+		}
+		if i < 0 {
+			return nil, fmt.Errorf("exec: internal error ordering joins")
+		}
+		used[i] = true
+		st := step{atom: i}
+		firstCol := make(map[int]int)
+		for col, v := range p.Atoms[i].Vars {
+			if fc, seen := firstCol[v]; seen {
+				st.checkCols = append(st.checkCols, [2]int{fc, col})
+				continue
+			}
+			firstCol[v] = col
+			if bound[v] {
+				st.sharedVars = append(st.sharedVars, v)
+				st.sharedCols = append(st.sharedCols, col)
+			} else {
+				st.newVars = append(st.newVars, v)
+				st.newCols = append(st.newCols, col)
+			}
+		}
+		for _, v := range st.newVars {
+			bound[v] = true
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// joinStep extends every current assignment with matching rows of the atom.
+func joinStep(current [][]value.V, st step, rows []storage.Row, filters []boolFn, numVars int) [][]value.V {
+	// Build side: hash atom rows on the shared columns.
+	build := make(map[string][]int, len(rows))
+	var buf []byte
+rowLoop:
+	for ri, row := range rows {
+		for _, pair := range st.checkCols {
+			if !value.Equal(row[pair[0]], row[pair[1]]) {
+				continue rowLoop
+			}
+		}
+		buf = buf[:0]
+		for _, c := range st.sharedCols {
+			buf = appendValueKey(buf, row[c])
+		}
+		k := string(buf)
+		build[k] = append(build[k], ri)
+	}
+
+	var out [][]value.V
+	for _, asg := range current {
+		buf = buf[:0]
+		for _, v := range st.sharedVars {
+			buf = appendValueKey(buf, asg[v])
+		}
+		matches := build[string(buf)]
+		for _, ri := range matches {
+			row := rows[ri]
+			next := make([]value.V, numVars)
+			copy(next, asg)
+			for j, v := range st.newVars {
+				next[v] = row[st.newCols[j]]
+			}
+			ok := true
+			for _, f := range filters {
+				if !f(next) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, next)
+			}
+		}
+	}
+	return out
+}
+
+// appendValueKey appends a canonical, collision-free encoding of v.
+func appendValueKey(buf []byte, v value.V) []byte {
+	v = v.Key()
+	buf = append(buf, byte(v.K))
+	switch v.K {
+	case value.Int:
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], uint64(v.I))
+		buf = append(buf, tmp[:]...)
+	case value.Float:
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+		buf = append(buf, tmp[:]...)
+	case value.String:
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], uint64(len(v.S)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, v.S...)
+	}
+	return buf
+}
+
+// SortedTupleRefs returns the distinct individuals referenced anywhere in r,
+// in a deterministic order — handy for tests and experiment output.
+func (r *Result) SortedTupleRefs() []TupleRef {
+	seen := make(map[TupleRef]bool)
+	for _, row := range r.Rows {
+		for _, t := range row.Refs {
+			seen[t] = true
+		}
+	}
+	out := make([]TupleRef, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return value.Less(out[i].Key, out[j].Key)
+	})
+	return out
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{Scale: 0.05, TPCHSF: 0.125, Reps: 3, Eps: 0.8, Seed: 42, Out: new(bytes.Buffer)}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	if got := trimmedMean([]float64{1, 2, 3, 4, 100}, 0.2); got != 3 {
+		t.Errorf("trimmedMean = %g, want 3", got)
+	}
+	if got := trimmedMean([]float64{5}, 0.2); got != 5 {
+		t.Errorf("single value = %g", got)
+	}
+	if !math.IsNaN(trimmedMean(nil, 0.2)) {
+		t.Error("empty should be NaN")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1(tiny())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 datasets", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %v malformed", row)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := Table2(tiny())
+	// 4 patterns × (1 truth + 5 mechanisms).
+	if len(tab.Rows) != 4*6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row {
+			if strings.HasPrefix(cell, "error") {
+				t.Errorf("cell error: %v", row)
+			}
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := Table3(tiny())
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := Table4(tiny())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := Table5(tiny())
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 queries", len(tab.Rows))
+	}
+	// Q3 must have an LS cell; Q5 must be "not supported".
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "Q3", "Q12", "Q20":
+			if row[5] == "not supported" {
+				t.Errorf("%s should support LS", row[0])
+			}
+		case "Q5", "Q21", "Q7", "Q10":
+			if row[5] != "not supported" {
+				t.Errorf("%s should not support LS, got %q", row[0], row[5])
+			}
+		}
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := tiny()
+	tabs := Fig8(cfg)
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := tiny()
+	cfg.TPCHSF = 0.06
+	tabs := Fig7(cfg)
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d, want one per query", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 5 {
+			t.Fatalf("%s: rows = %d", tab.Title, len(tab.Rows))
+		}
+		// 7 scale columns plus the metric label.
+		if len(tab.Headers) != 8 {
+			t.Fatalf("%s: headers = %v", tab.Title, tab.Headers)
+		}
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tabs := Fig6(tiny())
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d, want one per pattern", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 4 {
+			t.Fatalf("%s: rows = %d, want 4 mechanisms", tab.Title, len(tab.Rows))
+		}
+	}
+}
+
+func TestFigScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := tiny()
+	tab := FigScaling(cfg)
+	// Two patterns × (result, abs, rel) rows.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	cfg := tiny()
+	cfg.CellTimeout = 1 // nanosecond: even the first rep busts the budget,
+	// but measure keeps the completed rep (the limit binds *between* reps).
+	cell, err := measure(cfg, 100, func(seed int64) (float64, error) {
+		return 90, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Note != "" {
+		t.Fatalf("cell with one finished rep should report it, got %q", cell.Note)
+	}
+	if cell.RelErrPct != 10 {
+		t.Fatalf("rel err = %g, want 10", cell.RelErrPct)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if got := (Cell{Note: "over time limit"}).String(); got != "over time limit" {
+		t.Errorf("note cell renders %q", got)
+	}
+	if got := (Cell{RelErrPct: 12.5, Seconds: 0.25}).String(); !strings.Contains(got, "12.5%") {
+		t.Errorf("cell renders %q", got)
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	var buf bytes.Buffer
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	tab.Print(&buf)
+	s := buf.String()
+	if !strings.Contains(s, "== T ==") || !strings.Contains(s, "bb") {
+		t.Errorf("rendered: %q", s)
+	}
+}
+
+func TestUniformFromSeed(t *testing.T) {
+	seen := map[float64]bool{}
+	for s := int64(0); s < 100; s++ {
+		u := uniformFromSeed(s)
+		if u < 0 || u >= 1 {
+			t.Fatalf("u = %g out of range", u)
+		}
+		seen[u] = true
+	}
+	if len(seen) < 90 {
+		t.Error("uniformFromSeed not spreading")
+	}
+}

@@ -1,0 +1,323 @@
+// Package graph provides the node-DP graph substrate: an adjacency-list
+// graph type, deterministic generators standing in for the paper's SNAP
+// datasets (heavy-tailed social networks and near-planar road networks,
+// Table 1), and pattern enumerators for the four benchmark queries — edges
+// (Q1-), length-2 paths (Q2-), triangles (Q△) and rectangles (Q□) — that
+// emit, for every pattern occurrence, the set of nodes it references. That
+// occurrence form feeds the truncation LPs directly.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on nodes 0..N-1 with sorted adjacency
+// lists, no self-loops and no parallel edges.
+type Graph struct {
+	N   int
+	Adj [][]int32
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	return &Graph{N: n, Adj: make([][]int32, n)}
+}
+
+// AddEdge inserts the undirected edge {u,v}; self-loops are ignored and
+// duplicates removed by Finalize.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return
+	}
+	g.Adj[u] = append(g.Adj[u], int32(v))
+	g.Adj[v] = append(g.Adj[v], int32(u))
+}
+
+// Finalize sorts adjacency lists and removes duplicate edges. Call once after
+// the last AddEdge.
+func (g *Graph) Finalize() {
+	for u := range g.Adj {
+		a := g.Adj[u]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		out := a[:0]
+		var prev int32 = -1
+		for _, v := range a {
+			if v != prev {
+				out = append(out, v)
+				prev = v
+			}
+		}
+		g.Adj[u] = out
+	}
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.Adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Degree returns node u's degree.
+func (g *Graph) Degree(u int) int { return len(g.Adj[u]) }
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, a := range g.Adj {
+		if len(a) > m {
+			m = len(a)
+		}
+	}
+	return m
+}
+
+// HasEdge reports whether {u,v} is an edge (binary search).
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.Adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+// DropHighDegree returns the subgraph induced on nodes with degree ≤ θ —
+// "naive truncation" of a graph, the projection step NT and SDE use.
+func (g *Graph) DropHighDegree(theta int) *Graph {
+	keep := make([]bool, g.N)
+	for u := 0; u < g.N; u++ {
+		keep[u] = g.Degree(u) <= theta
+	}
+	out := New(g.N)
+	for u := 0; u < g.N; u++ {
+		if !keep[u] {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if int32(u) < v && keep[v] {
+				out.AddEdge(u, int(v))
+			}
+		}
+	}
+	out.Finalize()
+	return out
+}
+
+// RemoveNode returns a copy of g without node u (its edges removed; node ids
+// unchanged) — the down-neighbor instance for node-DP.
+func (g *Graph) RemoveNode(u int) *Graph {
+	out := New(g.N)
+	for a := 0; a < g.N; a++ {
+		if a == u {
+			continue
+		}
+		for _, b := range g.Adj[a] {
+			if int32(a) < b && int(b) != u {
+				out.AddEdge(a, int(b))
+			}
+		}
+	}
+	out.Finalize()
+	return out
+}
+
+// Pattern identifies one of the four benchmark pattern-counting queries.
+type Pattern int
+
+// The graph pattern queries of Section 10.2.
+const (
+	Edges      Pattern = iota // Q1-
+	Paths2                    // Q2-
+	Triangles                 // Q△
+	Rectangles                // Q□
+)
+
+// String returns the paper's name for the query (Q1-, Q2-, Qtri, Qrect).
+func (p Pattern) String() string {
+	switch p {
+	case Edges:
+		return "Q1-"
+	case Paths2:
+		return "Q2-"
+	case Triangles:
+		return "Qtri"
+	case Rectangles:
+		return "Qrect"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// GSQ returns the assumed global sensitivity for the pattern under degree
+// bound D, as in Section 10.1: D, D², D², D³.
+func (p Pattern) GSQ(d float64) float64 {
+	switch p {
+	case Edges:
+		return d
+	case Paths2, Triangles:
+		return d * d
+	case Rectangles:
+		return d * d * d
+	default:
+		return d
+	}
+}
+
+// Count returns the number of occurrences of p in g without materializing
+// the occurrence sets.
+func Count(g *Graph, p Pattern) float64 {
+	switch p {
+	case Edges:
+		return float64(g.NumEdges())
+	case Paths2:
+		total := 0.0
+		for u := 0; u < g.N; u++ {
+			d := float64(g.Degree(u))
+			total += d * (d - 1) / 2
+		}
+		return total
+	case Triangles:
+		return float64(len(triangleSets(g)))
+	case Rectangles:
+		return countRectangles(g)
+	}
+	return 0
+}
+
+// Occurrences enumerates p's occurrences as referencing-node sets. Each
+// occurrence references its distinct member nodes, matching the completed
+// SJA query of Example 3.1 with the dedup predicates of Section 10.1.
+func Occurrences(g *Graph, p Pattern) [][]int32 {
+	switch p {
+	case Edges:
+		return edgeSets(g)
+	case Paths2:
+		return wedgeSets(g)
+	case Triangles:
+		return triangleSets(g)
+	case Rectangles:
+		return rectangleSets(g)
+	}
+	return nil
+}
+
+// PerNodeCounts returns, for every node, the number of occurrences of p that
+// contain it — the per-individual sensitivities S_Q(I, v).
+func PerNodeCounts(g *Graph, p Pattern) []float64 {
+	sens := make([]float64, g.N)
+	for _, set := range Occurrences(g, p) {
+		for _, v := range set {
+			sens[v]++
+		}
+	}
+	return sens
+}
+
+func edgeSets(g *Graph) [][]int32 {
+	out := make([][]int32, 0, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[u] {
+			if int32(u) < v {
+				out = append(out, []int32{int32(u), v})
+			}
+		}
+	}
+	return out
+}
+
+func wedgeSets(g *Graph) [][]int32 {
+	var out [][]int32
+	for b := 0; b < g.N; b++ {
+		a := g.Adj[b]
+		for i := 0; i < len(a); i++ {
+			for j := i + 1; j < len(a); j++ {
+				out = append(out, []int32{a[i], int32(b), a[j]})
+			}
+		}
+	}
+	return out
+}
+
+func triangleSets(g *Graph) [][]int32 {
+	var out [][]int32
+	for u := 0; u < g.N; u++ {
+		au := g.Adj[u]
+		for _, v := range au {
+			if v <= int32(u) {
+				continue
+			}
+			// w > v adjacent to both u and v.
+			av := g.Adj[int(v)]
+			i, j := 0, 0
+			for i < len(au) && j < len(av) {
+				switch {
+				case au[i] < av[j]:
+					i++
+				case au[i] > av[j]:
+					j++
+				default:
+					if au[i] > v {
+						out = append(out, []int32{int32(u), v, au[i]})
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rectangleSets enumerates 4-cycles a–b–c–d once each: the cycle is emitted
+// from its diagonal pair (a,c) with a < c where a is also smaller than both
+// off-diagonal nodes' smaller element (a < b < d convention below).
+func rectangleSets(g *Graph) [][]int32 {
+	var out [][]int32
+	common := make([]int32, 0, 64)
+	for a := 0; a < g.N; a++ {
+		// For every c > a at distance 2, collect common neighbors > a.
+		seen := make(map[int32][]int32)
+		for _, b := range g.Adj[a] {
+			if b <= int32(a) {
+				continue // require b > a so a is the cycle minimum
+			}
+			for _, c := range g.Adj[b] {
+				if c <= int32(a) || c == int32(a) {
+					continue
+				}
+				if int(c) == a {
+					continue
+				}
+				seen[c] = append(seen[c], b)
+			}
+		}
+		for c, bs := range seen {
+			if len(bs) < 2 {
+				continue
+			}
+			common = common[:0]
+			common = append(common, bs...)
+			sort.Slice(common, func(i, j int) bool { return common[i] < common[j] })
+			for i := 0; i < len(common); i++ {
+				for j := i + 1; j < len(common); j++ {
+					b, d := common[i], common[j]
+					if b == c || d == c {
+						continue
+					}
+					out = append(out, []int32{int32(a), b, c, d})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func countRectangles(g *Graph) float64 {
+	total := 0.0
+	for _, set := range rectangleSets(g) {
+		_ = set
+		total++
+	}
+	return total
+}

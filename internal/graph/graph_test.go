@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"r2t/internal/exec"
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/sql"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+func TestBasicOps(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(1, 1) // self loop ignored
+	g.AddEdge(1, 2)
+	g.Finalize()
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.MaxDegree() != 2 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestPatternsOnKnownGraphs(t *testing.T) {
+	// K4: 6 edges, 12 wedges, 4 triangles, 3 rectangles.
+	k4 := randomGraph(rand.New(rand.NewSource(0)), 4, 1.1)
+	if got := Count(k4, Edges); got != 6 {
+		t.Errorf("K4 edges = %g", got)
+	}
+	if got := Count(k4, Paths2); got != 12 {
+		t.Errorf("K4 wedges = %g", got)
+	}
+	if got := Count(k4, Triangles); got != 4 {
+		t.Errorf("K4 triangles = %g", got)
+	}
+	if got := Count(k4, Rectangles); got != 3 {
+		t.Errorf("K4 rectangles = %g", got)
+	}
+	// C4 (4-cycle): 4 edges, 4 wedges, 0 triangles, 1 rectangle.
+	c4 := New(4)
+	c4.AddEdge(0, 1)
+	c4.AddEdge(1, 2)
+	c4.AddEdge(2, 3)
+	c4.AddEdge(3, 0)
+	c4.Finalize()
+	if got := Count(c4, Rectangles); got != 1 {
+		t.Errorf("C4 rectangles = %g", got)
+	}
+	if got := Count(c4, Triangles); got != 0 {
+		t.Errorf("C4 triangles = %g", got)
+	}
+	// Star K1,5: 5 edges, 10 wedges, no triangles or rectangles.
+	s5 := New(6)
+	for i := 1; i <= 5; i++ {
+		s5.AddEdge(0, i)
+	}
+	s5.Finalize()
+	if got := Count(s5, Paths2); got != 10 {
+		t.Errorf("star wedges = %g", got)
+	}
+	if Count(s5, Triangles) != 0 || Count(s5, Rectangles) != 0 {
+		t.Error("star should have no triangles/rectangles")
+	}
+}
+
+func TestOccurrencesMatchCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 5+rng.Intn(8), 0.4)
+		for _, p := range []Pattern{Edges, Paths2, Triangles, Rectangles} {
+			occ := Occurrences(g, p)
+			if float64(len(occ)) != Count(g, p) {
+				t.Fatalf("trial %d %v: len(occ)=%d, Count=%g", trial, p, len(occ), Count(g, p))
+			}
+			// All members distinct and within range; sets have the right size.
+			wantLen := map[Pattern]int{Edges: 2, Paths2: 3, Triangles: 3, Rectangles: 4}[p]
+			for _, set := range occ {
+				if len(set) != wantLen {
+					t.Fatalf("%v occurrence has %d members", p, len(set))
+				}
+				seen := map[int32]bool{}
+				for _, v := range set {
+					if v < 0 || int(v) >= g.N || seen[v] {
+						t.Fatalf("%v occurrence %v invalid", p, set)
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+}
+
+// graphSQL maps each pattern to the completed SJA query of Section 10.1 with
+// dedup predicates, so the SQL engine is the oracle for the fast enumerators.
+var graphSQL = map[Pattern]string{
+	Edges: `SELECT COUNT(*) FROM Edge WHERE Edge.src < Edge.dst`,
+	Paths2: `SELECT COUNT(*) FROM Edge e1, Edge e2
+	         WHERE e1.dst = e2.src AND e1.src < e2.dst AND e1.src <> e2.dst`,
+	Triangles: `SELECT COUNT(*) FROM Edge e1, Edge e2, Edge e3
+	            WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src
+	              AND e1.src < e2.src AND e2.src < e3.src`,
+	Rectangles: `SELECT COUNT(*) FROM Edge e1, Edge e2, Edge e3, Edge e4
+	             WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e4.src AND e4.dst = e1.src
+	               AND e1.src < e2.src AND e1.src < e3.src AND e1.src < e4.src AND e2.src < e4.src
+	               AND e1.src <> e3.src AND e2.src <> e4.src`,
+}
+
+func sqlSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&schema.Relation{Name: "Edge", Attrs: []string{"src", "dst"},
+			FKs: []schema.FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+}
+
+func toInstance(g *Graph) *storage.Instance {
+	inst := storage.NewInstance(sqlSchema())
+	for u := 0; u < g.N; u++ {
+		inst.MustInsert("Node", storage.Row{value.IntV(int64(u))})
+		for _, v := range g.Adj[u] {
+			inst.MustInsert("Edge", storage.Row{value.IntV(int64(u)), value.IntV(int64(v))})
+		}
+	}
+	return inst
+}
+
+func TestEnumeratorsAgainstSQLEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 5+rng.Intn(4), 0.45)
+		inst := toInstance(g)
+		for p, src := range graphSQL {
+			q := sql.MustParse(src)
+			pl, err := plan.Build(q, sqlSchema(), schema.PrivateSpec{Primary: []string{"Node"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := exec.Run(pl, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := Count(g, p), res.TrueAnswer(); got != want {
+				t.Fatalf("trial %d %v: enumerator %g vs SQL %g", trial, p, got, want)
+			}
+			// Per-node sensitivities must agree too.
+			sens := res.SensitivityByTuple()
+			mine := PerNodeCounts(g, p)
+			for u := 0; u < g.N; u++ {
+				key := exec.TupleRef{Rel: "Node", Key: value.IntV(int64(u))}
+				if math.Abs(mine[u]-sens[key]) > 1e-9 {
+					t.Fatalf("trial %d %v node %d: sens %g vs SQL %g", trial, p, u, mine[u], sens[key])
+				}
+			}
+		}
+	}
+}
+
+func TestDropHighDegree(t *testing.T) {
+	g := New(5)
+	// Node 0 is a hub of degree 4; others degree ≤ 2.
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, i)
+	}
+	g.AddEdge(1, 2)
+	g.Finalize()
+	tr := g.DropHighDegree(2)
+	if tr.Degree(0) != 0 {
+		t.Error("hub should be dropped")
+	}
+	if !tr.HasEdge(1, 2) {
+		t.Error("low-degree edge must survive")
+	}
+	if tr.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", tr.NumEdges())
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 8, 0.5)
+	h := g.RemoveNode(3)
+	if h.Degree(3) != 0 {
+		t.Error("removed node keeps edges")
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[u] {
+			if u == 3 || v == 3 {
+				continue
+			}
+			if !h.HasEdge(u, int(v)) {
+				t.Fatalf("edge {%d,%d} lost", u, v)
+			}
+		}
+	}
+}
+
+func TestGenSocialShape(t *testing.T) {
+	g := GenSocial(1000, 5000, 200, 1)
+	if g.N != 1000 {
+		t.Fatalf("n = %d", g.N)
+	}
+	m := g.NumEdges()
+	if m < 3000 || m > 5500 {
+		t.Errorf("edges = %d, want ≈ 5000", m)
+	}
+	if g.MaxDegree() > 200 {
+		t.Errorf("max degree %d exceeds cap", g.MaxDegree())
+	}
+	// Heavy tail: the max degree should far exceed the average.
+	avg := 2 * float64(m) / float64(g.N)
+	if float64(g.MaxDegree()) < 4*avg {
+		t.Errorf("degree distribution not skewed: max %d vs avg %g", g.MaxDegree(), avg)
+	}
+	// Determinism.
+	g2 := GenSocial(1000, 5000, 200, 1)
+	if g2.NumEdges() != m || g2.MaxDegree() != g.MaxDegree() {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestGenRoadShape(t *testing.T) {
+	g := GenRoad(40, 50, 2)
+	if g.N != 2000 {
+		t.Fatalf("n = %d", g.N)
+	}
+	// Paper road networks: degrees concentrate low with a tail to 9–12.
+	if g.MaxDegree() > 13 {
+		t.Errorf("road max degree %d, want ≤ 13", g.MaxDegree())
+	}
+	if g.MaxDegree() < 7 {
+		t.Errorf("road max degree %d, want a high-degree interchange tail", g.MaxDegree())
+	}
+	if g.NumEdges() < 2000 {
+		t.Errorf("road too sparse: %d edges", g.NumEdges())
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(g.N)
+	if avg < 2 || avg > 4.5 {
+		t.Errorf("road average degree %g outside [2, 4.5]", avg)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 5 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	for _, d := range ds {
+		g := d.Build(0.2, 7)
+		if g.N == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", d.Name)
+		}
+		if d.Kind == "road" && g.MaxDegree() > 16 {
+			t.Errorf("%s: max degree %d exceeds road bound", d.Name, g.MaxDegree())
+		}
+	}
+	if DatasetByName("deezer-sim") == nil || DatasetByName("nope") != nil {
+		t.Error("DatasetByName lookup broken")
+	}
+}
+
+func TestPatternGSQ(t *testing.T) {
+	if Edges.GSQ(16) != 16 || Paths2.GSQ(16) != 256 || Triangles.GSQ(16) != 256 || Rectangles.GSQ(16) != 4096 {
+		t.Error("GSQ formulas wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// DualBounder produces a nonincreasing sequence of valid upper bounds on a
+// packing LP's optimum, mirroring how a dual LP solver approaches the optimum
+// from above (Section 9, "early stop"). Any y ≥ 0 certifies the Lagrangian
+// bound  UB(y) = Σ_i y_i b_i + Σ_k max(0, c_k − Σ_i y_i A_ik)·u_k ≥ OPT,
+// so every bound returned is safe for pruning races; exact values still come
+// from the simplex.
+//
+// The first Tighten call minimizes UB over uniform multipliers y ≡ λ exactly
+// (a 1-D convex piecewise-linear problem solved over its breakpoints); later
+// calls run projected subgradient steps from there.
+type DualBounder struct {
+	p    *Problem
+	y    []float64
+	best float64
+	t    int
+	colA []float64 // per-variable column sums Σ_i A_ik
+	init bool
+}
+
+// NewDualBounder prepares a bounder; the initial bound is the trivial y = 0
+// bound Σ_k max(c_k,0)·u_k.
+func NewDualBounder(p *Problem) *DualBounder {
+	d := &DualBounder{p: p, y: make([]float64, len(p.Rows)), colA: make([]float64, p.NumVars)}
+	for _, r := range p.Rows {
+		for j, k := range r.Idx {
+			d.colA[k] += r.Coef[j]
+		}
+	}
+	best := 0.0
+	for k := 0; k < p.NumVars; k++ {
+		if p.C[k] > 0 {
+			best += p.C[k] * p.UB[k]
+		}
+	}
+	d.best = best
+	return d
+}
+
+// Bound returns the best (smallest) upper bound proven so far.
+func (d *DualBounder) Bound() float64 { return d.best }
+
+// Tighten improves the bound with up to iters refinement steps and returns
+// the new best bound. The sequence of returned values is nonincreasing.
+func (d *DualBounder) Tighten(iters int) float64 {
+	if !d.init {
+		d.init = true
+		d.uniform()
+		iters--
+	}
+	for ; iters > 0; iters-- {
+		d.t++
+		d.subgradientStep()
+	}
+	return d.best
+}
+
+// uniform minimizes UB(λ·1) exactly over λ ≥ 0.
+func (d *DualBounder) uniform() {
+	p := d.p
+	sumB := 0.0
+	for _, r := range p.Rows {
+		sumB += r.B
+	}
+	// Breakpoints where a variable's reduced cost c_k − λ·a_k crosses zero.
+	type bp struct{ lam, cu, au float64 } // at λ < lam the var is active
+	var bps []bp
+	base := 0.0 // contribution of variables never deactivated (a_k = 0, c_k > 0)
+	for k := 0; k < p.NumVars; k++ {
+		if p.C[k] <= 0 || p.UB[k] <= 0 {
+			continue
+		}
+		if d.colA[k] == 0 {
+			base += p.C[k] * p.UB[k]
+			continue
+		}
+		bps = append(bps, bp{lam: p.C[k] / d.colA[k], cu: p.C[k] * p.UB[k], au: d.colA[k] * p.UB[k]})
+	}
+	sort.Slice(bps, func(i, j int) bool { return bps[i].lam < bps[j].lam })
+
+	// Sweep λ over candidate breakpoints from high to low, maintaining the
+	// active set {k : c_k/a_k > λ}.
+	evalAt := func(lam, activeCU, activeAU float64) float64 {
+		return lam*sumB + base + activeCU - lam*activeAU
+	}
+	var cu, au float64
+	for _, b := range bps {
+		cu += b.cu
+		au += b.au
+	}
+	bestUB := evalAt(0, cu, au) // λ=0: everything active
+	bestLam := 0.0
+	// Candidates: each breakpoint value; active set = vars with lam > candidate.
+	for i := 0; i < len(bps); {
+		lam := bps[i].lam
+		// Deactivate all vars with breakpoint ≤ lam.
+		for i < len(bps) && bps[i].lam <= lam {
+			cu -= bps[i].cu
+			au -= bps[i].au
+			i++
+		}
+		if ub := evalAt(lam, cu, au); ub < bestUB {
+			bestUB = ub
+			bestLam = lam
+		}
+	}
+	for j := range d.y {
+		d.y[j] = bestLam
+	}
+	if bestUB < d.best {
+		d.best = bestUB
+	}
+}
+
+// subgradientStep performs one projected subgradient step on UB(y) and
+// records the bound if it improved.
+func (d *DualBounder) subgradientStep() {
+	p := d.p
+	// Reduced costs under current y.
+	red := make([]float64, p.NumVars)
+	copy(red, p.C)
+	for i, r := range p.Rows {
+		if d.y[i] == 0 {
+			continue
+		}
+		for j, k := range r.Idx {
+			red[k] -= d.y[i] * r.Coef[j]
+		}
+	}
+	// Current bound and subgradient g_i = b_i − Σ_{k active} A_ik u_k.
+	ub := 0.0
+	active := make([]bool, p.NumVars)
+	for k := 0; k < p.NumVars; k++ {
+		if red[k] > 0 {
+			active[k] = true
+			ub += red[k] * p.UB[k]
+		}
+	}
+	g := make([]float64, len(p.Rows))
+	gnorm := 0.0
+	for i, r := range p.Rows {
+		ub += d.y[i] * r.B
+		gi := r.B
+		for j, k := range r.Idx {
+			if active[k] {
+				gi -= r.Coef[j] * p.UB[k]
+			}
+		}
+		g[i] = gi
+		gnorm += gi * gi
+	}
+	if ub < d.best {
+		d.best = ub
+	}
+	if gnorm == 0 {
+		return
+	}
+	step := (2.0 / math.Sqrt(float64(d.t)+4)) * (d.best / (gnorm + 1))
+	for i := range d.y {
+		d.y[i] -= step * g[i]
+		if d.y[i] < 0 {
+			d.y[i] = 0
+		}
+	}
+}

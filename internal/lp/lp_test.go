@@ -1,0 +1,385 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-6
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+// checkCertificate verifies primal feasibility and strong duality — a
+// complete optimality proof that needs no reference solver.
+func checkCertificate(t *testing.T, p *Problem, sol *Solution) {
+	t.Helper()
+	if v := p.MaxPrimalViolation(sol.X); v > eps {
+		t.Fatalf("primal violation %g", v)
+	}
+	primal := p.Value(sol.X)
+	dual := p.DualObjective(sol.Y)
+	scale := 1 + math.Abs(primal)
+	if math.Abs(primal-dual) > 1e-5*scale {
+		t.Fatalf("duality gap: primal %g, dual %g", primal, dual)
+	}
+	if math.Abs(primal-sol.Objective) > 1e-7*scale {
+		t.Fatalf("objective %g inconsistent with X value %g", sol.Objective, primal)
+	}
+	for i, y := range sol.Y {
+		if y < -eps {
+			t.Fatalf("negative dual y[%d] = %g", i, y)
+		}
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := NewProblem(0)
+	sol := solveOK(t, p)
+	if sol.Objective != 0 {
+		t.Fatalf("objective = %g, want 0", sol.Objective)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem(3)
+	p.C = []float64{1, -2, 3}
+	p.UB = []float64{2, 5, 4}
+	sol := solveOK(t, p)
+	if got, want := sol.Objective, 1.0*2+3.0*4; got != want {
+		t.Fatalf("objective = %g, want %g", got, want)
+	}
+	checkCertificate(t, p, sol)
+}
+
+func TestSingleRowKnapsack(t *testing.T) {
+	// maximize 3a + 2b + c s.t. a + b + c ≤ 2, bounds 1 each.
+	p := NewProblem(3)
+	p.C = []float64{3, 2, 1}
+	p.UB = []float64{1, 1, 1}
+	p.AddUnitRow([]int{0, 1, 2}, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-5) > eps {
+		t.Fatalf("objective = %g, want 5", sol.Objective)
+	}
+	checkCertificate(t, p, sol)
+}
+
+func TestKnapsackFractional(t *testing.T) {
+	// maximize 4a + 3b s.t. 2a + b ≤ 3, a,b ≤ 2. Ratios 2 vs 3 → b=2 first,
+	// then a = 0.5: objective 3·2 + 4·0.5 = 8.
+	p := NewProblem(2)
+	p.C = []float64{4, 3}
+	p.UB = []float64{2, 2}
+	p.AddRow([]int{0, 1}, []float64{2, 1}, 3)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-8) > eps {
+		t.Fatalf("objective = %g, want 8", sol.Objective)
+	}
+	checkCertificate(t, p, sol)
+}
+
+// starLP builds the edge-count truncation LP of a k-star under node capacity
+// τ: k edge variables, each in the center row and its own leaf row.
+func starLP(k int, tau float64) *Problem {
+	p := NewProblem(k)
+	center := make([]int, k)
+	for e := 0; e < k; e++ {
+		p.C[e] = 1
+		p.UB[e] = 1
+		center[e] = e
+		p.AddUnitRow([]int{e}, tau) // leaf constraint
+	}
+	p.AddUnitRow(center, tau)
+	return p
+}
+
+func TestStarLP(t *testing.T) {
+	// Example 6.2: for a k-star the LP optimum is min(k, τ).
+	for _, k := range []int{1, 4, 8, 16, 32} {
+		for _, tau := range []float64{0, 2, 4, 8, 16, 32, 64} {
+			sol := solveOK(t, starLP(k, tau))
+			want := math.Min(float64(k), tau)
+			if math.Abs(sol.Objective-want) > eps {
+				t.Fatalf("star k=%d τ=%g: objective %g, want %g", k, tau, sol.Objective, want)
+			}
+		}
+	}
+}
+
+// cliqueLP builds the edge-count truncation LP of a k-clique: C(k,2) edge
+// variables, k node rows of capacity τ, each edge in its two endpoint rows.
+func cliqueLP(k int, tau float64) *Problem {
+	edges := k * (k - 1) / 2
+	p := NewProblem(edges)
+	rows := make([][]int, k)
+	e := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			p.C[e] = 1
+			p.UB[e] = 1
+			rows[i] = append(rows[i], e)
+			rows[j] = append(rows[j], e)
+			e++
+		}
+	}
+	for i := 0; i < k; i++ {
+		p.AddUnitRow(rows[i], tau)
+	}
+	return p
+}
+
+func TestCliqueLP(t *testing.T) {
+	// Example 6.2: triangle with τ ≥ 2 keeps all 3 edges; a 4-clique keeps
+	// 6·(2/3) = 4 at τ=2 and all 6 at τ ≥ 3 (each node has degree 3).
+	cases := []struct {
+		k    int
+		tau  float64
+		want float64
+	}{
+		{3, 2, 3}, {3, 8, 3},
+		{4, 2, 4}, {4, 3, 6}, {4, 4, 6}, {4, 8, 6},
+		{5, 2, 5}, {5, 4, 10},
+	}
+	for _, c := range cases {
+		sol := solveOK(t, cliqueLP(c.k, c.tau))
+		if math.Abs(sol.Objective-c.want) > eps {
+			t.Fatalf("clique k=%d τ=%g: objective %g, want %g", c.k, c.tau, sol.Objective, c.want)
+		}
+		checkCertificate(t, cliqueLP(c.k, c.tau), sol)
+	}
+}
+
+func TestExample62Aggregate(t *testing.T) {
+	// The full instance of Example 6.2: 1000 triangles, 1000 4-cliques,
+	// 100 8-stars, 10 16-stars, one 32-star. Components are independent, so
+	// Q(I,τ) = 3000·1 + 1000·clique4(τ) + 100·min(8,τ) + 10·min(16,τ) + min(32,τ).
+	want := map[float64]float64{
+		2:  7222,
+		4:  9444,
+		8:  9888,
+		16: 9976,
+		32: 9992,
+	}
+	clique4 := func(tau float64) float64 {
+		switch {
+		case tau >= 3:
+			return 6
+		default:
+			return 2 * tau
+		}
+	}
+	for tau, exp := range want {
+		got := 3*1000 + 1000*clique4(tau) + 100*math.Min(8, tau) + 10*math.Min(16, tau) + math.Min(32, tau)
+		if got != exp {
+			t.Fatalf("closed form at τ=%g: %g, want %g", tau, got, exp)
+		}
+		// And the solver agrees on the building blocks.
+		s3 := solveOK(t, cliqueLP(3, tau))
+		s4 := solveOK(t, cliqueLP(4, tau))
+		s8 := solveOK(t, starLP(8, tau))
+		s16 := solveOK(t, starLP(16, tau))
+		s32 := solveOK(t, starLP(32, tau))
+		total := 1000*s3.Objective + 1000*s4.Objective + 100*s8.Objective + 10*s16.Objective + s32.Objective
+		if math.Abs(total-exp) > 1e-4 {
+			t.Fatalf("solver aggregate at τ=%g: %g, want %g", tau, total, exp)
+		}
+	}
+}
+
+func TestZeroTau(t *testing.T) {
+	p := cliqueLP(4, 0)
+	sol := solveOK(t, p)
+	if sol.Objective != 0 {
+		t.Fatalf("objective = %g, want 0", sol.Objective)
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.UB = []float64{math.Inf(1)}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("expected error for infinite upper bound")
+	}
+	p = NewProblem(1)
+	p.C = []float64{1}
+	p.UB = []float64{1}
+	p.AddRow([]int{0}, []float64{-1}, 1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("expected error for negative coefficient")
+	}
+	p = NewProblem(1)
+	p.C = []float64{1}
+	p.UB = []float64{1}
+	p.AddRow([]int{0}, []float64{1}, -1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("expected error for negative row bound")
+	}
+	p = NewProblem(1)
+	p.C = []float64{1}
+	p.UB = []float64{1}
+	p.AddRow([]int{2}, []float64{1}, 1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("expected error for out-of-range variable")
+	}
+}
+
+// randomProblem draws a small random packing LP.
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(12)
+	m := 1 + rng.Intn(8)
+	p := NewProblem(n)
+	for k := 0; k < n; k++ {
+		p.C[k] = math.Round((rng.Float64()*5-1)*4) / 4 // in [-1,4], quarter steps
+		p.UB[k] = math.Round(rng.Float64()*5*4) / 4
+	}
+	for i := 0; i < m; i++ {
+		var idx []int
+		var coef []float64
+		for k := 0; k < n; k++ {
+			if rng.Float64() < 0.5 {
+				idx = append(idx, k)
+				c := 1.0
+				if rng.Float64() < 0.3 {
+					c = math.Round(rng.Float64()*3*4)/4 + 0.25
+				}
+				coef = append(coef, c)
+			}
+		}
+		if len(idx) == 0 {
+			idx, coef = []int{rng.Intn(n)}, []float64{1}
+		}
+		p.AddRow(idx, coef, math.Round(rng.Float64()*6*4)/4)
+	}
+	return p
+}
+
+func TestQuickCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProblem(r)
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if v := p.MaxPrimalViolation(sol.X); v > eps {
+			t.Logf("seed %d: violation %g", seed, v)
+			return false
+		}
+		primal := p.Value(sol.X)
+		dual := p.DualObjective(sol.Y)
+		if math.Abs(primal-dual) > 1e-5*(1+math.Abs(primal)) {
+			t.Logf("seed %d: gap primal=%g dual=%g", seed, primal, dual)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMonotoneInTau(t *testing.T) {
+	// For packing LPs with shared capacity b = τ·1, the optimum is
+	// nondecreasing in τ — the property R2T's races rely on.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng)
+		prev := -1.0
+		for _, tau := range []float64{0, 0.5, 1, 2, 4, 8, 16} {
+			q := NewProblem(p.NumVars)
+			copy(q.C, p.C)
+			copy(q.UB, p.UB)
+			for _, r := range p.Rows {
+				q.AddRow(r.Idx, r.Coef, tau)
+			}
+			sol := solveOK(t, q)
+			if sol.Objective < prev-eps {
+				t.Fatalf("trial %d: optimum decreased from %g to %g at τ=%g", trial, prev, sol.Objective, tau)
+			}
+			prev = sol.Objective
+		}
+	}
+}
+
+func TestDualBounder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng)
+		sol := solveOK(t, p)
+		d := NewDualBounder(p)
+		prev := d.Bound()
+		if prev < sol.Objective-eps {
+			t.Fatalf("trial %d: initial bound %g below optimum %g", trial, prev, sol.Objective)
+		}
+		for step := 0; step < 20; step++ {
+			b := d.Tighten(5)
+			if b > prev+eps {
+				t.Fatalf("trial %d: bound increased from %g to %g", trial, prev, b)
+			}
+			if b < sol.Objective-1e-5*(1+sol.Objective) {
+				t.Fatalf("trial %d: bound %g dropped below optimum %g", trial, b, sol.Objective)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestDualBounderUniformIsTight(t *testing.T) {
+	// On a star, the uniform-λ bound is reasonably close after one call.
+	p := starLP(16, 4)
+	sol := solveOK(t, p)
+	d := NewDualBounder(p)
+	b := d.Tighten(1)
+	if b < sol.Objective-eps {
+		t.Fatalf("bound %g below optimum %g", b, sol.Objective)
+	}
+	if b > 4*sol.Objective+1 {
+		t.Fatalf("uniform bound too loose: %g vs optimum %g", b, sol.Objective)
+	}
+}
+
+func TestDecompositionMatchesJoint(t *testing.T) {
+	// Two independent blocks solved jointly equal the sum of separate solves.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		a := randomProblem(rng)
+		b := randomProblem(rng)
+		joint := NewProblem(a.NumVars + b.NumVars)
+		copy(joint.C, a.C)
+		copy(joint.C[a.NumVars:], b.C)
+		copy(joint.UB, a.UB)
+		copy(joint.UB[a.NumVars:], b.UB)
+		for _, r := range a.Rows {
+			joint.AddRow(r.Idx, r.Coef, r.B)
+		}
+		for _, r := range b.Rows {
+			idx := make([]int, len(r.Idx))
+			for j, k := range r.Idx {
+				idx[j] = k + a.NumVars
+			}
+			joint.AddRow(idx, r.Coef, r.B)
+		}
+		sa := solveOK(t, a)
+		sb := solveOK(t, b)
+		sj := solveOK(t, joint)
+		if math.Abs(sj.Objective-(sa.Objective+sb.Objective)) > 1e-5*(1+sj.Objective) {
+			t.Fatalf("trial %d: joint %g != %g + %g", trial, sj.Objective, sa.Objective, sb.Objective)
+		}
+	}
+}

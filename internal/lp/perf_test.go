@@ -1,0 +1,64 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// wedgeProblem models the Q2- LP: one variable per wedge with ub=1, rows per
+// node with capacity τ; hubs create rows with tens of thousands of entries.
+func wedgeProblem(nodes, edgesPer int, tau float64, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int, nodes)
+	addEdge := func(u, v int) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for u := 1; u < nodes; u++ {
+		for e := 0; e < edgesPer; e++ {
+			addEdge(u, rng.Intn(u))
+		}
+	}
+	var sets [][3]int
+	for b := 0; b < nodes; b++ {
+		for i := 0; i < len(adj[b]); i++ {
+			for j := i + 1; j < len(adj[b]); j++ {
+				sets = append(sets, [3]int{adj[b][i], b, adj[b][j]})
+			}
+		}
+	}
+	p := NewProblem(len(sets))
+	rows := make([][]int, nodes)
+	for k, s := range sets {
+		p.C[k] = 1
+		p.UB[k] = 1
+		for _, v := range s {
+			rows[v] = append(rows[v], k)
+		}
+	}
+	for _, r := range rows {
+		if len(r) > 0 {
+			p.AddUnitRow(r, tau)
+		}
+	}
+	return p
+}
+
+func TestWedgeLPIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, size := range []int{100, 300} {
+		for _, tau := range []float64{2, 8, 32} {
+			p := wedgeProblem(size, 4, tau, 3)
+			start := time.Now()
+			sol, err := Solve(p, Options{MaxIters: 400000})
+			if err != nil {
+				t.Fatalf("size=%d τ=%g n=%d: %v", size, tau, p.NumVars, err)
+			}
+			t.Logf("size=%-4d τ=%-4g n=%-6d obj=%-8.1f iters=%-8d %s",
+				size, tau, p.NumVars, sol.Objective, sol.Iters, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

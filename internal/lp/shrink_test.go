@@ -1,0 +1,37 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWedgeRefactorRegression guards the basis-refactorization path: rows
+// with duplicate variable entries once made the refactored inverse disagree
+// with the incremental one, driving the solver infeasible after ~512 pivots.
+// These sizes cross the refactorization threshold several times.
+func TestWedgeRefactorRegression(t *testing.T) {
+	for _, size := range []int{40, 120, 200} {
+		for seed := int64(1); seed <= 2; seed++ {
+			p := wedgeProblem(size, 4, 2, seed)
+			sol, err := Solve(p, Options{})
+			if err != nil {
+				t.Fatalf("size=%d seed=%d: %v", size, seed, err)
+			}
+			if sol.Status != Optimal {
+				t.Fatalf("size=%d seed=%d: status %v after %d iters", size, seed, sol.Status, sol.Iters)
+			}
+			if v := p.MaxPrimalViolation(sol.X); v > 1e-6 {
+				t.Fatalf("size=%d seed=%d: infeasible by %g", size, seed, v)
+			}
+			gap := math.Abs(p.DualObjective(sol.Y) - sol.Objective)
+			if gap > 1e-5*(1+sol.Objective) {
+				t.Fatalf("size=%d seed=%d: duality gap %g", size, seed, gap)
+			}
+			// The wedge LP optimum at τ=2 is exactly m·2/3 when every row
+			// binds, and never above it.
+			if sol.Objective > float64(size)*2/3+1e-6 {
+				t.Fatalf("size=%d seed=%d: objective %g above bound", size, seed, sol.Objective)
+			}
+		}
+	}
+}

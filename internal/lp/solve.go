@@ -1,0 +1,384 @@
+package lp
+
+import (
+	"sort"
+)
+
+// Options tunes Solve.
+type Options struct {
+	// MaxIters bounds simplex iterations per component; 0 means automatic
+	// (generous, scaled to the component size).
+	MaxIters int
+
+	// Ablation switches (benchmarked in bench_test.go; all default off =
+	// optimizations enabled). They exist to quantify the design choices
+	// DESIGN.md calls out and must not change results, only speed.
+	NoPresolve  bool // keep redundant rows and orphan variables
+	NoDecompose bool // solve everything as one component
+	NoCrash     bool // start the simplex from x = 0 instead of a greedy point
+}
+
+// Solve computes the exact optimum of a packing LP. The pipeline is
+// presolve → connected-component decomposition → per-component solve
+// (greedy fractional knapsack for single-row components, bounded-variable
+// revised simplex otherwise).
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := newWork(p)
+	w.presolve(opt.NoPresolve)
+
+	sol := &Solution{
+		Status: Optimal,
+		X:      make([]float64, p.NumVars),
+		Y:      make([]float64, len(p.Rows)),
+	}
+	for k, v := range w.fixedX {
+		sol.X[k] = v
+	}
+
+	for _, comp := range w.components(opt.NoDecompose) {
+		cs, err := solveComponent(w, comp, opt)
+		if err != nil {
+			return nil, err
+		}
+		if cs.status != Optimal {
+			sol.Status = cs.status
+		}
+		sol.Iters += cs.iters
+		for j, k := range comp.vars {
+			sol.X[k] = cs.x[j]
+		}
+		for i, r := range comp.rows {
+			sol.Y[r] = cs.y[i]
+		}
+	}
+	sol.Objective = p.Value(sol.X)
+	return sol, nil
+}
+
+// work holds the presolved view of a problem: live rows with reduced
+// capacities, live variables with (possibly tightened) bounds, and values
+// already fixed.
+type work struct {
+	p      *Problem
+	ub     []float64 // working upper bounds
+	liveV  []bool
+	liveR  []bool
+	rowB   []float64
+	rowIdx [][]int // live members per row (filtered of fixed-at-zero vars)
+	rowCf  [][]float64
+	fixedX map[int]float64
+}
+
+func newWork(p *Problem) *work {
+	w := &work{
+		p:      p,
+		ub:     append([]float64(nil), p.UB...),
+		liveV:  make([]bool, p.NumVars),
+		liveR:  make([]bool, len(p.Rows)),
+		rowB:   make([]float64, len(p.Rows)),
+		rowIdx: make([][]int, len(p.Rows)),
+		rowCf:  make([][]float64, len(p.Rows)),
+		fixedX: make(map[int]float64),
+	}
+	for k := 0; k < p.NumVars; k++ {
+		w.liveV[k] = true
+	}
+	for i, r := range p.Rows {
+		w.liveR[i] = true
+		w.rowB[i] = r.B
+		w.rowIdx[i], w.rowCf[i] = mergeDuplicates(r.Idx, r.Coef)
+	}
+	return w
+}
+
+// mergeDuplicates canonicalizes a row: a variable listed twice contributes
+// the sum of its coefficients once. Downstream code (the simplex column
+// store, the knapsack fast path) assumes each variable appears at most once
+// per row.
+func mergeDuplicates(idx []int, coef []float64) ([]int, []float64) {
+	seen := make(map[int]int, len(idx))
+	outIdx := make([]int, 0, len(idx))
+	outCf := make([]float64, 0, len(coef))
+	for j, k := range idx {
+		if at, dup := seen[k]; dup {
+			outCf[at] += coef[j]
+			continue
+		}
+		seen[k] = len(outIdx)
+		outIdx = append(outIdx, k)
+		outCf = append(outCf, coef[j])
+	}
+	return outIdx, outCf
+}
+
+// presolve applies:
+//   - fix variables with c ≤ 0 at 0 (valid for packing LPs: they cannot help
+//     the objective and only consume capacity);
+//   - drop redundant rows (Σ coef·ub ≤ b) — slack at every feasible point,
+//     so y = 0 is a valid dual for them;
+//   - fix variables in no live row at their upper bound (c > 0 there).
+//
+// These reductions preserve exact global primal and dual solutions, which the
+// optimality certificate (strong duality) in the tests relies on.
+//
+// With skipRedundant (the NoPresolve ablation), redundant rows are kept; the
+// c ≤ 0 and no-row fixings still run because later stages assume them.
+func (w *work) presolve(skipRedundant bool) {
+	// c ≤ 0 → 0, once.
+	for k := 0; k < w.p.NumVars; k++ {
+		if w.p.C[k] <= 0 {
+			w.liveV[k] = false
+			w.fixedX[k] = 0
+		}
+	}
+	for i := range w.rowIdx {
+		w.filterRow(i)
+	}
+
+	if !skipRedundant {
+		for i := range w.rowIdx {
+			if !w.liveR[i] {
+				continue
+			}
+			idx, cf := w.rowIdx[i], w.rowCf[i]
+			sum := 0.0
+			for j, k := range idx {
+				sum += cf[j] * w.ub[k]
+			}
+			if sum <= w.rowB[i] {
+				w.liveR[i] = false
+			}
+		}
+	}
+
+	// Variables in no live row: fix at ub (their c > 0 by the first step).
+	inRow := make([]bool, w.p.NumVars)
+	for i := range w.rowIdx {
+		if !w.liveR[i] {
+			continue
+		}
+		for _, k := range w.rowIdx[i] {
+			inRow[k] = true
+		}
+	}
+	for k := 0; k < w.p.NumVars; k++ {
+		if w.liveV[k] && !inRow[k] {
+			w.liveV[k] = false
+			w.fixedX[k] = w.ub[k]
+		}
+	}
+}
+
+// filterRow removes fixed variables from row i, charging fixed-at-ub values
+// against the row capacity (fixed values here are always 0, since ub-fixing
+// happens after all row filtering, but keep it general).
+func (w *work) filterRow(i int) {
+	idx, cf := w.rowIdx[i], w.rowCf[i]
+	nIdx, nCf := idx[:0], cf[:0]
+	for j, k := range idx {
+		if w.liveV[k] {
+			nIdx = append(nIdx, k)
+			nCf = append(nCf, cf[j])
+			continue
+		}
+		w.rowB[i] -= cf[j] * w.fixedX[k]
+	}
+	w.rowIdx[i], w.rowCf[i] = nIdx, nCf
+	if w.rowB[i] < 0 {
+		w.rowB[i] = 0
+	}
+	if len(nIdx) == 0 {
+		w.liveR[i] = false
+	}
+}
+
+// component is an independent block of the presolved problem.
+type component struct {
+	vars []int // original variable ids
+	rows []int // original row ids
+}
+
+// components groups live rows/vars into connected components of the
+// bipartite row–variable incidence graph. With noDecompose everything lands
+// in one block (the ablation mode).
+func (w *work) components(noDecompose bool) []component {
+	if noDecompose {
+		var comp component
+		inComp := make(map[int]bool)
+		for i := range w.rowIdx {
+			if !w.liveR[i] {
+				continue
+			}
+			comp.rows = append(comp.rows, i)
+			for _, k := range w.rowIdx[i] {
+				if !inComp[k] {
+					inComp[k] = true
+					comp.vars = append(comp.vars, k)
+				}
+			}
+		}
+		if len(comp.rows) == 0 {
+			return nil
+		}
+		sort.Ints(comp.vars)
+		return []component{comp}
+	}
+	parent := make(map[int]int) // over variable ids
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := range w.rowIdx {
+		if !w.liveR[i] {
+			continue
+		}
+		var first = -1
+		for _, k := range w.rowIdx[i] {
+			if _, ok := parent[k]; !ok {
+				parent[k] = k
+			}
+			if first < 0 {
+				first = k
+			} else {
+				union(first, k)
+			}
+		}
+	}
+	group := make(map[int]*component)
+	var roots []int
+	for k := range parent {
+		r := find(k)
+		g, ok := group[r]
+		if !ok {
+			g = &component{}
+			group[r] = g
+			roots = append(roots, r)
+		}
+		g.vars = append(g.vars, k)
+	}
+	for i := range w.rowIdx {
+		if !w.liveR[i] {
+			continue
+		}
+		r := find(w.rowIdx[i][0])
+		group[r].rows = append(group[r].rows, i)
+	}
+	sort.Ints(roots)
+	out := make([]component, 0, len(roots))
+	for _, r := range roots {
+		g := group[r]
+		sort.Ints(g.vars)
+		sort.Ints(g.rows)
+		out = append(out, *g)
+	}
+	return out
+}
+
+// compSolution is a solved component in local indexing.
+type compSolution struct {
+	status Status
+	x      []float64 // per comp.vars
+	y      []float64 // per comp.rows
+	iters  int
+}
+
+func solveComponent(w *work, comp component, opt Options) (*compSolution, error) {
+	local := make(map[int]int, len(comp.vars))
+	for j, k := range comp.vars {
+		local[k] = j
+	}
+	n, m := len(comp.vars), len(comp.rows)
+	c := make([]float64, n)
+	ub := make([]float64, n)
+	for j, k := range comp.vars {
+		c[j] = w.p.C[k]
+		ub[j] = w.ub[k]
+	}
+	rows := make([]Row, m)
+	for i, ri := range comp.rows {
+		idx := make([]int, len(w.rowIdx[ri]))
+		for j, k := range w.rowIdx[ri] {
+			idx[j] = local[k]
+		}
+		rows[i] = Row{Idx: idx, Coef: append([]float64(nil), w.rowCf[ri]...), B: w.rowB[ri]}
+	}
+
+	if m == 1 {
+		x, y := knapsack(c, ub, rows[0])
+		return &compSolution{status: Optimal, x: x, y: []float64{y}}, nil
+	}
+	return simplexSolve(n, m, c, ub, rows, opt)
+}
+
+// knapsack solves the single-constraint LP exactly by the greedy ratio rule:
+// maximize c·x s.t. Σ a_k x_k ≤ b, 0 ≤ x ≤ ub. Returns the optimum and the
+// exact dual of the capacity row.
+func knapsack(c, ub []float64, row Row) (x []float64, y float64) {
+	x = make([]float64, len(c))
+	type item struct {
+		k     int
+		a     float64
+		ratio float64
+	}
+	items := make([]item, 0, len(row.Idx))
+	for j, k := range row.Idx {
+		a := row.Coef[j]
+		if a <= 0 {
+			// Zero coefficient: the variable is unconstrained here.
+			x[k] = ub[k]
+			continue
+		}
+		items = append(items, item{k: k, a: a, ratio: c[k] / a})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].ratio != items[j].ratio {
+			return items[i].ratio > items[j].ratio
+		}
+		return items[i].k < items[j].k
+	})
+	cap := row.B
+	for _, it := range items {
+		if cap <= 0 {
+			break
+		}
+		take := ub[it.k]
+		need := take * it.a
+		if need > cap {
+			take = cap / it.a
+			need = cap
+		}
+		x[it.k] = take
+		cap -= need
+		if take < ub[it.k] {
+			// Capacity exhausted on this item: its ratio is the row's dual.
+			y = it.ratio
+			return x, y
+		}
+	}
+	// All items fit (or trailing items have cap exactly 0): capacity slack or
+	// exactly tight with everything at ub → y = 0 is dual feasible only if no
+	// leftover item has positive reduced cost; if the capacity is exactly
+	// exhausted, use the next item's ratio.
+	if cap <= 0 {
+		for _, it := range items {
+			if x[it.k] == 0 {
+				y = it.ratio
+				break
+			}
+		}
+	}
+	return x, y
+}

@@ -1,0 +1,56 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMediumUnitProblems stress-tests the simplex on wedge-shaped unit
+// packing LPs (every variable in exactly 3 rows, ub=1, b=τ) at sizes between
+// the tiny certificate tests and the pathological benchmarks. Feasibility
+// and strong duality must hold exactly.
+func TestMediumUnitProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		m := 10 + rng.Intn(40)
+		n := 5 * m
+		tau := []float64{1, 2, 3}[rng.Intn(3)]
+		p := NewProblem(n)
+		rows := make([][]int, m)
+		for k := 0; k < n; k++ {
+			p.C[k] = 1
+			p.UB[k] = 1
+			seen := map[int]bool{}
+			for len(seen) < 3 {
+				seen[rng.Intn(m)] = true
+			}
+			for r := range seen {
+				rows[r] = append(rows[r], k)
+			}
+		}
+		for _, r := range rows {
+			if len(r) > 0 {
+				p.AddUnitRow(r, tau)
+			}
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (m=%d n=%d τ=%g): %v", trial, m, n, tau, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d (m=%d n=%d τ=%g): status %v after %d iters", trial, m, n, tau, sol.Status, sol.Iters)
+		}
+		if v := p.MaxPrimalViolation(sol.X); v > 1e-6 {
+			t.Fatalf("trial %d (m=%d n=%d τ=%g): infeasible by %g (obj %g, iters %d)", trial, m, n, tau, v, sol.Objective, sol.Iters)
+		}
+		dual := p.DualObjective(sol.Y)
+		if math.Abs(dual-sol.Objective) > 1e-5*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: gap primal %g dual %g (iters %d)", trial, sol.Objective, dual, sol.Iters)
+		}
+		// Combinatorial sanity: each unit of x eats 3 units of capacity.
+		if ub := float64(m) * tau / 3; sol.Objective > ub+1e-6 {
+			t.Fatalf("trial %d: objective %g above combinatorial bound %g", trial, sol.Objective, ub)
+		}
+	}
+}

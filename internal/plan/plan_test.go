@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"testing"
+
+	"r2t/internal/schema"
+	"r2t/internal/sql"
+)
+
+func graphSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&schema.Relation{Name: "Edge", Attrs: []string{"src", "dst"},
+			FKs: []schema.FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+}
+
+func nodePriv() schema.PrivateSpec { return schema.PrivateSpec{Primary: []string{"Node"}} }
+
+func build(t *testing.T, src string, s *schema.Schema, priv schema.PrivateSpec) *Plan {
+	t.Helper()
+	q, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(q, s, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompletionAddsNodeAtoms(t *testing.T) {
+	// Length-2 paths (Example 3.1): completion must add Node atoms for the
+	// three distinct endpoint variable classes.
+	p := build(t, "SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src", graphSchema(), nodePriv())
+	nodes := 0
+	for _, a := range p.Atoms {
+		if a.Rel.Name == "Node" {
+			nodes++
+			if !a.Completed {
+				t.Error("node atom should be marked completed")
+			}
+		}
+	}
+	if nodes != 3 {
+		t.Fatalf("completed plan has %d Node atoms, want 3", nodes)
+	}
+	// e1.dst and e2.src share one variable.
+	if p.ColVar(sql.ColRef{Qualifier: "e1", Attr: "dst"}) != p.ColVar(sql.ColRef{Qualifier: "e2", Attr: "src"}) {
+		t.Error("join equality did not unify variables")
+	}
+	if p.ColVar(sql.ColRef{Qualifier: "e1", Attr: "src"}) == p.ColVar(sql.ColRef{Qualifier: "e2", Attr: "dst"}) {
+		t.Error("distinct endpoints were wrongly unified")
+	}
+	// Three primary-private PK variables, one per Node atom.
+	privVars := map[int]bool{}
+	for i, v := range p.PrivPK {
+		if v >= 0 {
+			if p.Atoms[i].Rel.Name != "Node" {
+				t.Errorf("private atom %d is %s", i, p.Atoms[i].Rel.Name)
+			}
+			privVars[v] = true
+		}
+	}
+	if len(privVars) != 3 {
+		t.Fatalf("expected 3 private PK variables, got %d", len(privVars))
+	}
+}
+
+func TestCompletionIdempotentWhenExplicit(t *testing.T) {
+	// Example 6.2 writes the Node atoms explicitly: completion adds nothing.
+	src := `SELECT count(*) FROM Node AS Node1, Node AS Node2, Edge
+	        WHERE Edge.src = Node1.ID AND Edge.dst = Node2.ID AND Node1.ID < Node2.ID`
+	p := build(t, src, graphSchema(), nodePriv())
+	if len(p.Atoms) != 3 {
+		t.Fatalf("got %d atoms, want 3 (no completion needed)", len(p.Atoms))
+	}
+	if len(p.Filters) != 1 {
+		t.Fatalf("got %d residual filters, want 1 (the < predicate)", len(p.Filters))
+	}
+}
+
+func TestCompletionTransitive(t *testing.T) {
+	// Lineitem → Orders → Customer: completing a lineitem-only query must
+	// pull in both Orders and Customer.
+	s := schema.MustNew(
+		&schema.Relation{Name: "Customer", Attrs: []string{"CK"}, PK: "CK"},
+		&schema.Relation{Name: "Orders", Attrs: []string{"OK", "CK"}, PK: "OK",
+			FKs: []schema.FK{{Attr: "CK", Ref: "Customer"}}},
+		&schema.Relation{Name: "Lineitem", Attrs: []string{"OK", "price"},
+			FKs: []schema.FK{{Attr: "OK", Ref: "Orders"}}},
+	)
+	p := build(t, "SELECT SUM(price) FROM Lineitem", s, schema.PrivateSpec{Primary: []string{"Customer"}})
+	names := map[string]int{}
+	for _, a := range p.Atoms {
+		names[a.Rel.Name]++
+	}
+	if names["Orders"] != 1 || names["Customer"] != 1 {
+		t.Fatalf("completion atoms: %v", names)
+	}
+	found := false
+	for _, v := range p.PrivPK {
+		if v >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no private atom after completion")
+	}
+}
+
+func TestProjectionVars(t *testing.T) {
+	s := schema.MustNew(
+		&schema.Relation{Name: "Customer", Attrs: []string{"CK"}, PK: "CK"},
+		&schema.Relation{Name: "Orders", Attrs: []string{"OK", "CK", "status"}, PK: "OK",
+			FKs: []schema.FK{{Attr: "CK", Ref: "Customer"}}},
+	)
+	p := build(t, "SELECT COUNT(DISTINCT o.status) FROM Orders o", s, schema.PrivateSpec{Primary: []string{"Customer"}})
+	if len(p.ProjVars) != 1 {
+		t.Fatalf("ProjVars = %v", p.ProjVars)
+	}
+	if p.ProjVars[0] != p.ColVar(sql.ColRef{Qualifier: "o", Attr: "status"}) {
+		t.Error("projection variable mismatch")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := graphSchema()
+	cases := []struct {
+		name string
+		src  string
+		priv schema.PrivateSpec
+	}{
+		{"unknown table", "SELECT COUNT(*) FROM Missing", nodePriv()},
+		{"duplicate alias", "SELECT COUNT(*) FROM Edge e, Node e", nodePriv()},
+		{"unknown column", "SELECT COUNT(*) FROM Edge WHERE nosuch = 1", nodePriv()},
+		{"unknown qualified", "SELECT COUNT(*) FROM Edge WHERE Edge.nosuch = 1", nodePriv()},
+		{"bad private spec", "SELECT COUNT(*) FROM Edge", schema.PrivateSpec{Primary: []string{"Zzz"}}},
+	}
+	for _, c := range cases {
+		q, err := sql.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if _, err := Build(q, s, c.priv); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	s := schema.MustNew(
+		&schema.Relation{Name: "A", Attrs: []string{"k", "x"}, PK: "k"},
+		&schema.Relation{Name: "B", Attrs: []string{"k", "x"}, PK: "k",
+			FKs: []schema.FK{{Attr: "k", Ref: "A"}}},
+	)
+	_ = s
+	q := sql.MustParse("SELECT COUNT(*) FROM A, B WHERE x = 1")
+	if _, err := Build(q, s, schema.PrivateSpec{Primary: []string{"A"}}); err == nil {
+		t.Error("ambiguous unqualified column should fail")
+	}
+}
+
+func TestQueryWithoutPrivateRelationFails(t *testing.T) {
+	// A query touching only public relations has nothing to protect.
+	s := schema.MustNew(
+		&schema.Relation{Name: "Priv", Attrs: []string{"k"}, PK: "k"},
+		&schema.Relation{Name: "Pub", Attrs: []string{"k"}, PK: "k"},
+	)
+	q := sql.MustParse("SELECT COUNT(*) FROM Pub")
+	if _, err := Build(q, s, schema.PrivateSpec{Primary: []string{"Priv"}}); err == nil {
+		t.Error("expected error for query with no private atoms")
+	}
+}

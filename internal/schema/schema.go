@@ -1,0 +1,248 @@
+// Package schema models relational schemas with primary-key / foreign-key
+// constraints, following Section 3.2 of the R2T paper. Foreign keys form a
+// DAG over relations; a designated set of primary private relations induces
+// the set of secondary private relations (those with a direct or indirect FK
+// path into a primary private relation).
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FK declares that attribute Attr of the owning relation references the
+// primary key of relation Ref.
+type FK struct {
+	Attr string
+	Ref  string
+}
+
+// Relation describes one relation: its attribute names in column order, an
+// optional single-attribute primary key, and its foreign keys.
+type Relation struct {
+	Name  string
+	Attrs []string
+	PK    string // "" when the relation has no declared primary key
+	FKs   []FK
+}
+
+// AttrIndex returns the column position of attr, or -1 if absent.
+func (r *Relation) AttrIndex(attr string) int {
+	for i, a := range r.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttr reports whether attr is a column of r.
+func (r *Relation) HasAttr(attr string) bool { return r.AttrIndex(attr) >= 0 }
+
+// Schema is a validated collection of relations whose FK references form a
+// directed acyclic graph.
+type Schema struct {
+	rels  map[string]*Relation
+	order []string // insertion order, for deterministic iteration
+}
+
+// New builds and validates a schema. It returns an error if a relation name
+// repeats, an FK references a missing relation or attribute, an FK targets a
+// relation without a primary key, or the FK graph has a cycle.
+func New(rels ...*Relation) (*Schema, error) {
+	s := &Schema{rels: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		if r.Name == "" {
+			return nil, fmt.Errorf("schema: relation with empty name")
+		}
+		if _, dup := s.rels[r.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate relation %q", r.Name)
+		}
+		seen := make(map[string]bool, len(r.Attrs))
+		for _, a := range r.Attrs {
+			if a == "" {
+				return nil, fmt.Errorf("schema: relation %q has an empty attribute name", r.Name)
+			}
+			if seen[a] {
+				return nil, fmt.Errorf("schema: relation %q repeats attribute %q", r.Name, a)
+			}
+			seen[a] = true
+		}
+		if r.PK != "" && !r.HasAttr(r.PK) {
+			return nil, fmt.Errorf("schema: relation %q declares PK %q which is not an attribute", r.Name, r.PK)
+		}
+		s.rels[r.Name] = r
+		s.order = append(s.order, r.Name)
+	}
+	for _, r := range rels {
+		for _, fk := range r.FKs {
+			if !r.HasAttr(fk.Attr) {
+				return nil, fmt.Errorf("schema: relation %q FK on missing attribute %q", r.Name, fk.Attr)
+			}
+			ref, ok := s.rels[fk.Ref]
+			if !ok {
+				return nil, fmt.Errorf("schema: relation %q FK references unknown relation %q", r.Name, fk.Ref)
+			}
+			if ref.PK == "" {
+				return nil, fmt.Errorf("schema: relation %q FK references %q, which has no primary key", r.Name, fk.Ref)
+			}
+		}
+	}
+	if err := s.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; intended for statically known schemas.
+func MustNew(rels ...*Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Schema) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(s.rels))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("schema: foreign-key cycle through relation %q", name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		for _, fk := range s.rels[name].FKs {
+			if fk.Ref == name {
+				// A self-referencing FK is a cycle under the paper's model.
+				return fmt.Errorf("schema: foreign-key cycle through relation %q", name)
+			}
+			if err := visit(fk.Ref); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for _, name := range s.order {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Relation returns the named relation, or nil if absent.
+func (s *Schema) Relation(name string) *Relation { return s.rels[name] }
+
+// Names returns the relation names in declaration order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// TopoOrder returns the relation names ordered so that every relation appears
+// after all relations it references via FKs (referenced-first order).
+func (s *Schema) TopoOrder() []string {
+	out := make([]string, 0, len(s.order))
+	done := make(map[string]bool, len(s.order))
+	var visit func(name string)
+	visit = func(name string) {
+		if done[name] {
+			return
+		}
+		done[name] = true
+		for _, fk := range s.rels[name].FKs {
+			visit(fk.Ref)
+		}
+		out = append(out, name)
+	}
+	for _, name := range s.order {
+		visit(name)
+	}
+	return out
+}
+
+// PrivateSpec designates the primary private relations (Section 3.2; multiple
+// primary private relations are handled per Section 8 by treating namespaced
+// (relation, key) pairs as the conceptual unified private relation).
+type PrivateSpec struct {
+	Primary []string
+}
+
+// Validate checks that every primary private relation exists and has a
+// primary key (needed to identify the individual each tuple represents).
+func (p PrivateSpec) Validate(s *Schema) error {
+	if len(p.Primary) == 0 {
+		return fmt.Errorf("schema: private spec designates no primary private relation")
+	}
+	seen := make(map[string]bool, len(p.Primary))
+	for _, name := range p.Primary {
+		if seen[name] {
+			return fmt.Errorf("schema: primary private relation %q listed twice", name)
+		}
+		seen[name] = true
+		r := s.Relation(name)
+		if r == nil {
+			return fmt.Errorf("schema: primary private relation %q not in schema", name)
+		}
+		if r.PK == "" {
+			return fmt.Errorf("schema: primary private relation %q has no primary key", name)
+		}
+	}
+	return nil
+}
+
+// IsPrimary reports whether relation name is designated primary private.
+func (p PrivateSpec) IsPrimary(name string) bool {
+	for _, n := range p.Primary {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Secondary returns the secondary private relations: every relation with a
+// direct or indirect FK path to some primary private relation, excluding the
+// primary private relations themselves. The result is sorted.
+func (p PrivateSpec) Secondary(s *Schema) []string {
+	memo := make(map[string]int) // 0 unknown, 1 reaches, 2 does not
+	var reaches func(name string) bool
+	reaches = func(name string) bool {
+		if p.IsPrimary(name) {
+			return true
+		}
+		switch memo[name] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		memo[name] = 2 // DAG, so no revisit issues; default to false while exploring
+		r := s.Relation(name)
+		for _, fk := range r.FKs {
+			if reaches(fk.Ref) {
+				memo[name] = 1
+				return true
+			}
+		}
+		return false
+	}
+	var out []string
+	for _, name := range s.order {
+		if !p.IsPrimary(name) && reaches(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

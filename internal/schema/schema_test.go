@@ -1,0 +1,141 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+)
+
+// graphSchema is the node-DP schema of Example 3.1.
+func graphSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		&Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&Relation{Name: "Edge", Attrs: []string{"src", "dst"}, FKs: []FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// tpchSchema is the FK DAG of Figure 4.
+func tpchSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		&Relation{Name: "Region", Attrs: []string{"RK"}, PK: "RK"},
+		&Relation{Name: "Nation", Attrs: []string{"NK", "RK"}, PK: "NK", FKs: []FK{{Attr: "RK", Ref: "Region"}}},
+		&Relation{Name: "Customer", Attrs: []string{"CK", "NK"}, PK: "CK", FKs: []FK{{Attr: "NK", Ref: "Nation"}}},
+		&Relation{Name: "Supplier", Attrs: []string{"SK", "NK"}, PK: "SK", FKs: []FK{{Attr: "NK", Ref: "Nation"}}},
+		&Relation{Name: "Orders", Attrs: []string{"OK", "CK"}, PK: "OK", FKs: []FK{{Attr: "CK", Ref: "Customer"}}},
+		&Relation{Name: "Lineitem", Attrs: []string{"OK", "SK"}, FKs: []FK{{Attr: "OK", Ref: "Orders"}, {Attr: "SK", Ref: "Supplier"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidSchemas(t *testing.T) {
+	graphSchema(t)
+	tpchSchema(t)
+}
+
+func TestSchemaValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rels []*Relation
+	}{
+		{"duplicate relation", []*Relation{{Name: "R", Attrs: []string{"a"}}, {Name: "R", Attrs: []string{"a"}}}},
+		{"empty name", []*Relation{{Name: "", Attrs: []string{"a"}}}},
+		{"duplicate attr", []*Relation{{Name: "R", Attrs: []string{"a", "a"}}}},
+		{"missing PK attr", []*Relation{{Name: "R", Attrs: []string{"a"}, PK: "b"}}},
+		{"FK missing attr", []*Relation{
+			{Name: "S", Attrs: []string{"k"}, PK: "k"},
+			{Name: "R", Attrs: []string{"a"}, FKs: []FK{{Attr: "b", Ref: "S"}}},
+		}},
+		{"FK unknown relation", []*Relation{{Name: "R", Attrs: []string{"a"}, FKs: []FK{{Attr: "a", Ref: "Z"}}}}},
+		{"FK target without PK", []*Relation{
+			{Name: "S", Attrs: []string{"k"}},
+			{Name: "R", Attrs: []string{"a"}, FKs: []FK{{Attr: "a", Ref: "S"}}},
+		}},
+		{"self cycle", []*Relation{{Name: "R", Attrs: []string{"a"}, PK: "a", FKs: []FK{{Attr: "a", Ref: "R"}}}}},
+		{"two cycle", []*Relation{
+			{Name: "A", Attrs: []string{"k", "f"}, PK: "k", FKs: []FK{{Attr: "f", Ref: "B"}}},
+			{Name: "B", Attrs: []string{"k", "f"}, PK: "k", FKs: []FK{{Attr: "f", Ref: "A"}}},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.rels...); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	s := tpchSchema(t)
+	order := s.TopoOrder()
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	if len(order) != 6 {
+		t.Fatalf("topo order has %d entries, want 6", len(order))
+	}
+	for _, name := range s.Names() {
+		for _, fk := range s.Relation(name).FKs {
+			if pos[fk.Ref] >= pos[name] {
+				t.Errorf("%s references %s but is ordered before it", name, fk.Ref)
+			}
+		}
+	}
+}
+
+func TestPrivateSpec(t *testing.T) {
+	s := tpchSchema(t)
+	p := PrivateSpec{Primary: []string{"Customer"}}
+	if err := p.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Secondary(s)
+	want := []string{"Lineitem", "Orders"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Secondary = %v, want %v", got, want)
+	}
+
+	// Multiple primaries (Example 9.1): Supplier and Customer.
+	p2 := PrivateSpec{Primary: []string{"Supplier", "Customer"}}
+	if err := p2.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	got2 := p2.Secondary(s)
+	want2 := []string{"Lineitem", "Orders"}
+	if !reflect.DeepEqual(got2, want2) {
+		t.Errorf("Secondary = %v, want %v", got2, want2)
+	}
+
+	// Node-DP on the graph schema: Edge is secondary.
+	g := graphSchema(t)
+	pg := PrivateSpec{Primary: []string{"Node"}}
+	if err := pg.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Secondary(g); !reflect.DeepEqual(got, []string{"Edge"}) {
+		t.Errorf("graph Secondary = %v, want [Edge]", got)
+	}
+}
+
+func TestPrivateSpecErrors(t *testing.T) {
+	s := tpchSchema(t)
+	if err := (PrivateSpec{}).Validate(s); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if err := (PrivateSpec{Primary: []string{"Nope"}}).Validate(s); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if err := (PrivateSpec{Primary: []string{"Customer", "Customer"}}).Validate(s); err == nil {
+		t.Error("duplicate relation should fail")
+	}
+	if err := (PrivateSpec{Primary: []string{"Lineitem"}}).Validate(s); err == nil {
+		t.Error("relation without PK should fail")
+	}
+}

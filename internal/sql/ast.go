@@ -1,0 +1,188 @@
+// Package sql parses the SPJA SQL subset the R2T system supports (Section 9):
+// single-block SELECT with COUNT(*), COUNT(DISTINCT cols) or SUM(expr)
+// aggregation, a FROM list with aliases (enabling self-joins), and a WHERE
+// clause combining join equalities and arbitrary selection predicates with
+// AND/OR/NOT. Group-by is intentionally absent, matching the paper.
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"r2t/internal/value"
+)
+
+// AggKind identifies the query's aggregate.
+type AggKind int
+
+// Supported aggregates.
+const (
+	AggCount         AggKind = iota // COUNT(*)
+	AggCountDistinct                // COUNT(DISTINCT col, ...) — the SPJA projection form
+	AggSum                          // SUM(expr)
+)
+
+// String names the aggregate for diagnostics.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT(*)"
+	case AggCountDistinct:
+		return "COUNT(DISTINCT)"
+	case AggSum:
+		return "SUM"
+	default:
+		return fmt.Sprintf("agg(%d)", int(k))
+	}
+}
+
+// ColRef names a column, optionally qualified by a FROM alias.
+type ColRef struct {
+	Qualifier string // alias or table name; "" if unqualified
+	Attr      string
+}
+
+// String renders the reference as [qualifier.]attr.
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Attr
+	}
+	return c.Qualifier + "." + c.Attr
+}
+
+// TableRef is one FROM-list entry. Alias defaults to the table name.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Expr is a scalar or boolean expression tree.
+type Expr interface {
+	exprString() string
+}
+
+// Col is a column reference expression.
+type Col struct{ Ref ColRef }
+
+// Lit is a literal constant.
+type Lit struct{ Val value.V }
+
+// Binary applies Op to L and R. Op is one of
+// + - * / = <> < <= > >= AND OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// In tests membership of E in a list of literal values.
+type In struct {
+	E    Expr
+	List []value.V
+}
+
+// Between tests Lo ≤ E ≤ Hi (inclusive, like SQL).
+type Between struct {
+	E      Expr
+	Lo, Hi Expr
+}
+
+// Like matches E against a pattern with % wildcards (prefix, suffix,
+// contains, or exact, depending on wildcard placement).
+type Like struct {
+	E       Expr
+	Pattern string
+}
+
+// quoteString renders a string literal with SQL ” escaping.
+func quoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func (e Col) exprString() string { return e.Ref.String() }
+func (e Lit) exprString() string {
+	if e.Val.K == value.String {
+		return quoteString(e.Val.S)
+	}
+	return e.Val.String()
+}
+func (e Binary) exprString() string {
+	return "(" + e.L.exprString() + " " + e.Op + " " + e.R.exprString() + ")"
+}
+func (e Not) exprString() string { return "NOT " + e.E.exprString() }
+func (e In) exprString() string {
+	var b strings.Builder
+	b.WriteString(e.E.exprString() + " IN (")
+	for i, v := range e.List {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if v.K == value.String {
+			b.WriteString(quoteString(v.S))
+		} else {
+			b.WriteString(v.String())
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+func (e Between) exprString() string {
+	return e.E.exprString() + " BETWEEN " + e.Lo.exprString() + " AND " + e.Hi.exprString()
+}
+func (e Like) exprString() string {
+	return e.E.exprString() + " LIKE " + quoteString(e.Pattern)
+}
+
+// ExprString renders an expression for diagnostics.
+func ExprString(e Expr) string {
+	if e == nil {
+		return "<nil>"
+	}
+	return e.exprString()
+}
+
+// Query is a parsed SPJA query.
+type Query struct {
+	Agg      AggKind
+	SumExpr  Expr     // set when Agg == AggSum
+	Distinct []ColRef // set when Agg == AggCountDistinct
+	From     []TableRef
+	Where    Expr // nil when absent
+}
+
+// String renders the query in SQL-ish form for diagnostics.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch q.Agg {
+	case AggCount:
+		b.WriteString("COUNT(*)")
+	case AggCountDistinct:
+		b.WriteString("COUNT(DISTINCT ")
+		for i, c := range q.Distinct {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+		b.WriteString(")")
+	case AggSum:
+		b.WriteString("SUM(" + ExprString(q.SumExpr) + ")")
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != t.Table {
+			b.WriteString(" AS " + t.Alias)
+		}
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE " + ExprString(q.Where))
+	}
+	return b.String()
+}

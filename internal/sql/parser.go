@@ -1,0 +1,377 @@
+package sql
+
+import (
+	"fmt"
+
+	"r2t/internal/value"
+)
+
+// Parse parses one SPJA query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting with %q", p.cur().text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for statically known queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errf("expected %q, found %q", want, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	switch {
+	case p.accept(tokKeyword, "COUNT"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.accept(tokSymbol, "*") {
+			q.Agg = AggCount
+		} else if p.accept(tokKeyword, "DISTINCT") {
+			q.Agg = AggCountDistinct
+			for {
+				c, err := p.parseColRef()
+				if err != nil {
+					return nil, err
+				}
+				q.Distinct = append(q.Distinct, c)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+		} else {
+			return nil, p.errf("COUNT supports COUNT(*) or COUNT(DISTINCT cols)")
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	case p.accept(tokKeyword, "SUM"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		q.Agg = AggSum
+		q.SumExpr = e
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("SELECT list must be COUNT(*), COUNT(DISTINCT ...) or SUM(...)")
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: t.text, Alias: t.text}
+		if p.accept(tokKeyword, "AS") {
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a.text
+		} else if p.at(tokIdent, "") {
+			ref.Alias = p.next().text
+		}
+		q.From = append(q.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if len(q.From) == 0 {
+		return nil, p.errf("FROM list is empty")
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	return q, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: t.text, Attr: a.text}, nil
+	}
+	return ColRef{Attr: t.text}, nil
+}
+
+// Boolean grammar: or := and (OR and)* ; and := not (AND not)* ;
+// not := NOT not | comparison ; comparison := additive (cmpop additive)?
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	// Postfix predicates: [NOT] IN (...), [NOT] BETWEEN a AND b, [NOT] LIKE 'p'.
+	negated := false
+	if p.at(tokKeyword, "NOT") {
+		// Only consume NOT if a postfix predicate follows.
+		next := p.toks[p.i+1]
+		if next.kind == tokKeyword && (next.text == "IN" || next.text == "BETWEEN" || next.text == "LIKE") {
+			p.next()
+			negated = true
+		}
+	}
+	var out Expr
+	switch {
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []value.V
+		for {
+			t := p.cur()
+			if t.kind != tokNumber && t.kind != tokString {
+				return nil, p.errf("IN list supports literal values, found %q", t.text)
+			}
+			p.next()
+			list = append(list, t.val)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		out = In{E: l, List: list}
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		out = Between{E: l, Lo: lo, Hi: hi}
+	case p.accept(tokKeyword, "LIKE"):
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		out = Like{E: l, Pattern: t.text}
+	default:
+		if negated {
+			return nil, p.errf("dangling NOT")
+		}
+		return l, nil
+	}
+	if negated {
+		return Not{E: out}, nil
+	}
+	return out, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "+", L: l, R: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "*", L: l, R: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: "-", L: Lit{Val: value.IntV(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber, tokString:
+		p.next()
+		return Lit{Val: t.val}, nil
+	case tokIdent:
+		c, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return Col{Ref: c}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}

@@ -1,0 +1,113 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"r2t/internal/value"
+)
+
+func TestParseIn(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM R WHERE a IN (1, 2.5, 'x')")
+	in, ok := q.Where.(In)
+	if !ok {
+		t.Fatalf("Where = %T", q.Where)
+	}
+	want := []value.V{value.IntV(1), value.FloatV(2.5), value.StringV("x")}
+	if len(in.List) != 3 {
+		t.Fatalf("list = %v", in.List)
+	}
+	for i := range want {
+		if in.List[i] != want[i] {
+			t.Errorf("list[%d] = %#v, want %#v", i, in.List[i], want[i])
+		}
+	}
+	if !strings.Contains(ExprString(q.Where), "IN (1, 2.5, 'x')") {
+		t.Errorf("rendering: %s", ExprString(q.Where))
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM R WHERE a NOT IN (1, 2)")
+	n, ok := q.Where.(Not)
+	if !ok {
+		t.Fatalf("Where = %T", q.Where)
+	}
+	if _, ok := n.E.(In); !ok {
+		t.Fatalf("inner = %T", n.E)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM R WHERE a BETWEEN 1 AND 10 AND b = 2")
+	// The outer expression must be (a BETWEEN 1 AND 10) AND (b = 2).
+	and, ok := q.Where.(Binary)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("Where = %s", ExprString(q.Where))
+	}
+	if _, ok := and.L.(Between); !ok {
+		t.Fatalf("left = %T", and.L)
+	}
+}
+
+func TestParseNotBetween(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM R WHERE a NOT BETWEEN 1 AND 10")
+	n, ok := q.Where.(Not)
+	if !ok {
+		t.Fatalf("Where = %T", q.Where)
+	}
+	if _, ok := n.E.(Between); !ok {
+		t.Fatalf("inner = %T", n.E)
+	}
+}
+
+func TestParseLike(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM R WHERE name LIKE 'BRAND%' AND x NOT LIKE '%y%'")
+	and := q.Where.(Binary)
+	l, ok := and.L.(Like)
+	if !ok || l.Pattern != "BRAND%" {
+		t.Fatalf("left = %#v", and.L)
+	}
+	n, ok := and.R.(Not)
+	if !ok {
+		t.Fatalf("right = %T", and.R)
+	}
+	if inner, ok := n.E.(Like); !ok || inner.Pattern != "%y%" {
+		t.Fatalf("inner = %#v", n.E)
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	bad := []string{
+		"SELECT COUNT(*) FROM R WHERE a IN ()",
+		"SELECT COUNT(*) FROM R WHERE a IN (b)", // only literals
+		"SELECT COUNT(*) FROM R WHERE a IN (1",
+		"SELECT COUNT(*) FROM R WHERE a BETWEEN 1",
+		"SELECT COUNT(*) FROM R WHERE a BETWEEN 1 OR 2",
+		"SELECT COUNT(*) FROM R WHERE a LIKE 5",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestPredicateRenderingRoundTrips(t *testing.T) {
+	srcs := []string{
+		"SELECT COUNT(*) FROM R WHERE a IN (1, 2)",
+		"SELECT COUNT(*) FROM R WHERE a BETWEEN 1 AND 2",
+		"SELECT COUNT(*) FROM R WHERE a LIKE 'x%'",
+		"SELECT COUNT(*) FROM R WHERE a NOT IN (3)",
+	}
+	for _, src := range srcs {
+		q := MustParse(src)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("%q: rendering %q does not re-parse: %v", src, q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Errorf("unstable rendering: %q vs %q", q.String(), q2.String())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"r2t/internal/value"
+)
+
+// ReadCSV loads rows for relation name from r. The first record must be a
+// header matching the relation's attributes (order-sensitive). Fields are
+// parsed with value.Parse (int, then float, then string; empty → null).
+func (inst *Instance) ReadCSV(relation string, r io.Reader) error {
+	t := inst.tables[relation]
+	if t == nil {
+		return fmt.Errorf("storage: unknown relation %q", relation)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(t.Rel.Attrs)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("storage: reading %s header: %w", relation, err)
+	}
+	for i, h := range header {
+		if h != t.Rel.Attrs[i] {
+			return fmt.Errorf("storage: %s header column %d is %q, want %q", relation, i, h, t.Rel.Attrs[i])
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("storage: reading %s: %w", relation, err)
+		}
+		row := make(Row, len(rec))
+		for i, f := range rec {
+			row[i] = value.Parse(f)
+		}
+		if err := t.Append(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSVFile is ReadCSV against a file path.
+func (inst *Instance) ReadCSVFile(relation, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return inst.ReadCSV(relation, f)
+}
+
+// WriteCSV emits relation name as CSV with a header row.
+func (inst *Instance) WriteCSV(relation string, w io.Writer) error {
+	t := inst.tables[relation]
+	if t == nil {
+		return fmt.Errorf("storage: unknown relation %q", relation)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Rel.Attrs); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Rel.Attrs))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path, creating or truncating it.
+func (inst *Instance) WriteCSVFile(relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := inst.WriteCSV(relation, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

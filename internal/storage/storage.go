@@ -1,0 +1,250 @@
+// Package storage provides in-memory relation instances: row storage, lazy
+// hash indexes for joins, integrity checking against the schema's PK/FK
+// constraints, and neighbor-instance construction (delete one individual and
+// everything that references it) used throughout the DP analysis and tests.
+package storage
+
+import (
+	"fmt"
+
+	"r2t/internal/schema"
+	"r2t/internal/value"
+)
+
+// Row is one tuple, in the relation's column order.
+type Row []value.V
+
+// Table holds the rows of one relation plus lazily built hash indexes.
+type Table struct {
+	Rel  *schema.Relation
+	Rows []Row
+
+	indexes map[string]map[value.V][]int
+}
+
+// NewTable returns an empty table for rel.
+func NewTable(rel *schema.Relation) *Table {
+	return &Table{Rel: rel}
+}
+
+// Append adds rows, checking arity. Any index built earlier is invalidated.
+func (t *Table) Append(rows ...Row) error {
+	for _, r := range rows {
+		if len(r) != len(t.Rel.Attrs) {
+			return fmt.Errorf("storage: %s expects %d columns, got %d", t.Rel.Name, len(t.Rel.Attrs), len(r))
+		}
+	}
+	t.Rows = append(t.Rows, rows...)
+	t.indexes = nil
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Index returns (building on first use) a hash index from the canonical key
+// of column attr to the row positions holding it. Null values are not indexed.
+func (t *Table) Index(attr string) (map[value.V][]int, error) {
+	col := t.Rel.AttrIndex(attr)
+	if col < 0 {
+		return nil, fmt.Errorf("storage: %s has no attribute %q", t.Rel.Name, attr)
+	}
+	if idx, ok := t.indexes[attr]; ok {
+		return idx, nil
+	}
+	idx := make(map[value.V][]int, len(t.Rows))
+	for i, row := range t.Rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		idx[k] = append(idx[k], i)
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[string]map[value.V][]int)
+	}
+	t.indexes[attr] = idx
+	return idx, nil
+}
+
+// Instance is a database instance over a schema.
+type Instance struct {
+	Schema *schema.Schema
+	tables map[string]*Table
+}
+
+// NewInstance creates an empty instance with one table per schema relation.
+func NewInstance(s *schema.Schema) *Instance {
+	inst := &Instance{Schema: s, tables: make(map[string]*Table)}
+	for _, name := range s.Names() {
+		inst.tables[name] = NewTable(s.Relation(name))
+	}
+	return inst
+}
+
+// Table returns the table for relation name, or nil if unknown.
+func (inst *Instance) Table(name string) *Table { return inst.tables[name] }
+
+// Insert appends rows to the named relation.
+func (inst *Instance) Insert(relation string, rows ...Row) error {
+	t := inst.tables[relation]
+	if t == nil {
+		return fmt.Errorf("storage: unknown relation %q", relation)
+	}
+	return t.Append(rows...)
+}
+
+// MustInsert is Insert but panics on error; for tests and generators.
+func (inst *Instance) MustInsert(relation string, rows ...Row) {
+	if err := inst.Insert(relation, rows...); err != nil {
+		panic(err)
+	}
+}
+
+// TotalRows returns the number of tuples across all relations.
+func (inst *Instance) TotalRows() int {
+	n := 0
+	for _, t := range inst.tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// CheckIntegrity verifies primary-key uniqueness and foreign-key referential
+// integrity for every relation.
+func (inst *Instance) CheckIntegrity() error {
+	for _, name := range inst.Schema.Names() {
+		t := inst.tables[name]
+		rel := t.Rel
+		if rel.PK != "" {
+			col := rel.AttrIndex(rel.PK)
+			seen := make(map[value.V]bool, len(t.Rows))
+			for i, row := range t.Rows {
+				k := row[col].Key()
+				if row[col].IsNull() {
+					return fmt.Errorf("storage: %s row %d has null primary key", name, i)
+				}
+				if seen[k] {
+					return fmt.Errorf("storage: %s has duplicate primary key %v", name, row[col])
+				}
+				seen[k] = true
+			}
+		}
+		for _, fk := range rel.FKs {
+			col := rel.AttrIndex(fk.Attr)
+			refIdx, err := inst.tables[fk.Ref].Index(inst.Schema.Relation(fk.Ref).PK)
+			if err != nil {
+				return err
+			}
+			for i, row := range t.Rows {
+				v := row[col]
+				if v.IsNull() {
+					continue
+				}
+				if len(refIdx[v.Key()]) == 0 {
+					return fmt.Errorf("storage: %s row %d FK %s=%v has no referent in %s", name, i, fk.Attr, v, fk.Ref)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance (rows copied, indexes dropped).
+func (inst *Instance) Clone() *Instance {
+	out := NewInstance(inst.Schema)
+	for name, t := range inst.tables {
+		rows := make([]Row, len(t.Rows))
+		for i, r := range t.Rows {
+			rows[i] = append(Row(nil), r...)
+		}
+		out.tables[name].Rows = rows
+	}
+	return out
+}
+
+// RemoveIndividual returns a new instance with the tuple of relation rel
+// whose primary key equals key removed, together with every tuple (in any
+// relation) that directly or indirectly references it — i.e. the
+// down-neighbor I' ⊆ I of Section 3.2. The receiver is unchanged.
+func (inst *Instance) RemoveIndividual(rel string, key value.V) (*Instance, error) {
+	target := inst.Schema.Relation(rel)
+	if target == nil {
+		return nil, fmt.Errorf("storage: unknown relation %q", rel)
+	}
+	if target.PK == "" {
+		return nil, fmt.Errorf("storage: relation %q has no primary key", rel)
+	}
+
+	marked := make(map[string]map[int]bool)       // relation -> row positions to delete
+	markedPK := make(map[string]map[value.V]bool) // relation -> PK keys of deleted rows
+	mark := func(relName string, rowPos int, pk value.V, hasPK bool) {
+		if marked[relName] == nil {
+			marked[relName] = make(map[int]bool)
+		}
+		marked[relName][rowPos] = true
+		if hasPK {
+			if markedPK[relName] == nil {
+				markedPK[relName] = make(map[value.V]bool)
+			}
+			markedPK[relName][pk.Key()] = true
+		}
+	}
+
+	// Seed: the individual itself.
+	tt := inst.tables[rel]
+	pkCol := target.AttrIndex(target.PK)
+	for i, row := range tt.Rows {
+		if value.Equal(row[pkCol], key) {
+			mark(rel, i, row[pkCol], true)
+		}
+	}
+
+	// Propagate in referenced-first order: by the time we process R, every
+	// relation R references has its deleted PK set finalized (FK graph is a DAG).
+	for _, name := range inst.Schema.TopoOrder() {
+		r := inst.Schema.Relation(name)
+		if len(r.FKs) == 0 {
+			continue
+		}
+		t := inst.tables[name]
+		hasPK := r.PK != ""
+		pkc := -1
+		if hasPK {
+			pkc = r.AttrIndex(r.PK)
+		}
+		for _, fk := range r.FKs {
+			refMarked := markedPK[fk.Ref]
+			if len(refMarked) == 0 {
+				continue
+			}
+			col := r.AttrIndex(fk.Attr)
+			for i, row := range t.Rows {
+				if marked[name][i] {
+					continue
+				}
+				if !row[col].IsNull() && refMarked[row[col].Key()] {
+					var pk value.V
+					if hasPK {
+						pk = row[pkc]
+					}
+					mark(name, i, pk, hasPK)
+				}
+			}
+		}
+	}
+
+	out := NewInstance(inst.Schema)
+	for name, t := range inst.tables {
+		dead := marked[name]
+		rows := make([]Row, 0, len(t.Rows)-len(dead))
+		for i, r := range t.Rows {
+			if !dead[i] {
+				rows = append(rows, append(Row(nil), r...))
+			}
+		}
+		out.tables[name].Rows = rows
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"r2t/internal/schema"
+	"r2t/internal/value"
+)
+
+func tpch(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew(
+		&schema.Relation{Name: "Customer", Attrs: []string{"CK"}, PK: "CK"},
+		&schema.Relation{Name: "Orders", Attrs: []string{"OK", "CK"}, PK: "OK",
+			FKs: []schema.FK{{Attr: "CK", Ref: "Customer"}}},
+		&schema.Relation{Name: "Lineitem", Attrs: []string{"OK", "price"},
+			FKs: []schema.FK{{Attr: "OK", Ref: "Orders"}}},
+	)
+}
+
+func seeded(t *testing.T) *Instance {
+	t.Helper()
+	inst := NewInstance(tpch(t))
+	inst.MustInsert("Customer", Row{value.IntV(1)}, Row{value.IntV(2)})
+	inst.MustInsert("Orders",
+		Row{value.IntV(10), value.IntV(1)},
+		Row{value.IntV(11), value.IntV(1)},
+		Row{value.IntV(12), value.IntV(2)},
+	)
+	inst.MustInsert("Lineitem",
+		Row{value.IntV(10), value.FloatV(5)},
+		Row{value.IntV(10), value.FloatV(7)},
+		Row{value.IntV(11), value.FloatV(3)},
+		Row{value.IntV(12), value.FloatV(9)},
+	)
+	return inst
+}
+
+func TestAppendArityCheck(t *testing.T) {
+	inst := NewInstance(tpch(t))
+	if err := inst.Insert("Customer", Row{value.IntV(1), value.IntV(2)}); err == nil {
+		t.Error("expected arity error")
+	}
+	if err := inst.Insert("Nope", Row{value.IntV(1)}); err == nil {
+		t.Error("expected unknown relation error")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	inst := seeded(t)
+	idx, err := inst.Table("Lineitem").Index("OK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(idx[value.IntV(10)]); got != 2 {
+		t.Errorf("index[10] has %d rows, want 2", got)
+	}
+	if _, err := inst.Table("Lineitem").Index("nope"); err == nil {
+		t.Error("expected missing attribute error")
+	}
+}
+
+func TestIntegrity(t *testing.T) {
+	inst := seeded(t)
+	if err := inst.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate PK.
+	bad := inst.Clone()
+	bad.MustInsert("Customer", Row{value.IntV(1)})
+	if err := bad.CheckIntegrity(); err == nil {
+		t.Error("expected duplicate PK error")
+	}
+	// Dangling FK.
+	bad2 := inst.Clone()
+	bad2.MustInsert("Orders", Row{value.IntV(99), value.IntV(42)})
+	if err := bad2.CheckIntegrity(); err == nil {
+		t.Error("expected dangling FK error")
+	}
+}
+
+func TestRemoveIndividual(t *testing.T) {
+	inst := seeded(t)
+	nb, err := inst.RemoveIndividual("Customer", value.IntV(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Customer 1, orders 10 & 11, and lineitems of 10 & 11 must all be gone.
+	if got := nb.Table("Customer").Len(); got != 1 {
+		t.Errorf("customers left: %d, want 1", got)
+	}
+	if got := nb.Table("Orders").Len(); got != 1 {
+		t.Errorf("orders left: %d, want 1", got)
+	}
+	if got := nb.Table("Lineitem").Len(); got != 1 {
+		t.Errorf("lineitems left: %d, want 1", got)
+	}
+	if err := nb.CheckIntegrity(); err != nil {
+		t.Errorf("neighbor violates integrity: %v", err)
+	}
+	// Original untouched.
+	if inst.Table("Orders").Len() != 3 || inst.Table("Lineitem").Len() != 4 {
+		t.Error("RemoveIndividual mutated the receiver")
+	}
+	// Removing a nonexistent individual is a no-op copy.
+	same, err := inst.RemoveIndividual("Customer", value.IntV(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.TotalRows() != inst.TotalRows() {
+		t.Error("removing an absent individual changed the instance")
+	}
+}
+
+func TestRemoveIndividualErrors(t *testing.T) {
+	inst := seeded(t)
+	if _, err := inst.RemoveIndividual("Nope", value.IntV(1)); err == nil {
+		t.Error("expected unknown relation error")
+	}
+	if _, err := inst.RemoveIndividual("Lineitem", value.IntV(1)); err == nil {
+		t.Error("expected no-PK error")
+	}
+}
+
+// TestQuickRemoveIndividual property-checks neighbor construction on random
+// instances: the down-neighbor is a subset, it preserves integrity, and
+// removing the same individual twice is idempotent.
+func TestQuickRemoveIndividual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := NewInstance(tpchT)
+		nCust := 1 + rng.Intn(6)
+		ok := int64(0)
+		for c := 0; c < nCust; c++ {
+			inst.MustInsert("Customer", Row{value.IntV(int64(c))})
+			for o := 0; o < rng.Intn(4); o++ {
+				inst.MustInsert("Orders", Row{value.IntV(ok), value.IntV(int64(c))})
+				for l := 0; l < rng.Intn(3); l++ {
+					inst.MustInsert("Lineitem", Row{value.IntV(ok), value.FloatV(rng.Float64() * 10)})
+				}
+				ok++
+			}
+		}
+		victim := value.IntV(int64(rng.Intn(nCust)))
+		nb, err := inst.RemoveIndividual("Customer", victim)
+		if err != nil {
+			return false
+		}
+		if nb.TotalRows() > inst.TotalRows() {
+			return false
+		}
+		if err := nb.CheckIntegrity(); err != nil {
+			return false
+		}
+		nb2, err := nb.RemoveIndividual("Customer", victim)
+		if err != nil {
+			return false
+		}
+		return nb2.TotalRows() == nb.TotalRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tpchT is a package-level schema for the quick test (built once).
+var tpchT = schema.MustNew(
+	&schema.Relation{Name: "Customer", Attrs: []string{"CK"}, PK: "CK"},
+	&schema.Relation{Name: "Orders", Attrs: []string{"OK", "CK"}, PK: "OK",
+		FKs: []schema.FK{{Attr: "CK", Ref: "Customer"}}},
+	&schema.Relation{Name: "Lineitem", Attrs: []string{"OK", "price"},
+		FKs: []schema.FK{{Attr: "OK", Ref: "Orders"}}},
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	inst := seeded(t)
+	var buf bytes.Buffer
+	if err := inst.WriteCSV("Lineitem", &buf); err != nil {
+		t.Fatal(err)
+	}
+	inst2 := NewInstance(tpch(t))
+	if err := inst2.ReadCSV("Lineitem", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Table("Lineitem").Len() != 4 {
+		t.Fatalf("round trip lost rows: %d", inst2.Table("Lineitem").Len())
+	}
+	for i, row := range inst2.Table("Lineitem").Rows {
+		for j, v := range row {
+			if !value.Equal(v, inst.Table("Lineitem").Rows[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, v, inst.Table("Lineitem").Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestCSVHeaderMismatch(t *testing.T) {
+	inst := NewInstance(tpch(t))
+	err := inst.ReadCSV("Customer", strings.NewReader("WRONG\n1\n"))
+	if err == nil {
+		t.Error("expected header mismatch error")
+	}
+}

@@ -1,0 +1,242 @@
+// Package tpch provides the TPC-H substrate of Section 10.3: the 8-relation
+// schema with the FK graph of Figure 4, a deterministic synthetic generator
+// (micro-scaled: SF=1 ≈ 43k tuples versus the paper's 7.5M — the FK fan-outs,
+// skews and predicate selectivities are preserved, which is what the error
+// behaviour depends on), and the ten benchmark queries of Figure 5 with
+// group-by clauses removed, exactly as the paper evaluates them.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"r2t/internal/schema"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+// Schema returns the TPC-H schema (Figure 4). Dates are encoded as integer
+// day offsets in [0, 2400).
+func Schema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Relation{Name: "Region", Attrs: []string{"RK", "rname"}, PK: "RK"},
+		&schema.Relation{Name: "Nation", Attrs: []string{"NK", "RK", "nname"}, PK: "NK",
+			FKs: []schema.FK{{Attr: "RK", Ref: "Region"}}},
+		&schema.Relation{Name: "Supplier", Attrs: []string{"SK", "NK", "sacctbal"}, PK: "SK",
+			FKs: []schema.FK{{Attr: "NK", Ref: "Nation"}}},
+		&schema.Relation{Name: "Customer", Attrs: []string{"CK", "NK", "mktsegment", "cacctbal"}, PK: "CK",
+			FKs: []schema.FK{{Attr: "NK", Ref: "Nation"}}},
+		&schema.Relation{Name: "Part", Attrs: []string{"PKEY", "brand", "ptype", "psize", "retail"}, PK: "PKEY"},
+		&schema.Relation{Name: "PartSupp", Attrs: []string{"PKEY", "SK", "availqty", "supplycost"},
+			FKs: []schema.FK{{Attr: "PKEY", Ref: "Part"}, {Attr: "SK", Ref: "Supplier"}}},
+		&schema.Relation{Name: "Orders", Attrs: []string{"OK", "CK", "odate", "opriority"}, PK: "OK",
+			FKs: []schema.FK{{Attr: "CK", Ref: "Customer"}}},
+		&schema.Relation{Name: "Lineitem",
+			Attrs: []string{"OK", "PKEY", "SK", "qty", "price", "discount", "sdate", "cdate", "rdate", "shipmode", "returnflag"},
+			FKs: []schema.FK{
+				{Attr: "OK", Ref: "Orders"}, {Attr: "PKEY", Ref: "Part"}, {Attr: "SK", Ref: "Supplier"},
+			}},
+	)
+}
+
+var (
+	regions   = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations   = 25
+	segments  = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	prios     = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	retflags  = []string{"A", "N", "N", "R"} // returns are ~25%
+)
+
+// GenOptions parameterizes Generate.
+type GenOptions struct {
+	SF   float64 // scale factor; 1.0 ≈ 43k tuples (paper's SF=1 is ≈ 7.5M)
+	Seed int64
+}
+
+// Generate builds a deterministic TPC-H instance. Row counts scale linearly
+// with SF; per-customer order counts are skewed (mean ≈ 10, capped at 30)
+// and orders carry 1–7 lineitems, mirroring the real generator's fan-outs.
+func Generate(opt GenOptions) *storage.Instance {
+	if opt.SF <= 0 {
+		opt.SF = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	inst := storage.NewInstance(Schema())
+
+	iv := value.IntV
+	fv := value.FloatV
+	sv := value.StringV
+
+	for r := 0; r < len(regions); r++ {
+		inst.MustInsert("Region", storage.Row{iv(int64(r)), sv(regions[r])})
+	}
+	for n := 0; n < nations; n++ {
+		inst.MustInsert("Nation", storage.Row{iv(int64(n)), iv(int64(n % len(regions))), sv(fmt.Sprintf("NATION%02d", n))})
+	}
+
+	scaled := func(base int) int {
+		n := int(float64(base) * opt.SF)
+		if n < 2 {
+			n = 2
+		}
+		return n
+	}
+	nSupp := scaled(80)
+	nCust := scaled(750)
+	nPart := scaled(1000)
+
+	// Nation membership is round-robin so every nation is populated at any
+	// scale factor (the nation-pair predicates of Q7/Q11 stay satisfiable).
+	for s := 0; s < nSupp; s++ {
+		inst.MustInsert("Supplier", storage.Row{iv(int64(s)), iv(int64(s % nations)), fv(float64(rng.Intn(10000)))})
+	}
+	for p := 0; p < nPart; p++ {
+		inst.MustInsert("Part", storage.Row{
+			iv(int64(p)), iv(int64(rng.Intn(25))), iv(int64(rng.Intn(25))), iv(int64(1 + rng.Intn(50))),
+			fv(900 + float64(rng.Intn(1200))),
+		})
+	}
+	for p := 0; p < nPart; p++ {
+		for k := 0; k < 4; k++ {
+			inst.MustInsert("PartSupp", storage.Row{
+				iv(int64(p)), iv(int64(rng.Intn(nSupp))),
+				iv(int64(1 + rng.Intn(200))), fv(float64(1 + rng.Intn(100))),
+			})
+		}
+	}
+
+	orderKey := int64(0)
+	for c := 0; c < nCust; c++ {
+		inst.MustInsert("Customer", storage.Row{
+			iv(int64(c)), iv(int64(c % nations)),
+			sv(segments[rng.Intn(len(segments))]), fv(float64(rng.Intn(10000)) - 1000),
+		})
+		nOrders := 1 + int(rng.ExpFloat64()*6)
+		if nOrders > 30 {
+			nOrders = 30
+		}
+		for o := 0; o < nOrders; o++ {
+			odate := int64(rng.Intn(2400))
+			inst.MustInsert("Orders", storage.Row{
+				iv(orderKey), iv(int64(c)), iv(odate), sv(prios[rng.Intn(len(prios))]),
+			})
+			nItems := 1 + rng.Intn(7)
+			for l := 0; l < nItems; l++ {
+				qty := 1 + rng.Intn(50)
+				price := float64(qty) * float64(1+rng.Intn(100))
+				sdate := odate + int64(1+rng.Intn(120))
+				cdate := odate + int64(1+rng.Intn(90))
+				rdate := sdate + int64(1+rng.Intn(30))
+				inst.MustInsert("Lineitem", storage.Row{
+					iv(orderKey), iv(int64(rng.Intn(nPart))), iv(int64(rng.Intn(nSupp))),
+					iv(int64(qty)), fv(price), fv(float64(rng.Intn(11)) / 100),
+					iv(sdate), iv(cdate), iv(rdate),
+					sv(shipmodes[rng.Intn(len(shipmodes))]), sv(retflags[rng.Intn(len(retflags))]),
+				})
+			}
+			orderKey++
+		}
+	}
+	return inst
+}
+
+// Query is one benchmark query with its privacy designation.
+type Query struct {
+	Name        string
+	Class       string // "single", "multi", "agg", "proj" — the Figure 5 groups
+	SQL         string
+	Primary     []string // primary private relations
+	LSSupported bool     // whether the LS baseline supports it (Table 5)
+}
+
+// Queries returns the ten TPC-H benchmark queries of Figure 5 (group-by
+// removed). The Class field mirrors the table grouping of Table 5.
+func Queries() []Query {
+	return []Query{
+		{
+			Name: "Q3", Class: "single", LSSupported: true,
+			Primary: []string{"Customer"},
+			SQL: `SELECT COUNT(*) FROM Customer c, Orders o, Lineitem l
+			      WHERE c.CK = o.CK AND o.OK = l.OK
+			        AND c.mktsegment = 'BUILDING' AND o.odate < 1800 AND l.sdate > 600`,
+		},
+		{
+			Name: "Q12", Class: "single", LSSupported: true,
+			Primary: []string{"Customer"},
+			SQL: `SELECT COUNT(*) FROM Orders o, Lineitem l
+			      WHERE o.OK = l.OK
+			        AND l.shipmode IN ('MAIL', 'SHIP')
+			        AND l.cdate < l.rdate AND l.rdate BETWEEN 600 AND 1999`,
+		},
+		{
+			Name: "Q20", Class: "single", LSSupported: true,
+			Primary: []string{"Supplier"},
+			SQL: `SELECT COUNT(*) FROM Supplier s, PartSupp ps, Part p
+			      WHERE s.SK = ps.SK AND ps.PKEY = p.PKEY
+			        AND p.psize < 25 AND ps.availqty > 100`,
+		},
+		{
+			Name: "Q5", Class: "multi",
+			Primary: []string{"Customer", "Supplier"},
+			SQL: `SELECT COUNT(*) FROM Customer c, Orders o, Lineitem l, Supplier s, Nation n, Region r
+			      WHERE c.CK = o.CK AND o.OK = l.OK AND l.SK = s.SK AND c.NK = s.NK
+			        AND s.NK = n.NK AND n.RK = r.RK
+			        AND r.rname = 'ASIA' AND o.odate >= 200 AND o.odate < 1600`,
+		},
+		{
+			Name: "Q8", Class: "multi",
+			Primary: []string{"Customer", "Supplier"},
+			SQL: `SELECT COUNT(*) FROM Part p, Lineitem l, Supplier s, Orders o, Customer c, Nation n, Region r
+			      WHERE p.PKEY = l.PKEY AND l.SK = s.SK AND l.OK = o.OK AND o.CK = c.CK
+			        AND c.NK = n.NK AND n.RK = r.RK
+			        AND r.rname = 'AMERICA' AND o.odate >= 400 AND o.odate < 2000 AND p.ptype < 12`,
+		},
+		{
+			Name: "Q21", Class: "multi",
+			Primary: []string{"Customer", "Supplier"},
+			SQL: `SELECT COUNT(*) FROM Supplier s, Lineitem l1, Lineitem l2, Orders o
+			      WHERE s.SK = l1.SK AND o.OK = l1.OK AND l2.OK = l1.OK AND l2.SK <> l1.SK
+			        AND l1.rdate > l1.cdate AND o.opriority = '1-URGENT'`,
+		},
+		{
+			Name: "Q7", Class: "agg",
+			Primary: []string{"Customer", "Supplier"},
+			SQL: `SELECT SUM(l.price * (1 - l.discount))
+			      FROM Supplier s, Lineitem l, Orders o, Customer c, Nation n1, Nation n2
+			      WHERE s.SK = l.SK AND l.OK = o.OK AND o.CK = c.CK
+			        AND s.NK = n1.NK AND c.NK = n2.NK AND n1.RK = n2.RK
+			        AND l.sdate >= 200 AND l.sdate < 2200`,
+		},
+		{
+			Name: "Q11", Class: "agg",
+			Primary: []string{"Supplier"},
+			SQL: `SELECT SUM(ps.supplycost * ps.availqty) FROM PartSupp ps, Supplier s
+			      WHERE ps.SK = s.SK AND ps.availqty > 20`,
+		},
+		{
+			Name: "Q18", Class: "agg",
+			Primary: []string{"Customer"},
+			SQL: `SELECT SUM(l.qty) FROM Customer c, Orders o, Lineitem l
+			      WHERE c.CK = o.CK AND o.OK = l.OK AND o.opriority = '1-URGENT'`,
+		},
+		{
+			Name: "Q10", Class: "proj",
+			Primary: []string{"Customer"},
+			SQL: `SELECT COUNT(DISTINCT c.CK) FROM Customer c, Orders o, Lineitem l
+			      WHERE c.CK = o.CK AND o.OK = l.OK
+			        AND l.returnflag = 'R' AND o.odate >= 600 AND o.odate < 1800`,
+		},
+	}
+}
+
+// QueryByName returns the named query, or nil.
+func QueryByName(name string) *Query {
+	for _, q := range Queries() {
+		if q.Name == name {
+			qq := q
+			return &qq
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package truncation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteOccurrences serializes the occurrence form as the text handoff of the
+// paper's system diagram (Figure 3): the RDBMS evaluates the rewritten
+// reporting query and exports one line per join result — its ψ weight
+// followed by the individuals it references — which the LP stage consumes.
+// Format:
+//
+//	#individuals <n>
+//	<psi> <ind> <ind> ...          (one line per occurrence)
+//	#group <psi_l> <occ> <occ> ... (one line per projection group, SPJA only)
+func WriteOccurrences(w io.Writer, o *Occurrences) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#individuals %d\n", o.NumIndividuals); err != nil {
+		return err
+	}
+	for k, set := range o.Sets {
+		if _, err := fmt.Fprintf(bw, "%g", o.PsiAt(k)); err != nil {
+			return err
+		}
+		for _, j := range set {
+			if _, err := fmt.Fprintf(bw, " %d", j); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	for l, group := range o.Groups {
+		if _, err := fmt.Fprintf(bw, "#group %g", o.GroupPsi[l]); err != nil {
+			return err
+		}
+		for _, k := range group {
+			if _, err := fmt.Fprintf(bw, " %d", k); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOccurrences parses the WriteOccurrences format.
+func ReadOccurrences(r io.Reader) (*Occurrences, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	o := &Occurrences{}
+	line := 0
+	seenHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "#individuals":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("truncation: line %d: malformed #individuals", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("truncation: line %d: bad individual count %q", line, fields[1])
+			}
+			o.NumIndividuals = n
+			seenHeader = true
+		case fields[0] == "#group":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("truncation: line %d: malformed #group", line)
+			}
+			psi, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("truncation: line %d: bad group ψ %q", line, fields[1])
+			}
+			var group []int
+			for _, f := range fields[2:] {
+				k, err := strconv.Atoi(f)
+				if err != nil || k < 0 || k >= len(o.Sets) {
+					return nil, fmt.Errorf("truncation: line %d: bad occurrence index %q", line, f)
+				}
+				group = append(group, k)
+			}
+			o.Groups = append(o.Groups, group)
+			o.GroupPsi = append(o.GroupPsi, psi)
+		default:
+			if !seenHeader {
+				return nil, fmt.Errorf("truncation: line %d: missing #individuals header", line)
+			}
+			psi, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("truncation: line %d: bad ψ %q", line, fields[0])
+			}
+			set := make([]int32, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				j, err := strconv.Atoi(f)
+				if err != nil || j < 0 || j >= o.NumIndividuals {
+					return nil, fmt.Errorf("truncation: line %d: bad individual id %q", line, f)
+				}
+				set = append(set, int32(j))
+			}
+			o.Sets = append(o.Sets, set)
+			if o.Psi == nil {
+				o.Psi = make([]float64, 0, 1024)
+			}
+			o.Psi = append(o.Psi, psi)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("truncation: empty occurrence stream")
+	}
+	return o, nil
+}

@@ -1,0 +1,115 @@
+package truncation
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOccurrencesRoundTrip(t *testing.T) {
+	o := &Occurrences{
+		NumIndividuals: 5,
+		Sets:           [][]int32{{0, 1}, {1, 2, 3}, {4}},
+		Psi:            []float64{1, 2.5, 0.75},
+	}
+	var buf bytes.Buffer
+	if err := WriteOccurrences(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOccurrences(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumIndividuals != 5 || len(back.Sets) != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	for k := range o.Sets {
+		if back.PsiAt(k) != o.PsiAt(k) {
+			t.Errorf("ψ[%d] = %g, want %g", k, back.PsiAt(k), o.PsiAt(k))
+		}
+		if len(back.Sets[k]) != len(o.Sets[k]) {
+			t.Fatalf("set %d length mismatch", k)
+		}
+		for i := range o.Sets[k] {
+			if back.Sets[k][i] != o.Sets[k][i] {
+				t.Errorf("set %d member %d differs", k, i)
+			}
+		}
+	}
+	// The truncators built from both must agree.
+	a, b := NewLPFromOccurrences(o), NewLPFromOccurrences(back)
+	for _, tau := range []float64{0, 1, 2, 4} {
+		va, err := a.Value(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.Value(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(va-vb) > 1e-9 {
+			t.Errorf("Q(I,%g): %g vs %g", tau, va, vb)
+		}
+	}
+}
+
+func TestOccurrencesRoundTripWithGroups(t *testing.T) {
+	o := &Occurrences{
+		NumIndividuals: 3,
+		Sets:           [][]int32{{0}, {1}, {2}, {0, 2}},
+		Psi:            []float64{1, 1, 1, 1},
+		Groups:         [][]int{{0, 1}, {2, 3}},
+		GroupPsi:       []float64{1, 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteOccurrences(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOccurrences(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Groups) != 2 || len(back.Groups[1]) != 2 || back.Groups[1][1] != 3 {
+		t.Fatalf("groups: %+v", back.Groups)
+	}
+	if back.TrueAnswer() != o.TrueAnswer() {
+		t.Errorf("answers differ: %g vs %g", back.TrueAnswer(), o.TrueAnswer())
+	}
+}
+
+func TestReadOccurrencesErrors(t *testing.T) {
+	bad := []string{
+		"",                                  // empty
+		"1 0 1\n",                           // missing header
+		"#individuals x\n",                  // bad count
+		"#individuals 2\n1 5\n",             // id out of range
+		"#individuals 2\nzz 0\n",            // bad ψ
+		"#individuals 2\n#group\n",          // malformed group
+		"#individuals 2\n1 0\n#group 1 9\n", // group index out of range
+	}
+	for _, src := range bad {
+		if _, err := ReadOccurrences(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadOccurrences(%q) should fail", src)
+		}
+	}
+}
+
+func TestReadOccurrencesNilPsiDefault(t *testing.T) {
+	// Sets with ψ=1 written by a nil-Psi occurrence read back equal.
+	o := &Occurrences{NumIndividuals: 2, Sets: [][]int32{{0}, {1}, {0, 1}}}
+	var buf bytes.Buffer
+	if err := WriteOccurrences(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOccurrences(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TrueAnswer() != 3 {
+		t.Errorf("answer %g, want 3", back.TrueAnswer())
+	}
+	if back.MaxSensitivity() != 2 {
+		t.Errorf("max sensitivity %g, want 2", back.MaxSensitivity())
+	}
+}

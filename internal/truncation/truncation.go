@@ -1,0 +1,323 @@
+// Package truncation implements the truncated query estimators Q(I,τ) that
+// R2T races (Sections 6–7): naive truncation for self-join-free queries and
+// the LP-based operators for SJA and SPJA queries. Every operator satisfies
+// the three R2T properties — GS of Q(·,τ) at most τ; Q(I,τ) ≤ Q(I); and
+// Q(I,τ) = Q(I) once τ ≥ τ*(I) — with τ*(I) = DS_Q(I) for SJA and IS_Q(I)
+// for SPJA queries.
+//
+// The paper's SPJA LP uses auxiliary variables v_l ≤ Σ_{k∈D_l} u_k. Because
+// the projection groups D_l partition the join results, that LP is equivalent
+// to a pure packing LP in the u's alone with one extra capacity row per
+// projected result: Σ_{k∈D_l} u_k ≤ ψ(p_l). (Substituting u=w and
+// v_l = Σ_{k∈D_l} w_k converts feasible points both ways without changing the
+// objective.) This keeps the whole system inside one exact solver.
+package truncation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"r2t/internal/exec"
+	"r2t/internal/lp"
+	"r2t/internal/value"
+)
+
+// Truncator computes the truncated query value Q(I,τ) for any τ ≥ 0.
+type Truncator interface {
+	// Value returns Q(I,τ). It must be exact: R2T's privacy proof is a
+	// property of the optimum.
+	Value(tau float64) (float64, error)
+	// TrueAnswer returns Q(I) = Q(I, ∞).
+	TrueAnswer() float64
+	// TauStar returns τ*(I), the smallest τ at which Value(τ) = TrueAnswer().
+	TauStar() float64
+}
+
+// LPTruncator is the LP-based Q(I,τ) for SJA and SPJA queries. It pre-builds
+// the constraint structure once and instantiates one packing LP per τ.
+type LPTruncator struct {
+	psi      []float64 // ψ(q_k) per LP variable (join results with ψ > 0)
+	capRows  [][]int   // C_j: variables referencing individual j
+	grpRows  [][]int   // D_l: variables per projected result (SPJA only)
+	grpB     []float64 // ψ(p_l) per group row
+	answer   float64
+	tauStar  float64
+	solveOpt lp.Options
+}
+
+// Occurrences is the minimal input the LP truncator needs: one entry per
+// join result q_k with its weight ψ(q_k) and the (integer-renamed) set of
+// individuals it references. Workload generators that bypass the SQL engine
+// (the graph pattern enumerators) produce this form directly.
+type Occurrences struct {
+	NumIndividuals int
+	Sets           [][]int32 // referencing individuals per occurrence
+	Psi            []float64 // nil means all weights are 1
+	// Groups/GroupPsi describe the SPJA projection structure (nil for SJA):
+	// Groups[l] lists occurrence indices whose projection is p_l.
+	Groups   [][]int
+	GroupPsi []float64
+}
+
+// psiAt returns ψ of occurrence k.
+func (o *Occurrences) PsiAt(k int) float64 {
+	if o.Psi == nil {
+		return 1
+	}
+	return o.Psi[k]
+}
+
+// TrueAnswer computes Q(I) from the occurrence form.
+func (o *Occurrences) TrueAnswer() float64 {
+	var s float64
+	if o.Groups != nil {
+		for _, w := range o.GroupPsi {
+			s += w
+		}
+		return s
+	}
+	for k := range o.Sets {
+		s += o.PsiAt(k)
+	}
+	return s
+}
+
+// MaxSensitivity computes max_j S_Q(I, t_j) over individuals.
+func (o *Occurrences) MaxSensitivity() float64 {
+	sens := make([]float64, o.NumIndividuals)
+	for k, set := range o.Sets {
+		w := o.PsiAt(k)
+		for _, j := range set {
+			sens[j] += w
+		}
+	}
+	var m float64
+	for _, s := range sens {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// NewLPFromOccurrences builds the LP truncation operator from occurrence sets.
+func NewLPFromOccurrences(o *Occurrences) *LPTruncator {
+	t := &LPTruncator{answer: o.TrueAnswer(), tauStar: o.MaxSensitivity()}
+
+	varOf := make([]int, len(o.Sets))
+	for k := range o.Sets {
+		varOf[k] = -1
+		if w := o.PsiAt(k); w > 0 {
+			varOf[k] = len(t.psi)
+			t.psi = append(t.psi, w)
+		}
+	}
+	cap := make([][]int, o.NumIndividuals)
+	for k, set := range o.Sets {
+		v := varOf[k]
+		if v < 0 {
+			continue
+		}
+		for _, j := range set {
+			cap[j] = append(cap[j], v)
+		}
+	}
+	for _, row := range cap {
+		if len(row) > 0 {
+			t.capRows = append(t.capRows, row)
+		}
+	}
+	if o.Groups != nil {
+		for l, group := range o.Groups {
+			var vars []int
+			for _, k := range group {
+				if varOf[k] >= 0 {
+					vars = append(vars, varOf[k])
+				}
+			}
+			t.grpRows = append(t.grpRows, vars)
+			t.grpB = append(t.grpB, o.GroupPsi[l])
+		}
+	}
+	return t
+}
+
+// FromResult converts an evaluated query into occurrence form, renaming
+// TupleRefs to dense individual ids (deterministically, sorted).
+func FromResult(res *exec.Result) *Occurrences {
+	var order []exec.TupleRef
+	seen := make(map[exec.TupleRef]int32)
+	for _, row := range res.Rows {
+		for _, ref := range row.Refs {
+			if _, ok := seen[ref]; !ok {
+				seen[ref] = 0
+				order = append(order, ref)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Rel != order[j].Rel {
+			return order[i].Rel < order[j].Rel
+		}
+		return value.Less(order[i].Key, order[j].Key)
+	})
+	for i, ref := range order {
+		seen[ref] = int32(i)
+	}
+	o := &Occurrences{NumIndividuals: len(order)}
+	o.Sets = make([][]int32, len(res.Rows))
+	o.Psi = make([]float64, len(res.Rows))
+	for k, row := range res.Rows {
+		set := make([]int32, len(row.Refs))
+		for i, ref := range row.Refs {
+			set[i] = seen[ref]
+		}
+		o.Sets[k] = set
+		o.Psi[k] = row.Psi
+	}
+	if res.IsProjection {
+		o.Groups = res.Groups
+		o.GroupPsi = res.GroupPsi
+	}
+	return o
+}
+
+// NewLP builds the LP truncation operator from an evaluated query.
+func NewLP(res *exec.Result) *LPTruncator {
+	return NewLPFromOccurrences(FromResult(res))
+}
+
+// problem instantiates the packing LP for a given τ.
+func (t *LPTruncator) problem(tau float64) *lp.Problem {
+	p := lp.NewProblem(len(t.psi))
+	for k, w := range t.psi {
+		p.UB[k] = w
+		p.C[k] = 1
+	}
+	if len(t.grpRows) > 0 {
+		// SPJA: the objective counts each group's capped mass; with the
+		// partition substitution the u's themselves carry the objective.
+		for l, vars := range t.grpRows {
+			p.AddUnitRow(vars, t.grpB[l])
+		}
+	}
+	for _, vars := range t.capRows {
+		p.AddUnitRow(vars, tau)
+	}
+	return p
+}
+
+// Value solves the truncation LP at τ.
+func (t *LPTruncator) Value(tau float64) (float64, error) {
+	if tau < 0 {
+		return 0, fmt.Errorf("truncation: negative τ %g", tau)
+	}
+	if tau == 0 {
+		return 0, nil // every variable is capped to zero by its capacity rows
+	}
+	sol, err := lp.Solve(t.problem(tau), t.solveOpt)
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		// R2T's privacy proof is a property of the exact optimum; a partial
+		// solve must not be released.
+		return 0, fmt.Errorf("truncation: LP at τ=%g did not reach optimality (%v after %d iterations)", tau, sol.Status, sol.Iters)
+	}
+	return sol.Objective, nil
+}
+
+// SetSolveOptions overrides the LP solver options (used by the ablation
+// benchmarks; the defaults are correct for production use).
+func (t *LPTruncator) SetSolveOptions(opt lp.Options) { t.solveOpt = opt }
+
+// Bounder returns a dual bounder for the τ-LP, used by R2T's early stop.
+func (t *LPTruncator) Bounder(tau float64) *lp.DualBounder {
+	return lp.NewDualBounder(t.problem(tau))
+}
+
+// TrueAnswer returns Q(I).
+func (t *LPTruncator) TrueAnswer() float64 { return t.answer }
+
+// TauStar returns DS_Q(I) for SJA queries and IS_Q(I) for SPJA queries.
+func (t *LPTruncator) TauStar() float64 { return t.tauStar }
+
+// NumVariables reports the LP size (join results with positive weight).
+func (t *LPTruncator) NumVariables() int { return len(t.psi) }
+
+// NumCapacityRows reports the number of referenced individuals.
+func (t *LPTruncator) NumCapacityRows() int { return len(t.capRows) }
+
+// NaiveTruncator removes whole individuals whose sensitivity exceeds τ and
+// sums the rest. It is a valid R2T truncator only for self-join-free SJA
+// queries, where each join result references exactly one individual
+// (Section 6); Example 1.2 shows it is not DP-safe with self-joins, so NewNaive
+// rejects those inputs.
+type NaiveTruncator struct {
+	sens   []float64 // per-individual sensitivities, ascending
+	prefix []float64 // prefix sums of sens
+	answer float64
+}
+
+// NewNaive builds the operator; it fails if any join result references more
+// than one individual (a self-join) or the query has a projection.
+func NewNaive(res *exec.Result) (*NaiveTruncator, error) {
+	return NewNaiveFromOccurrences(FromResult(res))
+}
+
+// NewNaiveFromOccurrences builds the naive operator from occurrence form,
+// with the same self-join-free requirement as NewNaive.
+func NewNaiveFromOccurrences(o *Occurrences) (*NaiveTruncator, error) {
+	if o.Groups != nil {
+		return nil, fmt.Errorf("truncation: naive truncation does not support projection queries")
+	}
+	for _, set := range o.Sets {
+		if len(set) > 1 {
+			return nil, fmt.Errorf("truncation: naive truncation requires a self-join-free query (a join result references %d individuals)", len(set))
+		}
+	}
+	sens := make([]float64, o.NumIndividuals)
+	for k, set := range o.Sets {
+		for _, j := range set {
+			sens[j] += o.PsiAt(k)
+		}
+	}
+	n := &NaiveTruncator{answer: o.TrueAnswer()}
+	for _, s := range sens {
+		if s > 0 {
+			n.sens = append(n.sens, s)
+		}
+	}
+	sort.Float64s(n.sens)
+	n.prefix = make([]float64, len(n.sens)+1)
+	for i, s := range n.sens {
+		n.prefix[i+1] = n.prefix[i] + s
+	}
+	return n, nil
+}
+
+// Value returns Σ_{S_j ≤ τ} S_j.
+func (n *NaiveTruncator) Value(tau float64) (float64, error) {
+	if tau < 0 {
+		return 0, fmt.Errorf("truncation: negative τ %g", tau)
+	}
+	i := sort.SearchFloat64s(n.sens, math.Nextafter(tau, math.Inf(1)))
+	return n.prefix[i], nil
+}
+
+// TrueAnswer returns Q(I).
+func (n *NaiveTruncator) TrueAnswer() float64 { return n.answer }
+
+// TauStar returns DS_Q(I): the largest per-individual sensitivity.
+func (n *NaiveTruncator) TauStar() float64 {
+	if len(n.sens) == 0 {
+		return 0
+	}
+	return n.sens[len(n.sens)-1]
+}
+
+var (
+	_ Truncator = (*LPTruncator)(nil)
+	_ Truncator = (*NaiveTruncator)(nil)
+)

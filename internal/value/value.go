@@ -1,0 +1,236 @@
+// Package value defines the dynamically typed scalar values that flow through
+// the relational engine: 64-bit integers, 64-bit floats, and strings, plus a
+// null. Values are small comparable structs so they can be used directly as
+// map keys in hash joins and projection groups.
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a V.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	Null Kind = iota
+	Int
+	Float
+	String
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// V is a dynamically typed scalar. The zero value is Null. V is comparable
+// (usable as a map key); two Vs constructed by the same constructor from
+// equal Go values compare equal with ==.
+type V struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// NullV returns the null value.
+func NullV() V { return V{} }
+
+// IntV returns an integer value.
+func IntV(i int64) V { return V{K: Int, I: i} }
+
+// FloatV returns a float value.
+func FloatV(f float64) V { return V{K: Float, F: f} }
+
+// StringV returns a string value.
+func StringV(s string) V { return V{K: String, S: s} }
+
+// IsNull reports whether v is the null value.
+func (v V) IsNull() bool { return v.K == Null }
+
+// AsFloat converts a numeric value to float64. Strings and nulls yield 0.
+func (v V) AsFloat() float64 {
+	switch v.K {
+	case Int:
+		return float64(v.I)
+	case Float:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts a numeric value to int64 (floats truncate). Strings and
+// nulls yield 0.
+func (v V) AsInt() int64 {
+	switch v.K {
+	case Int:
+		return v.I
+	case Float:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// IsNumeric reports whether v is an Int or Float.
+func (v V) IsNumeric() bool { return v.K == Int || v.K == Float }
+
+// String renders the value for display and CSV output.
+func (v V) String() string {
+	switch v.K {
+	case Null:
+		return ""
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	default:
+		return fmt.Sprintf("?%d", v.K)
+	}
+}
+
+// Compare orders two values: -1 if v < w, 0 if equal, +1 if v > w.
+// Numeric kinds compare numerically across Int/Float. Nulls order first,
+// strings after numerics; cross-kind (string vs numeric) compares by kind.
+func Compare(v, w V) int {
+	if v.K == Null || w.K == Null {
+		switch {
+		case v.K == Null && w.K == Null:
+			return 0
+		case v.K == Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && w.IsNumeric() {
+		if v.K == Int && w.K == Int {
+			switch {
+			case v.I < w.I:
+				return -1
+			case v.I > w.I:
+				return 1
+			}
+			return 0
+		}
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.K == String && w.K == String {
+		switch {
+		case v.S < w.S:
+			return -1
+		case v.S > w.S:
+			return 1
+		}
+		return 0
+	}
+	// Mixed string/numeric: order by kind tag for a stable total order.
+	switch {
+	case v.K < w.K:
+		return -1
+	case v.K > w.K:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether v and w compare equal under Compare semantics
+// (so IntV(2) equals FloatV(2)).
+func Equal(v, w V) bool { return Compare(v, w) == 0 }
+
+// Less reports whether v orders strictly before w.
+func Less(v, w V) bool { return Compare(v, w) < 0 }
+
+// Key returns a canonical join key for v: numeric values that are equal under
+// Compare map to the same key. Use Key for map-based joins so IntV(2) and
+// FloatV(2) collide as SQL equality says they should.
+func (v V) Key() V {
+	if v.K == Float {
+		i := int64(v.F)
+		if float64(i) == v.F {
+			return IntV(i)
+		}
+	}
+	return v
+}
+
+// Add returns v + w with numeric promotion (Int+Int stays Int).
+func Add(v, w V) V { return arith(v, w, '+') }
+
+// Sub returns v - w with numeric promotion.
+func Sub(v, w V) V { return arith(v, w, '-') }
+
+// Mul returns v * w with numeric promotion.
+func Mul(v, w V) V { return arith(v, w, '*') }
+
+// Div returns v / w as a Float; division by zero yields Null.
+func Div(v, w V) V {
+	if w.AsFloat() == 0 {
+		return NullV()
+	}
+	return FloatV(v.AsFloat() / w.AsFloat())
+}
+
+func arith(v, w V, op byte) V {
+	if !v.IsNumeric() || !w.IsNumeric() {
+		return NullV()
+	}
+	if v.K == Int && w.K == Int {
+		switch op {
+		case '+':
+			return IntV(v.I + w.I)
+		case '-':
+			return IntV(v.I - w.I)
+		case '*':
+			return IntV(v.I * w.I)
+		}
+	}
+	a, b := v.AsFloat(), w.AsFloat()
+	switch op {
+	case '+':
+		return FloatV(a + b)
+	case '-':
+		return FloatV(a - b)
+	case '*':
+		return FloatV(a * b)
+	}
+	return NullV()
+}
+
+// Parse interprets a CSV field: integers, then floats, then strings.
+// The empty string parses as Null.
+func Parse(s string) V {
+	if s == "" {
+		return NullV()
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return IntV(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return FloatV(f)
+	}
+	return StringV(s)
+}

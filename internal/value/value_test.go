@@ -1,0 +1,134 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Null: "null", Int: "int", Float: "float", String: "string", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !NullV().IsNull() {
+		t.Error("NullV should be null")
+	}
+	if v := IntV(42); v.AsInt() != 42 || v.AsFloat() != 42 || !v.IsNumeric() {
+		t.Errorf("IntV accessors wrong: %+v", v)
+	}
+	if v := FloatV(2.5); v.AsFloat() != 2.5 || v.AsInt() != 2 || !v.IsNumeric() {
+		t.Errorf("FloatV accessors wrong: %+v", v)
+	}
+	if v := StringV("x"); v.IsNumeric() || v.AsFloat() != 0 || v.AsInt() != 0 {
+		t.Errorf("StringV accessors wrong: %+v", v)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b V
+		want int
+	}{
+		{IntV(1), IntV(2), -1},
+		{IntV(2), IntV(2), 0},
+		{IntV(3), IntV(2), 1},
+		{IntV(2), FloatV(2.0), 0},
+		{FloatV(1.5), IntV(2), -1},
+		{StringV("a"), StringV("b"), -1},
+		{StringV("b"), StringV("b"), 0},
+		{NullV(), IntV(0), -1},
+		{IntV(0), NullV(), 1},
+		{NullV(), NullV(), 0},
+		{IntV(5), StringV("5"), -1}, // numerics order before strings
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := IntV(a), FloatV(float64(b))
+		return Compare(va, vb) == -Compare(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyUnifiesNumerics(t *testing.T) {
+	if IntV(7).Key() != FloatV(7).Key() {
+		t.Error("IntV(7) and FloatV(7) should share a join key")
+	}
+	if IntV(7).Key() == FloatV(7.5).Key() {
+		t.Error("7 and 7.5 must not collide")
+	}
+	if got := FloatV(2.5).Key(); got.K != Float {
+		t.Errorf("non-integral float key should stay float, got %v", got.K)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(IntV(2), IntV(3)); got != IntV(5) {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := Mul(IntV(2), FloatV(1.5)); got != FloatV(3) {
+		t.Errorf("2*1.5 = %v", got)
+	}
+	if got := Sub(FloatV(5), IntV(2)); got != FloatV(3) {
+		t.Errorf("5-2 = %v", got)
+	}
+	if got := Div(IntV(7), IntV(2)); got != FloatV(3.5) {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := Div(IntV(7), IntV(0)); !got.IsNull() {
+		t.Errorf("7/0 = %v, want null", got)
+	}
+	if got := Add(StringV("x"), IntV(1)); !got.IsNull() {
+		t.Errorf("string arithmetic should be null, got %v", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want V
+	}{
+		{"", NullV()},
+		{"12", IntV(12)},
+		{"-3", IntV(-3)},
+		{"2.5", FloatV(2.5)},
+		{"1e3", FloatV(1000)},
+		{"hello", StringV("hello")},
+		{"2020-08-01", StringV("2020-08-01")},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); got != c.want {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+	// String() of a parsed value re-parses to the same value.
+	for _, s := range []string{"12", "-3", "2.5", "hello"} {
+		v := Parse(s)
+		if got := Parse(v.String()); got != v {
+			t.Errorf("round trip %q: %#v vs %#v", s, got, v)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := FloatV(math.Pi).String(); got == "" {
+		t.Error("float rendering empty")
+	}
+	if got := NullV().String(); got != "" {
+		t.Errorf("null renders as %q, want empty", got)
+	}
+}

@@ -1,0 +1,104 @@
+package r2t
+
+import (
+	"testing"
+)
+
+// TestEdgeDPVersusNodeDP exercises the Section 3.2 observation that the
+// FK-aware DP policy specializes to both edge-DP and node-DP for graphs:
+// designating Edge primary private (with its own key) protects single edges,
+// while designating Node protects a node together with all incident edges.
+func TestEdgeDPVersusNodeDP(t *testing.T) {
+	s := MustSchema(
+		&Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&Relation{Name: "Edge", Attrs: []string{"EID", "src", "dst"}, PK: "EID",
+			FKs: []FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+	db := NewDB(s)
+	// A 10-star: node 0 in the middle.
+	for i := int64(0); i <= 10; i++ {
+		if err := db.Insert("Node", Int(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(1); i <= 10; i++ {
+		if err := db.Insert("Edge", Int(i), Int(0), Int(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const q = `SELECT COUNT(*) FROM Edge`
+
+	// Node-DP: the hub is in all 10 edges → τ* = 10.
+	nodeAns, err := db.Query(q, Options{Epsilon: 1, GSQ: 64, Primary: []string{"Node"}, Noise: NewNoiseSource(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodeAns.TauStar != 10 {
+		t.Errorf("node-DP τ* = %g, want 10 (the hub)", nodeAns.TauStar)
+	}
+
+	// Edge-DP: every edge is its own individual → τ* = 1 and far less noise
+	// is needed for the same ε.
+	edgeAns, err := db.Query(q, Options{Epsilon: 1, GSQ: 64, Primary: []string{"Edge"}, Noise: NewNoiseSource(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edgeAns.TauStar != 1 {
+		t.Errorf("edge-DP τ* = %g, want 1", edgeAns.TauStar)
+	}
+	if edgeAns.Individuals != 10 || nodeAns.Individuals != 11 {
+		t.Errorf("individuals: edge-DP %d (want 10 edges), node-DP %d (want 11 nodes)",
+			edgeAns.Individuals, nodeAns.Individuals)
+	}
+	// Both estimates are usable here, but edge-DP's error bound is 10× tighter.
+	nb := ErrorBound(Options{Epsilon: 1, GSQ: 64, Beta: 0.1}, nodeAns.TauStar)
+	eb := ErrorBound(Options{Epsilon: 1, GSQ: 64, Beta: 0.1}, edgeAns.TauStar)
+	if eb*9 > nb {
+		t.Errorf("edge-DP bound %g should be ~10x tighter than node-DP %g", eb, nb)
+	}
+}
+
+// TestNeighborSemantics verifies the policies' neighbor definitions at the
+// storage level: removing a node cascades to its edges, removing an edge
+// touches nothing else.
+func TestNeighborSemantics(t *testing.T) {
+	s := MustSchema(
+		&Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&Relation{Name: "Edge", Attrs: []string{"EID", "src", "dst"}, PK: "EID",
+			FKs: []FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+	db := NewDB(s)
+	for i := int64(0); i < 4; i++ {
+		if err := db.Insert("Node", Int(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := [][3]int64{{1, 0, 1}, {2, 1, 2}, {3, 2, 3}}
+	for _, e := range edges {
+		if err := db.Insert("Edge", Int(e[0]), Int(e[1]), Int(e[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Node-DP neighbor: drop node 1 → edges (0,1) and (1,2) must go too.
+	nodeNb, err := db.Instance().RemoveIndividual("Node", Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodeNb.Table("Edge").Len() != 1 {
+		t.Errorf("node-DP neighbor kept %d edges, want 1", nodeNb.Table("Edge").Len())
+	}
+	if nodeNb.Table("Node").Len() != 3 {
+		t.Errorf("node-DP neighbor kept %d nodes, want 3", nodeNb.Table("Node").Len())
+	}
+
+	// Edge-DP neighbor: drop edge 2 → nodes untouched.
+	edgeNb, err := db.Instance().RemoveIndividual("Edge", Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edgeNb.Table("Edge").Len() != 2 || edgeNb.Table("Node").Len() != 4 {
+		t.Errorf("edge-DP neighbor: %d edges, %d nodes", edgeNb.Table("Edge").Len(), edgeNb.Table("Node").Len())
+	}
+}

@@ -1,0 +1,176 @@
+package r2t
+
+import (
+	"math"
+	"testing"
+
+	"r2t/internal/dp"
+	"r2t/internal/graph"
+)
+
+// empiricalEpsilonCheck runs mechanism M on two neighboring inputs many
+// times and checks the DP inequality P[M(I) ∈ S] ≤ e^ε·P[M(I′) ∈ S] + slack
+// over threshold events S = {output > t}, both directions. It returns the
+// worst log-ratio observed on events with enough mass to estimate. This is a
+// smoke detector, not a proof: it catches gross violations (like Example
+// 1.2's naive truncation) while passing correct mechanisms with slack for
+// sampling noise.
+func empiricalEpsilonCheck(runA, runB func(seed int64) float64, runs int) float64 {
+	a := make([]float64, runs)
+	b := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		a[i] = runA(int64(i))
+		b[i] = runB(int64(i) + 1e6)
+	}
+	// Thresholds spanning both samples.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range append(append([]float64(nil), a...), b...) {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	worst := 0.0
+	floor := 0.5 / float64(runs) // half an observation
+	for i := 1; i < 20; i++ {
+		t := lo + (hi-lo)*float64(i)/20
+		pa := tailFrac(a, t)
+		pb := tailFrac(b, t)
+		// Skip events too rare on BOTH sides to say anything; an event that
+		// is common on one side and absent on the other is exactly the
+		// violation signature, so it must not be filtered — the absent side
+		// is floored at half an observation.
+		if (pa < 0.05 && pb < 0.05) || (pa > 0.95 && pb > 0.95) {
+			continue
+		}
+		r := math.Abs(math.Log(math.Max(pa, floor) / math.Max(pb, floor)))
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func tailFrac(xs []float64, t float64) float64 {
+	c := 0
+	for _, x := range xs {
+		if x > t {
+			c++
+		}
+	}
+	return float64(c) / float64(len(xs))
+}
+
+// TestR2TEmpiricalPrivacy: R2T on a graph and its node-removed neighbor must
+// produce statistically close outputs (log-ratio ≲ ε plus sampling slack).
+func TestR2TEmpiricalPrivacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const eps = 0.5
+	// A 6-star plus triangles; the neighbor removes the hub (the most
+	// influential individual).
+	build := func(removeHub bool) *DB {
+		var edges [][2]int64
+		for i := int64(1); i <= 6; i++ {
+			if !removeHub {
+				edges = append(edges, [2]int64{0, i})
+			}
+		}
+		for i := int64(0); i < 20; i++ {
+			a := 7 + 3*i
+			edges = append(edges, [2]int64{a, a + 1}, [2]int64{a + 1, a + 2}, [2]int64{a, a + 2})
+		}
+		return graphDB(t, edges, 70)
+	}
+	dbI, dbN := build(false), build(true)
+	run := func(db *DB) func(int64) float64 {
+		return func(seed int64) float64 {
+			ans, err := db.Query(edgeCount, Options{
+				Epsilon: eps, GSQ: 64, Primary: []string{"Node"}, Noise: NewNoiseSource(seed),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ans.Estimate
+		}
+	}
+	worst := empiricalEpsilonCheck(run(dbI), run(dbN), 1500)
+	// Allow ε plus generous sampling slack.
+	if worst > eps+1.0 {
+		t.Errorf("R2T empirical log-ratio %.2f far above ε=%g", worst, eps)
+	}
+	t.Logf("R2T worst empirical log-ratio: %.3f (ε=%g)", worst, eps)
+}
+
+// TestExample12NaiveTruncationFailsPrivacy is the paper's Example 1.2 as a
+// positive control for the distinguisher: naive truncation by degree (count
+// edges after dropping nodes with degree > τ, plus Lap(τ/ε) noise) is NOT DP
+// in the presence of self-joins. On a τ-regular graph vs. the neighbor with
+// one added hub, the outputs are nearly disjoint and the check must flag it.
+func TestExample12NaiveTruncationFailsPrivacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const tau = 4
+	const eps = 0.5
+	n := 40
+
+	// G: a τ-regular graph (circulant: each node joins its 2 neighbors on
+	// each side). G′: add a hub connected to everyone (degrees become τ+1).
+	base := graph.New(n + 1)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= tau/2; d++ {
+			base.AddEdge(u, (u+d)%n)
+		}
+	}
+	base.Finalize()
+	withHub := graph.New(n + 1)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= tau/2; d++ {
+			withHub.AddEdge(u, (u+d)%n)
+		}
+		withHub.AddEdge(u, n)
+	}
+	withHub.Finalize()
+
+	broken := func(g *graph.Graph) func(int64) float64 {
+		return func(seed int64) float64 {
+			truncated := g.DropHighDegree(tau)
+			return graph.Count(truncated, graph.Edges) + dp.NewSource(seed).Laplace(tau/eps)
+		}
+	}
+	worst := empiricalEpsilonCheck(broken(base), broken(withHub), 800)
+	if worst < 1.5 {
+		t.Errorf("the distinguisher should flag Example 1.2's broken mechanism, log-ratio only %.2f", worst)
+	}
+	t.Logf("naive truncation with a self-join: worst empirical log-ratio %.2f ≫ ε=%g, as Example 1.2 predicts", worst, eps)
+
+	// And the LP-based R2T on the same pair stays private.
+	toDB := func(g *graph.Graph) *DB {
+		var edges [][2]int64
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Adj[u] {
+				if int32(u) < v {
+					edges = append(edges, [2]int64{int64(u), int64(v)})
+				}
+			}
+		}
+		return graphDB(t, edges, int64(g.N))
+	}
+	dbA, dbB := toDB(base), toDB(withHub)
+	r2tRun := func(db *DB) func(int64) float64 {
+		return func(seed int64) float64 {
+			ans, err := db.Query(edgeCount, Options{
+				Epsilon: eps, GSQ: 64, Primary: []string{"Node"}, Noise: NewNoiseSource(seed),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ans.Estimate
+		}
+	}
+	r2tWorst := empiricalEpsilonCheck(r2tRun(dbA), r2tRun(dbB), 800)
+	if r2tWorst > eps+1.0 {
+		t.Errorf("R2T on the Example 1.2 pair: log-ratio %.2f above ε+slack", r2tWorst)
+	}
+	t.Logf("R2T on the same pair: worst empirical log-ratio %.3f (private, as Lemma 6.1 guarantees)", r2tWorst)
+}

@@ -1,0 +1,289 @@
+// Package r2t is a differentially private SQL query engine implementing R2T
+// — "Race-to-the-Top", the instance-optimal truncation mechanism for SPJA
+// queries over databases with foreign-key constraints (Dong, Fang, Yi, Tao,
+// Machanavajjhala, SIGMOD 2022).
+//
+// A DB wraps a schema with PK/FK constraints and an in-memory instance.
+// Query evaluates one SPJA query (COUNT(*), COUNT(DISTINCT ...) or SUM(...)
+// over selections and joins, including self-joins) under ε-differential
+// privacy with respect to a designated set of primary private relations:
+// neighboring databases differ in one tuple of a primary private relation
+// plus everything that references it, the FK-aware policy of the paper.
+//
+//	db := r2t.NewDB(schema)
+//	db.Insert("Node", r2t.Int(1))
+//	...
+//	ans, err := db.Query(`SELECT COUNT(*) FROM Edge WHERE src < dst`, r2t.Options{
+//		Epsilon: 0.8,
+//		GSQ:     1024,
+//		Primary: []string{"Node"},
+//	})
+//
+// The released Answer.Estimate is ε-DP. Everything else in Answer
+// (TrueAnswer, sensitivities, per-race diagnostics) is computed from the
+// private data without noise and is exposed for experiments and debugging
+// only — do not release those fields.
+package r2t
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"r2t/internal/core"
+	"r2t/internal/dp"
+	"r2t/internal/exec"
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/sql"
+	"r2t/internal/storage"
+	"r2t/internal/truncation"
+	"r2t/internal/value"
+)
+
+// Re-exported building blocks, so the public API is self-contained.
+type (
+	// Schema is a validated relational schema with PK/FK constraints.
+	Schema = schema.Schema
+	// Relation declares one relation of a schema.
+	Relation = schema.Relation
+	// FK declares a foreign-key constraint (Attr references Ref's PK).
+	FK = schema.FK
+	// Instance is an in-memory database instance.
+	Instance = storage.Instance
+	// Row is one tuple.
+	Row = storage.Row
+	// Value is a dynamically typed scalar (int, float, string, null).
+	Value = value.V
+	// NoiseSource draws the Laplace noise a mechanism adds.
+	NoiseSource = dp.NoiseSource
+)
+
+// NewSchema validates and returns a schema.
+func NewSchema(rels ...*Relation) (*Schema, error) { return schema.New(rels...) }
+
+// MustSchema is NewSchema but panics on error.
+func MustSchema(rels ...*Relation) *Schema { return schema.MustNew(rels...) }
+
+// Int, Float and Str build values for Insert.
+func Int(i int64) Value     { return value.IntV(i) }
+func Float(f float64) Value { return value.FloatV(f) }
+func Str(s string) Value    { return value.StringV(s) }
+
+// NewNoiseSource returns a deterministic seeded noise source, for
+// reproducible experiments. Production deployments should supply their own
+// cryptographically secure NoiseSource.
+func NewNoiseSource(seed int64) NoiseSource { return dp.NewSource(seed) }
+
+// DB couples a schema with an instance.
+type DB struct {
+	schema   *Schema
+	instance *Instance
+}
+
+// NewDB creates an empty database over s.
+func NewDB(s *Schema) *DB {
+	return &DB{schema: s, instance: storage.NewInstance(s)}
+}
+
+// NewDBWithInstance wraps an existing instance (e.g. from a generator).
+func NewDBWithInstance(inst *Instance) *DB {
+	return &DB{schema: inst.Schema, instance: inst}
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() *Schema { return db.schema }
+
+// Instance returns the underlying instance (private data — handle with care).
+func (db *DB) Instance() *Instance { return db.instance }
+
+// Insert appends one tuple to the named relation.
+func (db *DB) Insert(relation string, vals ...Value) error {
+	return db.instance.Insert(relation, Row(vals))
+}
+
+// LoadCSV loads a relation from a CSV file with a header row.
+func (db *DB) LoadCSV(relation, path string) error {
+	return db.instance.ReadCSVFile(relation, path)
+}
+
+// CheckIntegrity verifies PK uniqueness and FK referential integrity.
+func (db *DB) CheckIntegrity() error { return db.instance.CheckIntegrity() }
+
+// Options configures one private query evaluation.
+type Options struct {
+	// Epsilon is the privacy budget ε (> 0). Required.
+	Epsilon float64
+	// GSQ is the assumed bound on the query's global sensitivity — the most
+	// any one individual may contribute (Section 4). Required, ≥ 2. R2T's
+	// error grows only logarithmically in GSQ, so be conservative.
+	GSQ float64
+	// Primary names the primary private relations (each must have a primary
+	// key). Required.
+	Primary []string
+	// Beta is the failure probability of the utility guarantee (default 0.1).
+	// It does not affect privacy.
+	Beta float64
+	// Noise overrides the noise source (default: time-seeded).
+	Noise NoiseSource
+	// EarlyStop enables the dual-bound race pruning of Algorithm 1.
+	EarlyStop bool
+	// Naive forces naive truncation instead of the LP operator. Only valid
+	// for self-join-free queries without projection; Query fails otherwise.
+	// The LP operator (default) is valid for all SPJA queries.
+	Naive bool
+	// Workers solves races concurrently (default 1; negative = GOMAXPROCS).
+	// The released estimate is unchanged; only wall time.
+	Workers int
+	// AllowNegativeSum lifts the paper's ψ ≥ 0 requirement for SUM queries:
+	// the query is split into Q⁺ − Q⁻ (each with non-negative weights), each
+	// half runs R2T with ε/2, and the difference is released. GSQ then bounds
+	// an individual's contribution to *either* half.
+	AllowNegativeSum bool
+}
+
+// Race mirrors core.Race: diagnostics for one truncation level.
+type Race = core.Race
+
+// Answer is the outcome of one private query evaluation. Only Estimate is
+// ε-DP; the remaining fields are non-private diagnostics.
+type Answer struct {
+	// Estimate is the released, ε-differentially-private query answer.
+	Estimate float64
+
+	// Non-private diagnostics (do not release):
+	TrueAnswer  float64 // exact query answer Q(I)
+	TauStar     float64 // DS_Q(I) for SJA, IS_Q(I) for SPJA — the error scale
+	WinnerTau   float64 // τ of the winning race
+	Races       []Race  // per-τ diagnostics
+	NumResults  int     // join results |J(I)|
+	Individuals int     // referenced primary-private tuples
+	Duration    time.Duration
+}
+
+// ExportReport evaluates the rewritten reporting query (Section 9) and
+// writes its occurrence form — ψ(q_k) plus the referencing individuals per
+// join result — to w, the file handoff of the paper's Figure 3 pipeline.
+//
+// The output is RAW PRIVATE DATA (it is the input to the DP mechanism, not
+// its output); treat the file with the same care as the database itself.
+func (db *DB) ExportReport(sqlText string, primary []string, w io.Writer) error {
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return err
+	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: primary})
+	if err != nil {
+		return err
+	}
+	res, err := exec.Run(p, db.instance)
+	if err != nil {
+		return err
+	}
+	return truncation.WriteOccurrences(w, truncation.FromResult(res))
+}
+
+// Query runs one SPJA query under ε-DP with the R2T mechanism.
+func (db *DB) Query(sqlText string, opt Options) (*Answer, error) {
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.run(parsed, opt)
+}
+
+func (db *DB) run(parsed *sql.Query, opt Options) (*Answer, error) {
+	priv := schema.PrivateSpec{Primary: opt.Primary}
+	p, err := plan.Build(parsed, db.schema, priv)
+	if err != nil {
+		return nil, err
+	}
+	if opt.AllowNegativeSum && parsed.Agg == sql.AggSum {
+		return db.runSigned(p, opt)
+	}
+	res, err := exec.Run(p, db.instance)
+	if err != nil {
+		return nil, err
+	}
+
+	var tr truncation.Truncator
+	if opt.Naive {
+		nt, err := truncation.NewNaive(res)
+		if err != nil {
+			return nil, fmt.Errorf("r2t: naive truncation requested but not applicable: %w", err)
+		}
+		tr = nt
+	} else {
+		tr = truncation.NewLP(res)
+	}
+
+	out, err := core.Run(tr, core.Config{
+		Epsilon:   opt.Epsilon,
+		Beta:      opt.Beta,
+		GSQ:       opt.GSQ,
+		Noise:     opt.Noise,
+		EarlyStop: opt.EarlyStop,
+		Workers:   opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{
+		Estimate:    out.Estimate,
+		TrueAnswer:  res.TrueAnswer(),
+		TauStar:     res.MaxTupleSensitivity(),
+		WinnerTau:   out.WinnerTau,
+		Races:       out.Races,
+		NumResults:  len(res.Rows),
+		Individuals: res.NumIndividuals(),
+		Duration:    out.Duration,
+	}, nil
+}
+
+// runSigned answers a SUM query with possibly negative weights by splitting
+// it into non-negative halves (Q = Q⁺ − Q⁻), running R2T on each with half
+// the budget, and releasing the difference — ε-DP by basic composition and
+// post-processing.
+func (db *DB) runSigned(p *plan.Plan, opt Options) (*Answer, error) {
+	pos, neg, err := exec.RunSplit(p, db.instance)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Epsilon:   opt.Epsilon / 2,
+		Beta:      opt.Beta,
+		GSQ:       opt.GSQ,
+		Noise:     opt.Noise,
+		EarlyStop: opt.EarlyStop,
+		Workers:   opt.Workers,
+	}
+	outPos, err := core.Run(truncation.NewLP(pos), cfg)
+	if err != nil {
+		return nil, err
+	}
+	outNeg, err := core.Run(truncation.NewLP(neg), cfg)
+	if err != nil {
+		return nil, err
+	}
+	tauStar := pos.MaxTupleSensitivity()
+	if ts := neg.MaxTupleSensitivity(); ts > tauStar {
+		tauStar = ts
+	}
+	return &Answer{
+		Estimate:    outPos.Estimate - outNeg.Estimate,
+		TrueAnswer:  pos.TrueAnswer() - neg.TrueAnswer(),
+		TauStar:     tauStar,
+		WinnerTau:   outPos.WinnerTau,
+		Races:       append(append([]Race(nil), outPos.Races...), outNeg.Races...),
+		NumResults:  len(pos.Rows) + len(neg.Rows),
+		Individuals: pos.NumIndividuals() + neg.NumIndividuals(),
+		Duration:    outPos.Duration + outNeg.Duration,
+	}, nil
+}
+
+// ErrorBound returns the Theorem 5.1 utility bound for the given options and
+// τ* value: with probability ≥ 1−β the estimate is within this distance
+// below the true answer (and never meaningfully above it).
+func ErrorBound(opt Options, tauStar float64) float64 {
+	return core.ErrorBound(core.Config{Epsilon: opt.Epsilon, Beta: opt.Beta, GSQ: opt.GSQ}, tauStar)
+}

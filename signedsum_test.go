@@ -1,0 +1,104 @@
+package r2t
+
+import (
+	"math"
+	"testing"
+)
+
+func ledgerDB(t *testing.T) *DB {
+	t.Helper()
+	s := MustSchema(
+		&Relation{Name: "Account", Attrs: []string{"AK"}, PK: "AK"},
+		&Relation{Name: "Txn", Attrs: []string{"TK", "AK", "amount"}, PK: "TK",
+			FKs: []FK{{Attr: "AK", Ref: "Account"}}},
+	)
+	db := NewDB(s)
+	tk := int64(0)
+	for a := int64(0); a < 200; a++ {
+		if err := db.Insert("Account", Int(a)); err != nil {
+			t.Fatal(err)
+		}
+		// Each account: two credits of 10 and one debit of 5 → net +15.
+		for _, amt := range []float64{10, 10, -5} {
+			if err := db.Insert("Txn", Int(tk), Int(a), Float(amt)); err != nil {
+				t.Fatal(err)
+			}
+			tk++
+		}
+	}
+	return db
+}
+
+func TestSignedSumRejectedByDefault(t *testing.T) {
+	db := ledgerDB(t)
+	_, err := db.Query("SELECT SUM(amount) FROM Txn", Options{
+		Epsilon: 1, GSQ: 1024, Primary: []string{"Account"},
+	})
+	if err == nil {
+		t.Fatal("negative ψ without AllowNegativeSum must fail")
+	}
+}
+
+func TestSignedSumSplit(t *testing.T) {
+	db := ledgerDB(t)
+	ans, err := db.Query("SELECT SUM(amount) FROM Txn", Options{
+		Epsilon: 4, GSQ: 1024, Primary: []string{"Account"},
+		AllowNegativeSum: true, Noise: NewNoiseSource(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.TrueAnswer != 200*15 {
+		t.Fatalf("true answer %g, want 3000", ans.TrueAnswer)
+	}
+	// τ* is the larger of the halves: per-account credit 20 vs debit 5.
+	if ans.TauStar != 20 {
+		t.Errorf("τ* = %g, want 20", ans.TauStar)
+	}
+	if math.Abs(ans.Estimate-3000) > 3000 {
+		t.Errorf("estimate %g unusably far from 3000", ans.Estimate)
+	}
+	// Races from both halves are reported.
+	if len(ans.Races) < 12 {
+		t.Errorf("races = %d, want both halves' races", len(ans.Races))
+	}
+}
+
+func TestSignedSumEquivalentWhenAllPositive(t *testing.T) {
+	// On all-positive data the split's negative half is empty, so the
+	// positive half must reproduce the plain pipeline's true answer exactly
+	// (estimates differ only by the ε/2 budget split).
+	s := MustSchema(
+		&Relation{Name: "C", Attrs: []string{"k"}, PK: "k"},
+		&Relation{Name: "O", Attrs: []string{"ok", "k", "v"}, PK: "ok",
+			FKs: []FK{{Attr: "k", Ref: "C"}}},
+	)
+	db := NewDB(s)
+	for i := int64(0); i < 50; i++ {
+		if err := db.Insert("C", Int(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("O", Int(i), Int(i), Float(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain, err := db.Query("SELECT SUM(v) FROM O", Options{
+		Epsilon: 2, GSQ: 256, Primary: []string{"C"}, Noise: NewNoiseSource(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := db.Query("SELECT SUM(v) FROM O", Options{
+		Epsilon: 2, GSQ: 256, Primary: []string{"C"}, Noise: NewNoiseSource(4),
+		AllowNegativeSum: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TrueAnswer != split.TrueAnswer {
+		t.Fatalf("true answers differ: %g vs %g", plain.TrueAnswer, split.TrueAnswer)
+	}
+	if split.TauStar != plain.TauStar {
+		t.Fatalf("τ* differ: %g vs %g", split.TauStar, plain.TauStar)
+	}
+}
