@@ -234,6 +234,47 @@ func BenchmarkAblationNoDecompose(b *testing.B) {
 // BenchmarkAblationNoCrash starts the simplex from x = 0.
 func BenchmarkAblationNoCrash(b *testing.B) { benchAblationSolve(b, lpOptions{NoCrash: true}) }
 
+// --- τ-grid benchmarks (cold per-race pipeline vs amortized GridSolver) ---
+
+// BenchmarkR2TGrid measures a full race grid (every τ R2T would solve) per
+// workload, in two modes: "cold" rebuilds and solves one LP per race the
+// pre-grid way; "grid" routes the schedule through the shared-skeleton
+// GridSolver. cmd/benchjson runs the same workloads and records the numbers
+// in BENCH_R2T.json.
+func BenchmarkR2TGrid(b *testing.B) {
+	workloads, err := experiments.GridWorkloads(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range workloads {
+		w := &workloads[i]
+		b.Run(w.Name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.SolveCold(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/grid", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.SolveGrid(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/grid-warm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.SolveGridWarm(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTPCHGenerate measures the synthetic data generator.
 func BenchmarkTPCHGenerate(b *testing.B) {
 	b.ReportAllocs()

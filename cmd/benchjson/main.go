@@ -1,0 +1,158 @@
+// Command benchjson measures the τ-grid workloads (the same ones
+// BenchmarkR2TGrid runs) with testing.Benchmark and writes the numbers to
+// BENCH_R2T.json, the repo's recorded perf trajectory for the amortized grid
+// solver. For every workload it times the cold per-race baseline (one full
+// lp.Solve pipeline per τ, the pre-grid behaviour), the grid path
+// (production: shared skeleton, cold per-τ simplex), and the warm-start mode,
+// and verifies that cold and grid objectives agree bit-for-bit before
+// recording anything.
+//
+//	go run ./cmd/benchjson            # writes BENCH_R2T.json in the cwd
+//	go run ./cmd/benchjson -o out.json -sf 0.1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"r2t/internal/experiments"
+)
+
+type mode struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Speedup     float64 `json:"speedup_vs_cold,omitempty"`
+}
+
+type workloadResult struct {
+	Workload    string          `json:"workload"`
+	Races       int             `json:"races"`
+	Occurrences int             `json:"occurrences"`
+	BitwiseEq   bool            `json:"grid_bitwise_equals_cold"`
+	Modes       map[string]mode `json:"modes"`
+}
+
+func measure(f func() ([]float64, error)) (mode, error) {
+	var inner error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f(); err != nil {
+				inner = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if inner != nil {
+		return mode{}, inner
+	}
+	return mode{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+func main() {
+	var (
+		out = flag.String("o", "BENCH_R2T.json", "output file")
+		sf  = flag.Float64("sf", 0.05, "TPC-H scale factor for the tpch workload")
+	)
+	flag.Parse()
+
+	workloads, err := experiments.GridWorkloads(*sf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	var results []workloadResult
+	for i := range workloads {
+		w := &workloads[i]
+
+		// Correctness gate: the grid objectives must be bit-identical to the
+		// cold per-race pipeline's before any number is recorded.
+		coldVals, err := w.SolveCold()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
+			os.Exit(1)
+		}
+		gridVals, err := w.SolveGrid()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
+			os.Exit(1)
+		}
+		eq := len(coldVals) == len(gridVals)
+		for j := range coldVals {
+			if !eq || math.Float64bits(coldVals[j]) != math.Float64bits(gridVals[j]) {
+				eq = false
+				break
+			}
+		}
+		if !eq {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: grid values diverge from cold — refusing to record\n", w.Name)
+			os.Exit(1)
+		}
+
+		res := workloadResult{
+			Workload:    w.Name,
+			Races:       len(w.Taus),
+			Occurrences: len(w.Occ.Sets),
+			BitwiseEq:   true,
+			Modes:       map[string]mode{},
+		}
+		cold, err := measure(w.SolveCold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
+			os.Exit(1)
+		}
+		res.Modes["cold"] = cold
+		grid, err := measure(w.SolveGrid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
+			os.Exit(1)
+		}
+		grid.Speedup = round2(float64(cold.NsPerOp) / float64(grid.NsPerOp))
+		res.Modes["grid"] = grid
+		warm, err := measure(w.SolveGridWarm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
+			os.Exit(1)
+		}
+		warm.Speedup = round2(float64(cold.NsPerOp) / float64(warm.NsPerOp))
+		res.Modes["grid-warm"] = warm
+
+		fmt.Fprintf(os.Stderr, "%-16s cold %8dns  grid %8dns (%.2fx, allocs %d→%d)  warm %8dns (%.2fx)\n",
+			w.Name, cold.NsPerOp, grid.NsPerOp, grid.Speedup,
+			cold.AllocsPerOp, grid.AllocsPerOp, warm.NsPerOp, warm.Speedup)
+		results = append(results, res)
+	}
+
+	doc := struct {
+		Description string           `json:"description"`
+		Command     string           `json:"command"`
+		Workloads   []workloadResult `json:"workloads"`
+	}{
+		Description: "Full τ-grid solve (every race R2T runs for GS_Q=1024): cold per-race lp.Solve pipeline vs amortized lp.GridSolver. grid is the production path (bit-identical objectives, enforced above); grid-warm chains simplex warm starts across τ (exact but not bit-stable, see DESIGN.md).",
+		Command:     "go run ./cmd/benchjson",
+		Workloads:   results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"r2t/internal/dp"
+	"r2t/internal/truncation"
+)
+
+// The LP truncator must stay grid-capable: Run's amortized path depends on it.
+var _ GridTruncator = (*truncation.LPTruncator)(nil)
+
+// valueOnly hides Values (and Bounder), forcing Run onto the per-race path —
+// the pre-grid behaviour the grid path must reproduce exactly.
+type valueOnly struct{ truncation.Truncator }
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func TestGridPathBitIdenticalToPerRace(t *testing.T) {
+	// For a fixed noise source the grid-solved run must release the exact
+	// same estimate as per-race Value calls — the acceptance contract of the
+	// amortized path.
+	inst, s := starInstance(t, []int{3, 5, 9, 17, 30})
+	tr := edgeTruncator(t, inst, s)
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := Config{Epsilon: 1, GSQ: 256, Noise: dp.NewSource(seed)}
+		grid, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Noise = dp.NewSource(seed)
+		perRace, err := Run(valueOnly{tr}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameBits(grid.Estimate, perRace.Estimate) {
+			t.Fatalf("seed %d: grid estimate %v != per-race %v", seed, grid.Estimate, perRace.Estimate)
+		}
+		if grid.WinnerTau != perRace.WinnerTau {
+			t.Fatalf("seed %d: winner τ %g != %g", seed, grid.WinnerTau, perRace.WinnerTau)
+		}
+		if len(grid.Races) != len(perRace.Races) {
+			t.Fatalf("seed %d: race counts differ", seed)
+		}
+		for i := range grid.Races {
+			g, p := grid.Races[i], perRace.Races[i]
+			if g.Tau != p.Tau || !g.Solved || !sameBits(g.Value, p.Value) || !sameBits(g.Noisy, p.Noisy) {
+				t.Fatalf("seed %d race τ=%g: grid (%v, %v) != per-race (%v, %v)",
+					seed, g.Tau, g.Value, g.Noisy, p.Value, p.Noisy)
+			}
+		}
+	}
+}
+
+func TestParallelBitIdenticalToSerial(t *testing.T) {
+	// Regression pin for the worker pool (run under -race by scripts/check.sh):
+	// with a fixed noise source the Workers:4 estimate must be byte-identical
+	// to the serial one on every path — plain per-race, early-stop, and grid.
+	inst, s := starInstance(t, []int{3, 5, 9, 17, 30})
+	lpTr := edgeTruncator(t, inst, s)
+	paths := []struct {
+		name  string
+		tr    truncation.Truncator
+		early bool
+	}{
+		{"plain-per-race", valueOnly{lpTr}, false},
+		{"early-stop", lpTr, true},
+		{"grid", lpTr, false},
+	}
+	for _, path := range paths {
+		for seed := int64(0); seed < 12; seed++ {
+			serial, err := Run(path.tr, Config{
+				Epsilon: 1, GSQ: 256, Noise: dp.NewSource(seed), EarlyStop: path.early, Workers: 1,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", path.name, seed, err)
+			}
+			parallel, err := Run(path.tr, Config{
+				Epsilon: 1, GSQ: 256, Noise: dp.NewSource(seed), EarlyStop: path.early, Workers: 4,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", path.name, seed, err)
+			}
+			if !sameBits(serial.Estimate, parallel.Estimate) {
+				t.Fatalf("%s seed %d: parallel estimate %v (bits %x) != serial %v (bits %x)",
+					path.name, seed,
+					parallel.Estimate, math.Float64bits(parallel.Estimate),
+					serial.Estimate, math.Float64bits(serial.Estimate))
+			}
+		}
+	}
+}
+
+func TestGridPathSkippedUnderEarlyStop(t *testing.T) {
+	// Early stop interleaves pruning with solving, so the per-race loop must
+	// stay in charge: at least one race should be pruned (not solved), which
+	// the grid path never produces.
+	inst, s := starInstance(t, []int{2, 2, 2, 30})
+	tr := edgeTruncator(t, inst, s)
+	pruned := 0
+	for seed := int64(0); seed < 20; seed++ {
+		out, err := Run(tr, Config{Epsilon: 8, GSQ: 1 << 16, Noise: dp.NewSource(seed), EarlyStop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Races {
+			if r.Pruned {
+				pruned++
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Error("early stop with a grid-capable truncator never pruned — grid path may be shadowing it")
+	}
+}

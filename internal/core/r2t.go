@@ -100,6 +100,15 @@ type DualBounded interface {
 	Bounder(tau float64) *lp.DualBounder
 }
 
+// GridTruncator is implemented by truncators (the LP one) that can evaluate a
+// whole τ schedule with amortized work. Each returned entry must be
+// bit-identical to the corresponding Value call, so routing the races through
+// it never changes the released estimate.
+type GridTruncator interface {
+	truncation.Truncator
+	Values(taus []float64) ([]float64, error)
+}
+
 // Run executes R2T over the truncated estimator tr.
 //
 // Privacy: each race's Q(I,τ^(j)) has global sensitivity ≤ τ^(j) (truncator
@@ -204,6 +213,31 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 		return nil
 	}
 
+	// Without early stop every race is solved exactly, so a grid-capable
+	// truncator evaluates the whole schedule in one amortized pass (the
+	// τ-independent LP structure is shared across races). Values is
+	// bit-identical to per-race Value calls, so the estimate is unchanged;
+	// noise was already drawn above, in the same order as the race loop.
+	// Early stop keeps the per-race loop: pruning decisions interleave with
+	// solves and depend on the running best.
+	if gridTr, canGrid := tr.(GridTruncator); canGrid && !useEarly && n > 0 {
+		gridStart := time.Now()
+		vs, err := gridTr.Values(taus)
+		if err != nil {
+			return nil, err
+		}
+		per := time.Since(gridStart) / time.Duration(n)
+		for j := n - 1; j >= 0; j-- {
+			shift := noise[j] - penaltyFactor*taus[j]
+			finish(Race{
+				Tau:      taus[j],
+				Solved:   true,
+				Value:    vs[j],
+				Noisy:    vs[j] + shift,
+				Duration: per, // amortized share of the grid pass
+			})
+		}
+	} else
 	// Largest τ first: those LPs tend to solve fastest (their capacity rows
 	// are mostly redundant), and a strong early best prunes the rest.
 	if workers == 1 {

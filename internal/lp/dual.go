@@ -16,27 +16,49 @@ import (
 // (a 1-D convex piecewise-linear problem solved over its breakpoints); later
 // calls run projected subgradient steps from there.
 type DualBounder struct {
-	p    *Problem
-	y    []float64
-	best float64
-	t    int
-	colA []float64 // per-variable column sums Σ_i A_ik
-	init bool
+	n     int
+	c, ub []float64
+	rows  []Row // Idx/Coef may be shared across bounders; B is per-bounder
+	y     []float64
+	best  float64
+	t     int
+	colA  []float64 // per-variable column sums Σ_i A_ik (τ-independent)
+	init  bool
 }
 
 // NewDualBounder prepares a bounder; the initial bound is the trivial y = 0
 // bound Σ_k max(c_k,0)·u_k.
 func NewDualBounder(p *Problem) *DualBounder {
-	d := &DualBounder{p: p, y: make([]float64, len(p.Rows)), colA: make([]float64, p.NumVars)}
+	colA := make([]float64, p.NumVars)
 	for _, r := range p.Rows {
 		for j, k := range r.Idx {
-			d.colA[k] += r.Coef[j]
+			colA[k] += r.Coef[j]
 		}
 	}
+	return newDualBounder(p.NumVars, p.C, p.UB, p.Rows, colA)
+}
+
+// Bounder returns a DualBounder for the grid's problem at capacity τ. The
+// column sums (and the rows' index/coefficient slices) are shared with the
+// solver, so only the per-row capacities are materialized; the bound sequence
+// is identical to NewDualBounder on the materialized problem.
+func (g *GridSolver) Bounder(tau float64) *DualBounder {
+	rows := make([]Row, len(g.p.Rows))
+	copy(rows, g.p.Rows)
+	for i := range rows {
+		if g.tauRow[i] {
+			rows[i].B = tau
+		}
+	}
+	return newDualBounder(g.p.NumVars, g.p.C, g.p.UB, rows, g.colA)
+}
+
+func newDualBounder(n int, c, ub []float64, rows []Row, colA []float64) *DualBounder {
+	d := &DualBounder{n: n, c: c, ub: ub, rows: rows, y: make([]float64, len(rows)), colA: colA}
 	best := 0.0
-	for k := 0; k < p.NumVars; k++ {
-		if p.C[k] > 0 {
-			best += p.C[k] * p.UB[k]
+	for k := 0; k < n; k++ {
+		if c[k] > 0 {
+			best += c[k] * ub[k]
 		}
 	}
 	d.best = best
@@ -63,24 +85,23 @@ func (d *DualBounder) Tighten(iters int) float64 {
 
 // uniform minimizes UB(λ·1) exactly over λ ≥ 0.
 func (d *DualBounder) uniform() {
-	p := d.p
 	sumB := 0.0
-	for _, r := range p.Rows {
+	for _, r := range d.rows {
 		sumB += r.B
 	}
 	// Breakpoints where a variable's reduced cost c_k − λ·a_k crosses zero.
 	type bp struct{ lam, cu, au float64 } // at λ < lam the var is active
 	var bps []bp
 	base := 0.0 // contribution of variables never deactivated (a_k = 0, c_k > 0)
-	for k := 0; k < p.NumVars; k++ {
-		if p.C[k] <= 0 || p.UB[k] <= 0 {
+	for k := 0; k < d.n; k++ {
+		if d.c[k] <= 0 || d.ub[k] <= 0 {
 			continue
 		}
 		if d.colA[k] == 0 {
-			base += p.C[k] * p.UB[k]
+			base += d.c[k] * d.ub[k]
 			continue
 		}
-		bps = append(bps, bp{lam: p.C[k] / d.colA[k], cu: p.C[k] * p.UB[k], au: d.colA[k] * p.UB[k]})
+		bps = append(bps, bp{lam: d.c[k] / d.colA[k], cu: d.c[k] * d.ub[k], au: d.colA[k] * d.ub[k]})
 	}
 	sort.Slice(bps, func(i, j int) bool { return bps[i].lam < bps[j].lam })
 
@@ -121,11 +142,10 @@ func (d *DualBounder) uniform() {
 // subgradientStep performs one projected subgradient step on UB(y) and
 // records the bound if it improved.
 func (d *DualBounder) subgradientStep() {
-	p := d.p
 	// Reduced costs under current y.
-	red := make([]float64, p.NumVars)
-	copy(red, p.C)
-	for i, r := range p.Rows {
+	red := make([]float64, d.n)
+	copy(red, d.c)
+	for i, r := range d.rows {
 		if d.y[i] == 0 {
 			continue
 		}
@@ -135,21 +155,21 @@ func (d *DualBounder) subgradientStep() {
 	}
 	// Current bound and subgradient g_i = b_i − Σ_{k active} A_ik u_k.
 	ub := 0.0
-	active := make([]bool, p.NumVars)
-	for k := 0; k < p.NumVars; k++ {
+	active := make([]bool, d.n)
+	for k := 0; k < d.n; k++ {
 		if red[k] > 0 {
 			active[k] = true
-			ub += red[k] * p.UB[k]
+			ub += red[k] * d.ub[k]
 		}
 	}
-	g := make([]float64, len(p.Rows))
+	g := make([]float64, len(d.rows))
 	gnorm := 0.0
-	for i, r := range p.Rows {
+	for i, r := range d.rows {
 		ub += d.y[i] * r.B
 		gi := r.B
 		for j, k := range r.Idx {
 			if active[k] {
-				gi -= r.Coef[j] * p.UB[k]
+				gi -= r.Coef[j] * d.ub[k]
 			}
 		}
 		g[i] = gi

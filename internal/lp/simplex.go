@@ -6,14 +6,36 @@ import (
 	"sort"
 )
 
-// simplexSolve runs a bounded-variable revised primal simplex on one
+// crashCand is one candidate of the greedy crash ordering.
+type crashCand struct {
+	v       int
+	density float64
+}
+
+// simplexSolve runs the bounded-variable revised simplex with a fresh
+// workspace from the pool and no warm-start hint.
+func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolution, error) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	return simplexSolveWS(n, m, c, ub, rows, opt, nil, ws)
+}
+
+// simplexSolveWS runs a bounded-variable revised primal simplex on one
 // component: maximize c·x s.t. rows (Ax ≤ b, A ≥ 0, b ≥ 0), 0 ≤ x ≤ ub.
 // The slack basis is feasible because b ≥ 0, so no phase 1 is needed.
 // Variables n..n+m-1 are the slacks (lower bound 0, upper bound +∞).
 // The basis inverse is kept densely and refreshed periodically to contain
 // floating-point drift; Bland's rule engages after a degenerate streak to
 // rule out cycling.
-func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolution, error) {
+//
+// Scratch comes from ws; the returned compSolution aliases ws buffers and is
+// only valid until the next solve reuses the workspace. warm is an optional
+// starting hint in component-local indexing: warm[v] asks to start structural
+// variable v at its upper bound. Flips are applied only while they fit the
+// remaining capacities, so any hint is safe; the simplex still runs to the
+// exact optimum from there. A nil warm uses the greedy density crash (unless
+// opt.NoCrash), which is the deterministic cold path Solve uses.
+func simplexSolveWS(n, m int, c, ub []float64, rows []Row, opt Options, warm []bool, ws *workspace) (*compSolution, error) {
 	const (
 		tol         = 1e-9
 		degStreak   = 60  // degenerate pivots before switching to Bland
@@ -24,15 +46,37 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 		maxIters = 200*(n+m) + 20000
 	}
 
-	// Sparse columns of structural variables.
-	colIdx := make([][]int32, n)
-	colCf := make([][]float64, n)
-	b := make([]float64, m)
+	// Sparse columns of structural variables, CSR by column. Entries within a
+	// column appear in ascending row order (rows are scanned in order), the
+	// same order the append-based construction produced.
+	nnz := 0
+	for _, r := range rows {
+		nnz += len(r.Idx)
+	}
+	colPtr := growI32(&ws.colPtr, n+1)
+	for i := range colPtr {
+		colPtr[i] = 0
+	}
+	for _, r := range rows {
+		for _, k := range r.Idx {
+			colPtr[k+1]++
+		}
+	}
+	for k := 0; k < n; k++ {
+		colPtr[k+1] += colPtr[k]
+	}
+	colCur := growI32(&ws.colCur, n)
+	copy(colCur, colPtr[:n])
+	colRow := growI32(&ws.colRow, nnz)
+	colVal := growF(&ws.colVal, nnz)
+	b := growF(&ws.b, m)
 	for i, r := range rows {
 		b[i] = r.B
 		for j, k := range r.Idx {
-			colIdx[k] = append(colIdx[k], int32(i))
-			colCf[k] = append(colCf[k], r.Coef[j])
+			t := colCur[k]
+			colCur[k]++
+			colRow[t] = int32(i)
+			colVal[t] = r.Coef[j]
 		}
 	}
 
@@ -50,43 +94,74 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 		return math.Inf(1)
 	}
 
-	basis := make([]int, m) // basis[r] = variable in basis slot r
-	pos := make([]int, total)
-	atUB := make([]bool, total)
+	basis := growI(&ws.basis, m) // basis[r] = variable in basis slot r
+	pos := growI(&ws.pos, total)
+	atUB := growB(&ws.atUB, total)
 	for v := range pos {
 		pos[v] = -1
+		atUB[v] = false
 	}
 	for i := 0; i < m; i++ {
 		basis[i] = n + i
 		pos[n+i] = i
 	}
-	xB := append([]float64(nil), b...)
-	binv := identity(m)
+	xB := growF(&ws.xB, m)
+	copy(xB, b)
+	binv := ws.matrix(m)
+	for r := 0; r < m; r++ {
+		binv[r][r] = 1
+	}
+
+	// flipFits reports whether flipping v to its upper bound keeps every row's
+	// leftover capacity nonnegative; flip applies it. Nonbasic-at-bound flips
+	// keep the slack basis valid — xB is just the leftover capacity.
+	flipFits := func(v int) bool {
+		for t := colPtr[v]; t < colPtr[v+1]; t++ {
+			if colVal[t]*ub[v] > xB[colRow[t]] {
+				return false
+			}
+		}
+		return true
+	}
+	flip := func(v int) {
+		atUB[v] = true
+		for t := colPtr[v]; t < colPtr[v+1]; t++ {
+			xB[colRow[t]] -= colVal[t] * ub[v]
+		}
+	}
+
+	// Warm start: re-flip the variables that sat at their upper bound in the
+	// adjacent τ's optimum. That point stays feasible when capacities grow,
+	// so the flips fit (the explicit check only guards floating-point drift).
+	if warm != nil {
+		for v := 0; v < n; v++ {
+			if warm[v] && c[v] > 0 && ub[v] > 0 && flipFits(v) {
+				flip(v)
+			}
+		}
+	}
 
 	// Greedy crash start: flip variables to their upper bound while every
 	// row still has capacity, densest (cost per unit of capacity) first.
-	// Nonbasic-at-bound flips keep the slack basis valid — xB is just the
-	// leftover capacity — and start the simplex near the optimum instead of
-	// at zero, which cuts iterations dramatically on the truncation LPs.
+	// This starts the simplex near the optimum instead of at zero, which
+	// cuts iterations dramatically on the truncation LPs. After a warm
+	// start it tops up whatever new capacity the larger τ opened.
 	if !opt.NoCrash {
-		type cand struct {
-			v       int
-			density float64
-		}
-		cands := make([]cand, 0, n)
+		cands := ws.cands[:0]
 		for v := 0; v < n; v++ {
-			if c[v] <= 0 || ub[v] <= 0 {
+			if c[v] <= 0 || ub[v] <= 0 || atUB[v] {
 				continue
 			}
 			weight := 0.0
-			for _, cf := range colCf[v] {
-				weight += cf
+			for t := colPtr[v]; t < colPtr[v+1]; t++ {
+				weight += colVal[t]
 			}
 			if weight == 0 {
 				weight = 1e-12
 			}
-			cands = append(cands, cand{v: v, density: c[v] / weight})
+			cands = append(cands, crashCand{v: v, density: c[v] / weight})
 		}
+		ws.cands = cands
 		sort.Slice(cands, func(i, j int) bool {
 			if cands[i].density != cands[j].density {
 				return cands[i].density > cands[j].density
@@ -94,29 +169,16 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 			return cands[i].v < cands[j].v
 		})
 		for _, cd := range cands {
-			v := cd.v
-			fits := true
-			for j, ri := range colIdx[v] {
-				if colCf[v][j]*ub[v] > xB[ri] {
-					fits = false
-					break
-				}
-			}
-			if !fits {
-				continue
-			}
-			atUB[v] = true
-			for j, ri := range colIdx[v] {
-				xB[ri] -= colCf[v][j] * ub[v]
+			if flipFits(cd.v) {
+				flip(cd.v)
 			}
 		}
 	}
 
 	// refactor rebuilds binv and xB from the basis by Gauss–Jordan.
 	refactor := func() {
-		mat := make([][]float64, m)
+		mat := ws.wideMatrix(m)
 		for r := 0; r < m; r++ {
-			mat[r] = make([]float64, 2*m)
 			mat[r][m+r] = 1
 		}
 		for slot, v := range basis {
@@ -124,8 +186,8 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 				mat[v-n][slot] = 1
 				continue
 			}
-			for j, ri := range colIdx[v] {
-				mat[ri][slot] += colCf[v][j]
+			for t := colPtr[v]; t < colPtr[v+1]; t++ {
+				mat[colRow[t]][slot] += colVal[t]
 			}
 		}
 		gaussJordan(mat, m)
@@ -133,13 +195,14 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 			copy(binv[r], mat[r][m:])
 		}
 		// xB = binv·(b − A_N x_N)
-		rhs := append([]float64(nil), b...)
+		rhs := growF(&ws.rhs, m)
+		copy(rhs, b)
 		for v := 0; v < n; v++ {
 			if pos[v] >= 0 || !atUB[v] {
 				continue
 			}
-			for j, ri := range colIdx[v] {
-				rhs[ri] -= colCf[v][j] * ub[v]
+			for t := colPtr[v]; t < colPtr[v+1]; t++ {
+				rhs[colRow[t]] -= colVal[t] * ub[v]
 			}
 		}
 		for r := 0; r < m; r++ {
@@ -151,8 +214,8 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 		}
 	}
 
-	y := make([]float64, m)
-	wcol := make([]float64, m)
+	y := growF(&ws.y, m)
+	wcol := growF(&ws.wcol, m)
 	iters := 0
 	degenerate := 0
 	sinceRefactor := 0
@@ -181,8 +244,8 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 	reducedCost := func(v int) float64 {
 		if v < n {
 			d := c[v]
-			for j, ri := range colIdx[v] {
-				d -= y[ri] * colCf[v][j]
+			for t := colPtr[v]; t < colPtr[v+1]; t++ {
+				d -= y[colRow[t]] * colVal[t]
 			}
 			return d
 		}
@@ -272,8 +335,8 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 		if enter < n {
 			for r := 0; r < m; r++ {
 				s := 0.0
-				for j, ri := range colIdx[enter] {
-					s += binv[r][ri] * colCf[enter][j]
+				for t := colPtr[enter]; t < colPtr[enter+1]; t++ {
+					s += binv[r][colRow[t]] * colVal[t]
 				}
 				wcol[r] = s
 			}
@@ -404,12 +467,14 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 		status = IterationLimit
 	}
 
-	// Extract the primal point.
-	x := make([]float64, n)
+	// Extract the primal point into workspace-owned output buffers.
+	x := growF(&ws.outX, n)
 	for v := 0; v < n; v++ {
 		if pos[v] < 0 {
 			if atUB[v] {
 				x[v] = ub[v]
+			} else {
+				x[v] = 0
 			}
 			continue
 		}
@@ -422,22 +487,15 @@ func simplexSolve(n, m int, c, ub []float64, rows []Row, opt Options) (*compSolu
 		}
 		x[v] = xv
 	}
-	yOut := make([]float64, m)
+	yOut := growF(&ws.outY, m)
 	for i := 0; i < m; i++ {
 		if y[i] > 0 {
 			yOut[i] = y[i]
+		} else {
+			yOut[i] = 0
 		}
 	}
 	return &compSolution{status: status, x: x, y: yOut, iters: iters}, nil
-}
-
-func identity(m int) [][]float64 {
-	out := make([][]float64, m)
-	for i := range out {
-		out[i] = make([]float64, m)
-		out[i][i] = 1
-	}
-	return out
 }
 
 // gaussJordan reduces the left m×m block of mat to the identity, applying the

@@ -16,16 +16,22 @@ type Options struct {
 	NoPresolve  bool // keep redundant rows and orphan variables
 	NoDecompose bool // solve everything as one component
 	NoCrash     bool // start the simplex from x = 0 instead of a greedy point
+	NoWarmStart bool // GridSolver only: solve every τ cold (Solve ignores it)
 }
 
 // Solve computes the exact optimum of a packing LP. The pipeline is
 // presolve → connected-component decomposition → per-component solve
 // (greedy fractional knapsack for single-row components, bounded-variable
-// revised simplex otherwise).
+// revised simplex otherwise). Scratch buffers come from a pooled workspace,
+// so concurrent callers reuse allocations. For solving the same structure at
+// many capacities (R2T's τ grid), use GridSolver, which additionally
+// amortizes the presolve and decomposition across solves.
 func Solve(p *Problem, opt Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	ws := getWorkspace()
+	defer putWorkspace(ws)
 	w := newWork(p)
 	w.presolve(opt.NoPresolve)
 
@@ -39,7 +45,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	}
 
 	for _, comp := range w.components(opt.NoDecompose) {
-		cs, err := solveComponent(w, comp, opt)
+		cs, err := solveComponent(w, comp, opt, ws)
 		if err != nil {
 			return nil, err
 		}
@@ -295,45 +301,80 @@ type compSolution struct {
 	iters  int
 }
 
-func solveComponent(w *work, comp component, opt Options) (*compSolution, error) {
-	local := make(map[int]int, len(comp.vars))
-	for j, k := range comp.vars {
-		local[k] = j
-	}
-	n, m := len(comp.vars), len(comp.rows)
-	c := make([]float64, n)
-	ub := make([]float64, n)
-	for j, k := range comp.vars {
-		c[j] = w.p.C[k]
-		ub[j] = w.ub[k]
-	}
-	rows := make([]Row, m)
-	for i, ri := range comp.rows {
-		idx := make([]int, len(w.rowIdx[ri]))
-		for j, k := range w.rowIdx[ri] {
-			idx[j] = local[k]
-		}
-		rows[i] = Row{Idx: idx, Coef: append([]float64(nil), w.rowCf[ri]...), B: w.rowB[ri]}
-	}
-
+func solveComponent(w *work, comp component, opt Options, ws *workspace) (*compSolution, error) {
+	n, m, c, ub, rows := buildLocal(w.p.C, w.ub, w.rowIdx, w.rowCf, w.rowB, comp, ws)
 	if m == 1 {
-		x, y := knapsack(c, ub, rows[0])
-		return &compSolution{status: Optimal, x: x, y: []float64{y}}, nil
+		x, y := knapsackWS(c, ub, rows[0], ws)
+		yOut := growF(&ws.outY, 1)
+		yOut[0] = y
+		return &compSolution{status: Optimal, x: x, y: yOut}, nil
 	}
-	return simplexSolve(n, m, c, ub, rows, opt)
+	return simplexSolveWS(n, m, c, ub, rows, opt, nil, ws)
 }
 
-// knapsack solves the single-constraint LP exactly by the greedy ratio rule:
-// maximize c·x s.t. Σ a_k x_k ≤ b, 0 ≤ x ≤ ub. Returns the optimum and the
-// exact dual of the capacity row.
-func knapsack(c, ub []float64, row Row) (x []float64, y float64) {
-	x = make([]float64, len(c))
-	type item struct {
-		k     int
-		a     float64
-		ratio float64
+// buildLocal materializes one component's LP in local indexing, with every
+// slice drawn from workspace buffers (valid until the workspace is reused).
+// rowB supplies each original row's capacity, which is the one τ-dependent
+// piece of the structure.
+func buildLocal(C, UB []float64, rowIdx [][]int, rowCf [][]float64, rowB []float64, comp component, ws *workspace) (n, m int, c, ub []float64, rows []Row) {
+	n, m = len(comp.vars), len(comp.rows)
+	// local is indexed by global variable id; every entry a row reads is
+	// written first, because each row's variables belong to the component.
+	local := growI(&ws.local, len(C))
+	c = growF(&ws.compC, n)
+	ub = growF(&ws.compUB, n)
+	for j, k := range comp.vars {
+		local[k] = j
+		c[j] = C[k]
+		ub[j] = UB[k]
 	}
-	items := make([]item, 0, len(row.Idx))
+	nnz := 0
+	for _, ri := range comp.rows {
+		nnz += len(rowIdx[ri])
+	}
+	idxBack := growI(&ws.compIdx, nnz)
+	cfBack := growF(&ws.compCf, nnz)
+	rows = growRows(&ws.compRow, m)
+	off := 0
+	for i, ri := range comp.rows {
+		src := rowIdx[ri]
+		idx := idxBack[off : off+len(src)]
+		cf := cfBack[off : off+len(src)]
+		off += len(src)
+		for j, k := range src {
+			idx[j] = local[k]
+		}
+		copy(cf, rowCf[ri])
+		rows[i] = Row{Idx: idx, Coef: cf, B: rowB[ri]}
+	}
+	return n, m, c, ub, rows
+}
+
+// knapItem is one entry of the greedy knapsack ordering.
+type knapItem struct {
+	k     int
+	a     float64
+	ratio float64
+}
+
+// knapsack solves the single-constraint LP with fresh result slices; see
+// knapsackWS for the semantics. It exists for direct use in tests.
+func knapsack(c, ub []float64, row Row) ([]float64, float64) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	x, y := knapsackWS(c, ub, row, ws)
+	return append([]float64(nil), x...), y
+}
+
+// knapsackWS solves the single-constraint LP exactly by the greedy ratio rule:
+// maximize c·x s.t. Σ a_k x_k ≤ b, 0 ≤ x ≤ ub. Returns the optimum (aliasing
+// a workspace buffer) and the exact dual of the capacity row.
+func knapsackWS(c, ub []float64, row Row, ws *workspace) (x []float64, y float64) {
+	x = growF(&ws.outX, len(c))
+	for k := range x {
+		x[k] = 0
+	}
+	items := ws.items[:0]
 	for j, k := range row.Idx {
 		a := row.Coef[j]
 		if a <= 0 {
@@ -341,8 +382,9 @@ func knapsack(c, ub []float64, row Row) (x []float64, y float64) {
 			x[k] = ub[k]
 			continue
 		}
-		items = append(items, item{k: k, a: a, ratio: c[k] / a})
+		items = append(items, knapItem{k: k, a: a, ratio: c[k] / a})
 	}
+	ws.items = items
 	sort.Slice(items, func(i, j int) bool {
 		if items[i].ratio != items[j].ratio {
 			return items[i].ratio > items[j].ratio

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"r2t/internal/exec"
 	"r2t/internal/lp"
@@ -35,7 +36,9 @@ type Truncator interface {
 }
 
 // LPTruncator is the LP-based Q(I,τ) for SJA and SPJA queries. It pre-builds
-// the constraint structure once and instantiates one packing LP per τ.
+// the constraint structure once; all τ evaluations share one lp.GridSolver
+// skeleton (presolve, duplicate-merge, and component decomposition are
+// computed once), so racing the full τ grid costs little more than one solve.
 type LPTruncator struct {
 	psi      []float64 // ψ(q_k) per LP variable (join results with ψ > 0)
 	capRows  [][]int   // C_j: variables referencing individual j
@@ -44,6 +47,10 @@ type LPTruncator struct {
 	answer   float64
 	tauStar  float64
 	solveOpt lp.Options
+
+	gridOnce sync.Once
+	grid     *lp.GridSolver
+	gridErr  error
 }
 
 // Occurrences is the minimal input the LP truncator needs: one entry per
@@ -168,8 +175,18 @@ func FromResult(res *exec.Result) *Occurrences {
 	o := &Occurrences{NumIndividuals: len(order)}
 	o.Sets = make([][]int32, len(res.Rows))
 	o.Psi = make([]float64, len(res.Rows))
+	// One backing array for all per-row id sets: large SJA results have
+	// millions of tiny Refs slices, and individual allocations dominate the
+	// conversion cost.
+	total := 0
+	for _, row := range res.Rows {
+		total += len(row.Refs)
+	}
+	back := make([]int32, total)
+	off := 0
 	for k, row := range res.Rows {
-		set := make([]int32, len(row.Refs))
+		set := back[off : off+len(row.Refs) : off+len(row.Refs)]
+		off += len(row.Refs)
 		for i, ref := range row.Refs {
 			set[i] = seen[ref]
 		}
@@ -208,7 +225,28 @@ func (t *LPTruncator) problem(tau float64) *lp.Problem {
 	return p
 }
 
-// Value solves the truncation LP at τ.
+// gridSolver lazily builds the shared GridSolver skeleton: the problem at a
+// placeholder τ = 0 with every capacity row designated as a τ-row. Safe for
+// concurrent callers (core.Run's race workers).
+func (t *LPTruncator) gridSolver() (*lp.GridSolver, error) {
+	t.gridOnce.Do(func() {
+		tauRows := make([]int, len(t.capRows))
+		for i := range tauRows {
+			tauRows[i] = len(t.grpRows) + i
+		}
+		t.grid, t.gridErr = lp.NewGridSolver(t.problem(0), tauRows)
+	})
+	return t.grid, t.gridErr
+}
+
+// ablated reports whether a solver ablation switch is on; those benchmark the
+// full legacy per-solve pipeline, so the grid skeleton must be bypassed.
+func (t *LPTruncator) ablated() bool {
+	return t.solveOpt.NoPresolve || t.solveOpt.NoDecompose || t.solveOpt.NoCrash
+}
+
+// Value solves the truncation LP at τ. Results are bit-identical to solving
+// the materialized per-τ problem with lp.Solve.
 func (t *LPTruncator) Value(tau float64) (float64, error) {
 	if tau < 0 {
 		return 0, fmt.Errorf("truncation: negative τ %g", tau)
@@ -216,10 +254,26 @@ func (t *LPTruncator) Value(tau float64) (float64, error) {
 	if tau == 0 {
 		return 0, nil // every variable is capped to zero by its capacity rows
 	}
-	sol, err := lp.Solve(t.problem(tau), t.solveOpt)
+	var (
+		sol *lp.Solution
+		err error
+	)
+	if t.ablated() {
+		sol, err = lp.Solve(t.problem(tau), t.solveOpt)
+	} else {
+		var g *lp.GridSolver
+		if g, err = t.gridSolver(); err == nil {
+			sol, err = g.SolveTau(tau, t.solveOpt)
+		}
+	}
 	if err != nil {
 		return 0, err
 	}
+	return t.release(sol, tau)
+}
+
+// release guards the exactness contract shared by Value and Values.
+func (t *LPTruncator) release(sol *lp.Solution, tau float64) (float64, error) {
 	if sol.Status != lp.Optimal {
 		// R2T's privacy proof is a property of the exact optimum; a partial
 		// solve must not be released.
@@ -228,12 +282,72 @@ func (t *LPTruncator) Value(tau float64) (float64, error) {
 	return sol.Objective, nil
 }
 
+// Values evaluates Q(I,τ) for a whole τ schedule with amortized work — the
+// τ-independent structure is reused and solves are warm-start-free so that
+// every entry is bit-identical to the corresponding Value call (and hence to
+// per-τ lp.Solve). core.Run uses this for the full race grid.
+func (t *LPTruncator) Values(taus []float64) ([]float64, error) {
+	out := make([]float64, len(taus))
+	for _, tau := range taus {
+		if tau < 0 {
+			return nil, fmt.Errorf("truncation: negative τ %g", tau)
+		}
+	}
+	if t.ablated() {
+		for i, tau := range taus {
+			v, err := t.Value(tau)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	pos := make([]float64, 0, len(taus))
+	idx := make([]int, 0, len(taus))
+	for i, tau := range taus {
+		if tau > 0 { // τ = 0 entries stay at the exact floor 0
+			pos = append(pos, tau)
+			idx = append(idx, i)
+		}
+	}
+	if len(pos) == 0 {
+		return out, nil
+	}
+	g, err := t.gridSolver()
+	if err != nil {
+		return nil, err
+	}
+	opt := t.solveOpt
+	// Warm starts can return a different vertex among alternate optima whose
+	// floating-point objective differs at the ulp level; released values must
+	// match the per-τ cold solve exactly.
+	opt.NoWarmStart = true
+	sols, err := g.SolveSchedule(pos, opt)
+	if err != nil {
+		return nil, err
+	}
+	for j, sol := range sols {
+		v, err := t.release(sol, pos[j])
+		if err != nil {
+			return nil, err
+		}
+		out[idx[j]] = v
+	}
+	return out, nil
+}
+
 // SetSolveOptions overrides the LP solver options (used by the ablation
 // benchmarks; the defaults are correct for production use).
 func (t *LPTruncator) SetSolveOptions(opt lp.Options) { t.solveOpt = opt }
 
-// Bounder returns a dual bounder for the τ-LP, used by R2T's early stop.
+// Bounder returns a dual bounder for the τ-LP, used by R2T's early stop. It
+// shares the grid skeleton's column sums; the bound sequence is identical to
+// a bounder built on the materialized per-τ problem.
 func (t *LPTruncator) Bounder(tau float64) *lp.DualBounder {
+	if g, err := t.gridSolver(); err == nil {
+		return g.Bounder(tau)
+	}
 	return lp.NewDualBounder(t.problem(tau))
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full pre-merge gate: formatting, vet, build, and the whole test suite under
+# the race detector (the parallel core.Run races and the pooled LP workspaces
+# are the code this exists to police). Run from the repo root:
+#
+#	./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+echo "check.sh: all green"
