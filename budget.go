@@ -1,9 +1,14 @@
 package r2t
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrBudgetExhausted is wrapped by Spend/SpendWith when the remaining budget
+// cannot cover a charge. Match with errors.Is.
+var ErrBudgetExhausted = errors.New("r2t: privacy budget exhausted")
 
 // Budget tracks cumulative privacy spend across queries under basic
 // composition: every query charged against the budget adds its ε, and once
@@ -20,10 +25,22 @@ type Budget struct {
 
 // NewBudget creates a budget with the given total ε (> 0).
 func NewBudget(totalEpsilon float64) (*Budget, error) {
+	return NewBudgetWithSpent(totalEpsilon, 0)
+}
+
+// NewBudgetWithSpent reconstructs a budget with some ε already consumed —
+// the replay entry point for durable ledgers (the r2td server): the total
+// comes from configuration, the spend from an append-only log. spent may
+// exceed totalEpsilon (e.g. the configured total was lowered between
+// restarts); such a budget is simply exhausted.
+func NewBudgetWithSpent(totalEpsilon, spent float64) (*Budget, error) {
 	if totalEpsilon <= 0 {
 		return nil, fmt.Errorf("r2t: budget must be positive, got %g", totalEpsilon)
 	}
-	return &Budget{total: totalEpsilon}, nil
+	if spent < 0 {
+		return nil, fmt.Errorf("r2t: replayed spend must be non-negative, got %g", spent)
+	}
+	return &Budget{total: totalEpsilon, spent: spent}, nil
 }
 
 // MustBudget is NewBudget but panics on error.
@@ -37,46 +54,81 @@ func MustBudget(totalEpsilon float64) *Budget {
 
 // Spend charges eps against the budget, failing (and charging nothing) if
 // the remainder is insufficient.
-func (b *Budget) Spend(eps float64) error {
+func (b *Budget) Spend(eps float64) error { return b.SpendWith(eps, nil) }
+
+// SpendWith atomically admits a charge of eps and runs commit while the
+// charge is still revocable: commit is invoked under the budget lock after
+// the admission check, and a commit error aborts the spend entirely. This is
+// the durability hook for write-ahead ledgers — logging the charge (commit)
+// and admitting it (spend) happen as one atomic step, ordered so that a
+// crash can lose an unlogged admission attempt but can never admit a charge
+// that was not durably logged first. A nil commit reduces to Spend.
+func (b *Budget) SpendWith(eps float64, commit func() error) error {
 	if eps <= 0 {
 		return fmt.Errorf("r2t: cannot spend non-positive ε %g", eps)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.spent+eps > b.total+1e-12 {
-		return fmt.Errorf("r2t: privacy budget exhausted: %g spent of %g, query needs %g", b.spent, b.total, eps)
+		return fmt.Errorf("%w: %g spent of %g, query needs %g", ErrBudgetExhausted, b.spent, b.total, eps)
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			return fmt.Errorf("r2t: budget commit hook failed, charge aborted: %w", err)
+		}
 	}
 	b.spent += eps
 	return nil
 }
 
-// Remaining returns the unspent ε.
-func (b *Budget) Remaining() float64 {
+// Total returns the configured total ε.
+func (b *Budget) Total() float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.total - b.spent
+	return b.total
+}
+
+// Remaining returns the unspent ε (never negative).
+func (b *Budget) Remaining() float64 {
+	_, rem := b.Balance()
+	return rem
 }
 
 // Spent returns the ε consumed so far.
 func (b *Budget) Spent() float64 {
+	spent, _ := b.Balance()
+	return spent
+}
+
+// Balance returns spent and remaining ε as one atomic snapshot, so
+// spent+remaining always equals the total even under concurrent Spend calls
+// (separate Spent and Remaining calls can interleave with a spend).
+// Remaining is clamped at 0 for budgets replayed past their total.
+func (b *Budget) Balance() (spent, remaining float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.spent
+	remaining = b.total - b.spent
+	if remaining < 0 {
+		remaining = 0
+	}
+	return b.spent, remaining
 }
 
 // QueryWithBudget runs Query after charging opt.Epsilon against the budget.
 // Static failures (bad SQL, unknown relations, invalid options) are detected
-// before charging; once the mechanism runs, the charge stands.
+// before charging — Options.Validate and Explain both run first, so no
+// invalid request ever burns ε — but once the mechanism runs, the charge
+// stands, even if evaluation later fails or is cancelled.
 func (db *DB) QueryWithBudget(sqlText string, opt Options, budget *Budget) (*Answer, error) {
 	if budget == nil {
 		return nil, fmt.Errorf("r2t: nil budget")
 	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	// Validate statically first so syntax errors don't burn budget.
 	if _, err := db.Explain(sqlText, opt.Primary); err != nil {
 		return nil, err
-	}
-	if opt.Epsilon <= 0 || opt.GSQ < 2 {
-		return nil, fmt.Errorf("r2t: invalid options (ε=%g, GSQ=%g)", opt.Epsilon, opt.GSQ)
 	}
 	if err := budget.Spend(opt.Epsilon); err != nil {
 		return nil, err

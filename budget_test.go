@@ -1,8 +1,10 @@
 package r2t
 
 import (
+	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -52,6 +54,169 @@ func TestBudgetConcurrentSpend(t *testing.T) {
 	}
 	if n != 10 {
 		t.Fatalf("granted %d spends of ε=1 from a budget of 10", n)
+	}
+}
+
+// TestBudgetConcurrentInvariant races many spenders against concurrent
+// Balance readers: the budget must never overspend, and every snapshot must
+// satisfy spent+remaining == total exactly. Run under -race (scripts/check.sh
+// does).
+func TestBudgetConcurrentInvariant(t *testing.T) {
+	const (
+		total    = 16.0
+		spenders = 64
+		perSpend = 0.5
+	)
+	b := MustBudget(total)
+	var spendWG, auditWG sync.WaitGroup
+	var granted int64
+	stop := make(chan struct{})
+
+	// Concurrent auditors: every atomic snapshot must balance.
+	for r := 0; r < 4; r++ {
+		auditWG.Add(1)
+		go func() {
+			defer auditWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spent, remaining := b.Balance()
+				if got := spent + remaining; got != total {
+					t.Errorf("balance snapshot broken: spent %g + remaining %g = %g, want %g", spent, remaining, got, total)
+					return
+				}
+				if spent > total+1e-12 {
+					t.Errorf("overspent: %g of %g", spent, total)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < spenders; i++ {
+		spendWG.Add(1)
+		go func() {
+			defer spendWG.Done()
+			if b.Spend(perSpend) == nil {
+				atomic.AddInt64(&granted, 1)
+			}
+		}()
+	}
+	spendWG.Wait()
+	close(stop)
+	auditWG.Wait()
+
+	if got := atomic.LoadInt64(&granted); got != int64(total/perSpend) {
+		t.Fatalf("granted %d spends of ε=%g from a budget of %g", got, perSpend, total)
+	}
+	spent, remaining := b.Balance()
+	if spent != total || remaining != 0 {
+		t.Fatalf("final balance: spent %g remaining %g", spent, remaining)
+	}
+}
+
+func TestBudgetSpendWith(t *testing.T) {
+	b := MustBudget(1)
+	committed := 0
+	if err := b.SpendWith(0.5, func() error { committed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if committed != 1 || b.Spent() != 0.5 {
+		t.Fatalf("commit ran %d times, spent %g", committed, b.Spent())
+	}
+	// A failing commit aborts the charge entirely.
+	errBoom := errors.New("disk full")
+	if err := b.SpendWith(0.5, func() error { return errBoom }); !errors.Is(err, errBoom) {
+		t.Fatalf("want wrapped commit error, got %v", err)
+	}
+	if b.Spent() != 0.5 {
+		t.Fatalf("aborted commit still charged: spent %g", b.Spent())
+	}
+	// The commit hook must not run at all once the budget is exhausted.
+	if err := b.SpendWith(0.6, func() error { committed++; return nil }); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	if committed != 1 {
+		t.Fatal("commit hook ran for a rejected charge")
+	}
+}
+
+func TestBudgetReplay(t *testing.T) {
+	b, err := NewBudgetWithSpent(2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent, remaining := b.Balance(); spent != 1.5 || remaining != 0.5 {
+		t.Fatalf("balance after replay: %g/%g", spent, remaining)
+	}
+	// Replay past the (lowered) total: exhausted, remaining clamped at 0.
+	b, err = NewBudgetWithSpent(1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent, remaining := b.Balance(); spent != 1.5 || remaining != 0 {
+		t.Fatalf("overspent replay balance: %g/%g", spent, remaining)
+	}
+	if err := b.Spend(0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overspent replay should refuse charges, got %v", err)
+	}
+	if _, err := NewBudgetWithSpent(1, -0.1); err == nil {
+		t.Fatal("negative replayed spend should fail")
+	}
+}
+
+// TestInvalidOptionsNeverCharge is the regression test for the shared
+// Options.Validate: no invalid-option path may reach the budget. Before
+// validation was unified, QueryWithBudget re-implemented only part of
+// Query's checks (it never pre-checked Beta), so e.g. an invalid β burned ε
+// and then failed inside the mechanism.
+func TestInvalidOptionsNeverCharge(t *testing.T) {
+	db := graphDB(t, [][2]int64{{0, 1}, {1, 2}}, 3)
+	valid := Options{Epsilon: 0.5, GSQ: 16, Primary: []string{"Node"}, Noise: NewNoiseSource(1)}
+
+	invalid := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"zero epsilon", func(o *Options) { o.Epsilon = 0 }},
+		{"negative epsilon", func(o *Options) { o.Epsilon = -1 }},
+		{"small GSQ", func(o *Options) { o.GSQ = 1 }},
+		{"negative beta", func(o *Options) { o.Beta = -0.1 }},
+		{"beta one", func(o *Options) { o.Beta = 1 }},
+		{"beta above one", func(o *Options) { o.Beta = 2 }},
+		{"no primary", func(o *Options) { o.Primary = nil }},
+		{"naive signed sum", func(o *Options) { o.Naive = true; o.AllowNegativeSum = true }},
+	}
+	for _, c := range invalid {
+		t.Run(c.name, func(t *testing.T) {
+			b := MustBudget(1)
+			opt := valid
+			c.mutate(&opt)
+			if err := opt.Validate(); err == nil {
+				t.Fatal("Validate accepted invalid options")
+			}
+			if _, err := db.QueryWithBudget(edgeCount, opt, b); err == nil {
+				t.Fatal("QueryWithBudget accepted invalid options")
+			}
+			if spent := b.Spent(); spent != 0 {
+				t.Fatalf("invalid options charged ε=%g", spent)
+			}
+			// Query must agree with Validate so the two can't drift.
+			if _, err := db.Query(edgeCount, opt); err == nil {
+				t.Fatal("Query accepted options Validate rejects")
+			}
+		})
+	}
+
+	// And the valid baseline still works end to end.
+	b := MustBudget(1)
+	if _, err := db.QueryWithBudget(edgeCount, valid, b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent() != 0.5 {
+		t.Fatalf("spent %g, want 0.5", b.Spent())
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"r2t"
+	"r2t/internal/schemadesc"
 )
 
 func main() {
@@ -112,49 +113,10 @@ func main() {
 	fmt.Printf("time: %s\n", ans.Duration.Round(time.Millisecond))
 }
 
-// loadSchema parses the minimal schema description language.
+// loadSchema parses the minimal schema description language (shared with
+// cmd/r2td via internal/schemadesc).
 func loadSchema(path string) (*r2t.Schema, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var rels []*r2t.Relation
-	for ln, line := range strings.Split(string(data), "\n") {
-		if i := strings.Index(line, "#"); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		open := strings.Index(line, "(")
-		if open < 0 || !strings.HasSuffix(line, ")") {
-			return nil, fmt.Errorf("%s:%d: expected Relation(attr, ...)", path, ln+1)
-		}
-		rel := &r2t.Relation{Name: strings.TrimSpace(line[:open])}
-		for _, field := range strings.Split(line[open+1:len(line)-1], ",") {
-			field = strings.TrimSpace(field)
-			if field == "" {
-				continue
-			}
-			switch {
-			case strings.Contains(field, "->"):
-				parts := strings.SplitN(field, "->", 2)
-				attr := strings.TrimSpace(parts[0])
-				ref := strings.TrimSpace(parts[1])
-				rel.Attrs = append(rel.Attrs, attr)
-				rel.FKs = append(rel.FKs, r2t.FK{Attr: attr, Ref: ref})
-			case strings.HasSuffix(field, "*"):
-				attr := strings.TrimSuffix(field, "*")
-				rel.Attrs = append(rel.Attrs, attr)
-				rel.PK = attr
-			default:
-				rel.Attrs = append(rel.Attrs, field)
-			}
-		}
-		rels = append(rels, rel)
-	}
-	return r2t.NewSchema(rels...)
+	return schemadesc.ParseFile(path)
 }
 
 func fatal(err error) {

@@ -1,0 +1,170 @@
+// Command r2td runs the multi-tenant differentially private query service:
+// named datasets (schema + CSV directory, the cmd/r2t format) served over
+// HTTP/JSON with per-dataset ε budgets that survive restarts via an
+// append-only ledger, a free-replay answer cache, bounded-worker admission
+// control, and a /metrics endpoint.
+//
+// Each -dataset flag declares one dataset as comma-separated key=value
+// pairs (primary relations are +-separated):
+//
+//	r2td -addr :8080 -ledger r2td.ledger \
+//	     -dataset "name=graph,schema=graph.schema,data=./data,eps=2.0,primary=Node"
+//
+// Query it:
+//
+//	curl -s localhost:8080/v1/query -d '{
+//	  "dataset": "graph",
+//	  "sql": "SELECT COUNT(*) FROM Edge WHERE src < dst",
+//	  "epsilon": 0.4, "gsq": 1024
+//	}'
+//
+// Repeating the exact query is served from the answer cache and charges no
+// additional ε (re-releasing a published DP answer is post-processing).
+// SIGTERM/SIGINT drain in-flight queries before exit; the ledger guarantees
+// a kill -9 never forgets spent budget either.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"r2t/internal/server"
+)
+
+// datasetFlags collects repeated -dataset values.
+type datasetFlags []server.DatasetConfig
+
+func (d *datasetFlags) String() string {
+	names := make([]string, len(*d))
+	for i, cfg := range *d {
+		names[i] = cfg.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func (d *datasetFlags) Set(v string) error {
+	cfg, err := parseDatasetFlag(v)
+	if err != nil {
+		return err
+	}
+	*d = append(*d, cfg)
+	return nil
+}
+
+// parseDatasetFlag parses one
+// "name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2" declaration.
+func parseDatasetFlag(v string) (server.DatasetConfig, error) {
+	cfg := server.DatasetConfig{DataDir: "."}
+	for _, field := range strings.Split(v, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return cfg, fmt.Errorf("dataset field %q: want key=value", field)
+		}
+		switch key {
+		case "name":
+			cfg.Name = val
+		case "schema":
+			cfg.SchemaPath = val
+		case "data":
+			cfg.DataDir = val
+		case "eps":
+			eps, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("dataset %q: bad eps %q", cfg.Name, val)
+			}
+			cfg.Epsilon = eps
+		case "primary":
+			for _, p := range strings.Split(val, "+") {
+				if p = strings.TrimSpace(p); p != "" {
+					cfg.Primary = append(cfg.Primary, p)
+				}
+			}
+		default:
+			return cfg, fmt.Errorf("dataset field %q: unknown key (want name/schema/data/eps/primary)", key)
+		}
+	}
+	if cfg.Name == "" || cfg.SchemaPath == "" {
+		return cfg, fmt.Errorf("dataset %q needs at least name= and schema=", v)
+	}
+	if cfg.Epsilon <= 0 {
+		return cfg, fmt.Errorf("dataset %q needs a positive eps= budget", cfg.Name)
+	}
+	return cfg, nil
+}
+
+func main() {
+	var datasets datasetFlags
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		ledgerPath = flag.String("ledger", "r2td.ledger", "append-only budget ledger (JSON lines; replayed on startup)")
+		workers    = flag.Int("workers", 0, "max concurrent mechanism runs (0 = GOMAXPROCS); excess requests get 429")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM")
+		seed       = flag.Int64("seed", 0, "deterministic noise seed, TESTS ONLY (0 = cryptographically seeded per query)")
+	)
+	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2 (repeatable)")
+	flag.Parse()
+	if len(datasets) == 0 {
+		fmt.Fprintln(os.Stderr, "r2td: at least one -dataset is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
+		Datasets:       datasets,
+		LedgerPath:     *ledgerPath,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "r2td:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful drain: stop accepting on SIGTERM/SIGINT, let in-flight
+	// queries finish (they still obey their own deadlines), then close the
+	// ledger.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		done <- httpSrv.Shutdown(drainCtx)
+	}()
+
+	fmt.Printf("r2td: serving %s on %s (ledger %s)\n", datasets.String(), *addr, *ledgerPath)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "r2td:", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "r2td: drain:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "r2td:", err)
+		os.Exit(1)
+	}
+	fmt.Println("r2td: drained, ledger closed")
+}

@@ -1,0 +1,39 @@
+package r2t
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQueryContextCancelled(t *testing.T) {
+	db := graphDB(t, [][2]int64{{0, 1}, {1, 2}, {2, 0}}, 3)
+	opt := Options{Epsilon: 1, GSQ: 16, Primary: []string{"Node"}, Noise: NewNoiseSource(7)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, edgeCount, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// An expired deadline surfaces as DeadlineExceeded.
+	ctx, cancel = context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := db.QueryContext(ctx, edgeCount, opt); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+
+	// A live context behaves exactly like Query.
+	ans, err := db.QueryContext(context.Background(), edgeCount, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query(edgeCount, Options{Epsilon: 1, GSQ: 16, Primary: []string{"Node"}, Noise: NewNoiseSource(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Estimate != want.Estimate {
+		t.Fatalf("QueryContext estimate %g != Query estimate %g for the same seed", ans.Estimate, want.Estimate)
+	}
+}

@@ -1,6 +1,7 @@
 package r2t
 
 import (
+	"context"
 	"fmt"
 
 	"r2t/internal/sql"
@@ -23,8 +24,18 @@ type GroupByAnswer struct {
 // Columns are resolved against the query's FROM aliases, so pass the same
 // qualifier you would write in SQL ("c.NK" → qualifier "c", attr "NK").
 func (db *DB) QueryGroupBy(sqlText string, column string, groups []Value, opt Options) ([]GroupByAnswer, error) {
+	return db.QueryGroupByContext(context.Background(), sqlText, column, groups, opt)
+}
+
+// QueryGroupByContext is QueryGroupBy with cancellation between (and inside)
+// the per-group runs. The same charge semantics as QueryContext apply: a
+// cancelled release must be treated as fully charged.
+func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column string, groups []Value, opt Options) ([]GroupByAnswer, error) {
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("r2t: group-by needs at least one group value")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	parsed, err := sql.Parse(sqlText)
 	if err != nil {
@@ -47,7 +58,7 @@ func (db *DB) QueryGroupBy(sqlText string, column string, groups []Value, opt Op
 		} else {
 			q.Where = sql.Binary{Op: "AND", L: q.Where, R: pred}
 		}
-		ans, err := db.run(&q, perGroup)
+		ans, err := db.run(ctx, &q, perGroup)
 		if err != nil {
 			return nil, fmt.Errorf("r2t: group %v: %w", g, err)
 		}

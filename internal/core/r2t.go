@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -47,6 +48,13 @@ type Config struct {
 	// estimate is identical to the serial run for the same noise source;
 	// only the per-race pruned/solved diagnostics may differ.
 	Workers int
+
+	// Interrupt, when non-nil, aborts the run between races once the channel
+	// is closed (a context.Done() channel, typically): Run returns
+	// ErrInterrupted without waiting for the remaining LPs. The noise for
+	// every race is drawn before any race runs, so callers that charge a
+	// privacy budget must treat an interrupted run as fully charged.
+	Interrupt <-chan struct{}
 }
 
 func (c *Config) fill() error {
@@ -92,6 +100,11 @@ type Output struct {
 	Races     []Race
 	Duration  time.Duration
 }
+
+// ErrInterrupted is returned by Run when Config.Interrupt fires before every
+// race has finished. The run's noise was already drawn; budget-charging
+// callers must not refund ε for interrupted runs.
+var ErrInterrupted = errors.New("r2t: run interrupted")
 
 // DualBounded is implemented by truncators (the LP one) that can provide a
 // monotonically tightening upper bound on Q(I,τ) — R2T's early-stop hook.
@@ -173,9 +186,21 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 		}
 	}
 
+	interrupted := func() bool {
+		select {
+		case <-cfg.Interrupt: // never fires when Interrupt is nil
+			return true
+		default:
+			return false
+		}
+	}
+
 	// runRace executes one race: tighten dual bounds until pruned or solve
 	// the LP exactly. Returns the first hard error.
 	runRace := func(j int) error {
+		if interrupted() {
+			return ErrInterrupted
+		}
 		tau := taus[j]
 		shift := noise[j] - penaltyFactor*tau
 		raceStart := time.Now()
@@ -221,6 +246,9 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 	// Early stop keeps the per-race loop: pruning decisions interleave with
 	// solves and depend on the running best.
 	if gridTr, canGrid := tr.(GridTruncator); canGrid && !useEarly && n > 0 {
+		if interrupted() {
+			return nil, ErrInterrupted
+		}
 		gridStart := time.Now()
 		vs, err := gridTr.Values(taus)
 		if err != nil {

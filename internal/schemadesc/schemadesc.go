@@ -1,0 +1,91 @@
+// Package schemadesc parses the minimal schema description language shared
+// by cmd/r2t and cmd/r2td. One relation per line; '*' marks the primary key,
+// '->R' marks a foreign key into relation R, '#' starts a comment:
+//
+//	Node(ID*)                      # node-DP: each node is an individual
+//	Edge(src->Node, dst->Node)
+//
+// The result is a fully validated *schema.Schema (PK uniqueness, FK targets,
+// acyclicity are checked by schema.New), so callers can hand it straight to
+// r2t.NewDB.
+package schemadesc
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"r2t/internal/schema"
+)
+
+// Parse parses a schema description. name labels error messages (typically
+// the source file path).
+func Parse(name, src string) (*schema.Schema, error) {
+	var rels []*schema.Relation
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		rel, err := parseRelation(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+		rels = append(rels, rel)
+	}
+	return schema.New(rels...)
+}
+
+// ParseFile reads and parses the schema description at path.
+func ParseFile(path string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, string(data))
+}
+
+// parseRelation parses one `Relation(attr, pk*, fk->Ref, ...)` line.
+func parseRelation(line string) (*schema.Relation, error) {
+	open := strings.Index(line, "(")
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("expected Relation(attr, ...), got %q", line)
+	}
+	rel := &schema.Relation{Name: strings.TrimSpace(line[:open])}
+	if rel.Name == "" {
+		return nil, fmt.Errorf("missing relation name in %q", line)
+	}
+	for _, field := range strings.Split(line[open+1:len(line)-1], ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(field, "->"):
+			parts := strings.SplitN(field, "->", 2)
+			attr := strings.TrimSpace(parts[0])
+			ref := strings.TrimSpace(parts[1])
+			if attr == "" || ref == "" {
+				return nil, fmt.Errorf("malformed foreign key %q (want attr->Relation)", field)
+			}
+			rel.Attrs = append(rel.Attrs, attr)
+			rel.FKs = append(rel.FKs, schema.FK{Attr: attr, Ref: ref})
+		case strings.HasSuffix(field, "*"):
+			attr := strings.TrimSuffix(field, "*")
+			if attr == "" {
+				return nil, fmt.Errorf("malformed primary key %q (want attr*)", field)
+			}
+			if rel.PK != "" {
+				return nil, fmt.Errorf("relation %s declares two primary keys (%s, %s)", rel.Name, rel.PK, attr)
+			}
+			rel.Attrs = append(rel.Attrs, attr)
+			rel.PK = attr
+		default:
+			rel.Attrs = append(rel.Attrs, field)
+		}
+	}
+	return rel, nil
+}

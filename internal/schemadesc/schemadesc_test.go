@@ -1,0 +1,137 @@
+package schemadesc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseGood(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "graph with PK and FKs",
+			src: `
+# node-DP graph
+Node(ID*)
+Edge(src->Node, dst->Node)
+`,
+		},
+		{
+			name: "inline comment after relation",
+			src:  "Node(ID*)   # trailing comment\nEdge(src->Node, dst->Node)",
+		},
+		{
+			name: "whitespace everywhere",
+			src:  "  Node( ID* )\n\tEdge( src -> Node ,\tdst->Node )  ",
+		},
+		{
+			name: "trailing comma ignored",
+			src:  "Node(ID*,)\nEdge(src->Node, dst->Node,)",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := Parse(c.name, c.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			node := s.Relation("Node")
+			if node == nil || node.PK != "ID" {
+				t.Fatalf("Node relation: %+v", node)
+			}
+			edge := s.Relation("Edge")
+			if edge == nil || len(edge.FKs) != 2 {
+				t.Fatalf("Edge relation: %+v", edge)
+			}
+			if edge.FKs[0].Attr != "src" || edge.FKs[0].Ref != "Node" ||
+				edge.FKs[1].Attr != "dst" || edge.FKs[1].Ref != "Node" {
+				t.Fatalf("Edge FKs: %+v", edge.FKs)
+			}
+		})
+	}
+}
+
+func TestParseTPCHLike(t *testing.T) {
+	s, err := Parse("tpch", `
+Customer(CK*, name)
+Orders(OK*, CK->Customer)
+Lineitem(OK->Orders, price)
+Nation(NK*)   # public relation, no FKs
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names()) != 4 {
+		t.Fatalf("relations: %v", s.Names())
+	}
+	li := s.Relation("Lineitem")
+	if li.PK != "" || len(li.FKs) != 1 || li.AttrIndex("price") != 1 {
+		t.Fatalf("Lineitem: %+v", li)
+	}
+	cust := s.Relation("Customer")
+	if cust.PK != "CK" || cust.AttrIndex("name") != 1 {
+		t.Fatalf("Customer: %+v", cust)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		errWant string // substring the error must contain ("" = any)
+	}{
+		{"missing open paren", "Node ID*", "expected Relation"},
+		{"missing close paren", "Node(ID*", "expected Relation"},
+		{"missing relation name", "(ID*)", "missing relation name"},
+		{"empty FK ref", "Node(ID*)\nEdge(src->, dst->Node)", "malformed foreign key"},
+		{"empty FK attr", "Node(ID*)\nEdge(->Node)", "malformed foreign key"},
+		{"bare star", "Node(*)", "malformed primary key"},
+		{"two primary keys", "Node(a*, b*)", "two primary keys"},
+		{"dangling FK target", "Edge(src->Node)", ""},
+		{"FK cycle", "A(k*, f->B)\nB(k*, f->A)", ""},
+		{"duplicate relation", "Node(ID*)\nNode(ID*)", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("test", c.src)
+			if err == nil {
+				t.Fatalf("expected error for %q", c.src)
+			}
+			if c.errWant != "" && !strings.Contains(err.Error(), c.errWant) {
+				t.Fatalf("error %q does not mention %q", err, c.errWant)
+			}
+		})
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse("my.schema", "Node(ID*)\n\n# comment\nbroken line here")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "my.schema:4:") {
+		t.Fatalf("error should carry file:line, got %q", err)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.schema")
+	if err := os.WriteFile(path, []byte("Node(ID*)\nEdge(src->Node, dst->Node)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names()) != 2 {
+		t.Fatalf("relations: %v", s.Names())
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.schema")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// fingerprint canonically identifies one DP release: the dataset, the
+// normalized SQL (as rendered by the parser, so whitespace and case noise in
+// the input don't matter), the mechanism parameters ε, GS_Q and β, and the
+// sorted primary-relation set. Two requests with equal fingerprints ask for
+// the identical release, so re-serving the recorded answer is pure
+// post-processing of an already-published ε-DP output and costs zero
+// additional budget (DESIGN.md, "free replay is post-processing").
+//
+// β is included even though the ISSUE's minimal key omits it: β shifts the
+// penalty term and therefore the released value, so answers computed under
+// different β are different releases and must not alias.
+func fingerprint(dataset, normalizedSQL string, eps, gsq, beta float64, primary []string) string {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeF64 := func(f float64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], math.Float64bits(f))
+		h.Write(n[:])
+	}
+	writeStr(dataset)
+	writeStr(normalizedSQL)
+	writeF64(eps)
+	writeF64(gsq)
+	writeF64(beta)
+	sorted := append([]string(nil), primary...)
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		writeStr(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cachedAnswer is one recorded release.
+type cachedAnswer struct {
+	Estimate float64   // the ε-DP estimate as first released
+	Epsilon  float64   // what the first release was charged
+	Query    string    // normalized SQL, for /metrics and audit
+	At       time.Time // first release time
+}
+
+// flight tracks one in-progress release so concurrent identical requests
+// coalesce: followers wait for the leader's answer instead of each charging
+// ε for their own mechanism run.
+type flight struct {
+	done chan struct{} // closed once ans/err are set
+	ans  cachedAnswer
+	err  error
+}
+
+// answerCache is the free-replay cache. Entries are never evicted: dropping
+// one would make the next identical query re-run the mechanism and burn ε
+// again — correct but wasteful — so memory is deliberately traded for
+// budget. The cache only ever holds released (already public) estimates, so
+// it adds no privacy exposure; it is rebuilt empty on restart (re-answering
+// then re-charges, still safe, just not free — the ledger, not the cache,
+// is the source of truth for spend).
+type answerCache struct {
+	mu       sync.Mutex
+	answers  map[string]cachedAnswer
+	inflight map[string]*flight
+}
+
+func newAnswerCache() *answerCache {
+	return &answerCache{
+		answers:  make(map[string]cachedAnswer),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do returns the recorded release for key, or arranges for exactly one
+// caller at a time to produce it: the leader runs fn (which charges the
+// budget and runs the mechanism) and everyone racing with it waits and
+// replays the leader's release at zero additional ε. cached reports whether
+// this caller's answer came from a replay (map hit or coalesced follow)
+// rather than its own mechanism run. A failed fn is not cached; its
+// followers receive the same error, and the next request leads afresh.
+func (c *answerCache) do(ctx context.Context, key string, fn func() (cachedAnswer, error)) (ans cachedAnswer, cached bool, err error) {
+	c.mu.Lock()
+	if a, ok := c.answers[key]; ok {
+		c.mu.Unlock()
+		return a, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.ans, true, fl.err
+		case <-ctx.Done():
+			return cachedAnswer{}, false, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	ans, err = fn()
+	fl.ans, fl.err = ans, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.answers[key] = ans
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return ans, false, err
+}
+
+// size returns the number of recorded releases.
+func (c *answerCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.answers)
+}

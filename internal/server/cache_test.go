@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFingerprint(t *testing.T) {
+	base := fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"})
+	if fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// The primary set is order-insensitive.
+	a := fingerprint("d", "q", 1, 16, 0.1, []string{"A", "B"})
+	b := fingerprint("d", "q", 1, 16, 0.1, []string{"B", "A"})
+	if a != b {
+		t.Fatal("primary order changed the fingerprint")
+	}
+	// Every semantic dimension must separate.
+	distinct := []string{
+		base,
+		fingerprint("d2", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}),
+		fingerprint("d", "SELECT COUNT(*) FROM Node", 0.5, 16, 0.1, []string{"Node"}),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.6, 16, 0.1, []string{"Node"}),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 32, 0.1, []string{"Node"}),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.2, []string{"Node"}),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Edge"}),
+	}
+	seen := map[string]int{}
+	for i, fp := range distinct {
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("fingerprints %d and %d collide", i, j)
+		}
+		seen[fp] = i
+	}
+	// Field boundaries are length-prefixed: moving a character across the
+	// dataset/SQL boundary must change the key.
+	if fingerprint("ab", "c", 1, 16, 0.1, nil) == fingerprint("a", "bc", 1, 16, 0.1, nil) {
+		t.Fatal("field-boundary collision")
+	}
+}
+
+func TestCacheCoalescing(t *testing.T) {
+	c := newAnswerCache()
+	var runs int32
+	release := make(chan struct{})
+	const clients = 32
+
+	var wg sync.WaitGroup
+	freshCount := int32(0)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ans, cached, err := c.do(context.Background(), "k", func() (cachedAnswer, error) {
+				atomic.AddInt32(&runs, 1)
+				<-release // hold every concurrent caller in the coalescing window
+				return cachedAnswer{Estimate: 42, Epsilon: 0.5}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ans.Estimate != 42 {
+				t.Errorf("estimate %g", ans.Estimate)
+			}
+			if !cached {
+				atomic.AddInt32(&freshCount, 1)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if got := atomic.LoadInt32(&runs); got != 1 {
+		t.Fatalf("mechanism ran %d times for one fingerprint", got)
+	}
+	if got := atomic.LoadInt32(&freshCount); got != 1 {
+		t.Fatalf("%d callers claim the fresh release", got)
+	}
+	// Later callers hit the recorded release.
+	if _, cached, _ := c.do(context.Background(), "k", nil); !cached {
+		t.Fatal("recorded release missed")
+	}
+	if c.size() != 1 {
+		t.Fatalf("cache size %d", c.size())
+	}
+}
+
+func TestCacheLeaderFailureNotCached(t *testing.T) {
+	c := newAnswerCache()
+	boom := errors.New("boom")
+	if _, _, err := c.do(context.Background(), "k", func() (cachedAnswer, error) {
+		return cachedAnswer{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.size() != 0 {
+		t.Fatal("failed release was cached")
+	}
+	// The next caller leads afresh and can succeed.
+	ans, cached, err := c.do(context.Background(), "k", func() (cachedAnswer, error) {
+		return cachedAnswer{Estimate: 7}, nil
+	})
+	if err != nil || cached || ans.Estimate != 7 {
+		t.Fatalf("retry: %+v cached=%v err=%v", ans, cached, err)
+	}
+}
+
+func TestCacheFollowerContextCancel(t *testing.T) {
+	c := newAnswerCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.do(context.Background(), "k", func() (cachedAnswer, error) {
+			close(started)
+			<-release
+			return cachedAnswer{Estimate: 1}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v", err)
+	}
+	close(release)
+}

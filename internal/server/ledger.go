@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LedgerEntry is one privacy charge: dataset, ε, and audit context. Entries
+// are append-only — the ledger is the authoritative record of privacy spend,
+// so nothing ever rewrites or compacts it.
+type LedgerEntry struct {
+	Time        string  `json:"time"` // RFC 3339, informational
+	Dataset     string  `json:"dataset"`
+	Epsilon     float64 `json:"epsilon"`
+	Query       string  `json:"query,omitempty"`       // normalized SQL, audit only
+	Fingerprint string  `json:"fingerprint,omitempty"` // cache key of the release
+}
+
+// Ledger is the durable append-only budget write-ahead log: one JSON object
+// per line, fsynced by Append before it returns.
+//
+// Charge ordering (the durability contract, see DESIGN.md): the server calls
+// Append from inside Budget.SpendWith's commit hook, so a charge is on disk
+// *before* it is admitted in memory, and admitted *before* the mechanism
+// runs. A crash at any point therefore errs on the safe side — the ledger
+// may record a charge whose mechanism never released an answer (wasting ε),
+// but an answer can never have been released without its charge being
+// durable first.
+type Ledger struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenLedger opens (creating if absent) the ledger at path, replays it, and
+// returns the per-dataset ε already charged.
+//
+// Every newline-terminated line must be a valid entry; anything else is
+// corruption and a hard error. A trailing line with no terminating newline —
+// the signature of a crash mid-append — is handled conservatively: if it
+// still parses as a complete entry its charge is counted (only the newline
+// was lost), otherwise the fragment is truncated away, which is safe because
+// its charge was never admitted (admission happens only after the fsync
+// succeeds).
+func OpenLedger(path string) (*Ledger, map[string]float64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("reading ledger %s: %w", path, err)
+	}
+
+	spent := make(map[string]float64)
+	parse := func(line string, lineNo int) (LedgerEntry, error) {
+		var e LedgerEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return e, fmt.Errorf("ledger %s:%d: corrupt entry: %w", path, lineNo, err)
+		}
+		if e.Dataset == "" || e.Epsilon <= 0 {
+			return e, fmt.Errorf("ledger %s:%d: invalid entry (dataset %q, ε=%g)", path, lineNo, e.Dataset, e.Epsilon)
+		}
+		return e, nil
+	}
+
+	lines := strings.Split(string(data), "\n")
+	// lines[:len-1] are newline-terminated; lines[len-1] is "" for a cleanly
+	// terminated file, or a torn trailing fragment after a crash.
+	for i, line := range lines[:len(lines)-1] {
+		if line == "" {
+			continue
+		}
+		e, err := parse(line, i+1)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		spent[e.Dataset] += e.Epsilon
+	}
+	if frag := lines[len(lines)-1]; frag != "" {
+		if e, err := parse(frag, len(lines)); err == nil {
+			// Complete entry, only the newline was torn off: count the charge
+			// and terminate the line so the next append starts fresh.
+			spent[e.Dataset] += e.Epsilon
+			if _, err := f.WriteString("\n"); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("repairing ledger %s: %w", path, err)
+			}
+		} else {
+			// Torn fragment: its charge was never admitted. Truncate it away
+			// so future appends don't concatenate onto garbage.
+			fmt.Fprintf(os.Stderr, "r2td: dropping torn final ledger line (%v)\n", err)
+			if err := f.Truncate(int64(len(data) - len(frag))); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("repairing ledger %s: %w", path, err)
+			}
+			if _, err := f.Seek(int64(len(data)-len(frag)), io.SeekStart); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	return &Ledger{f: f}, spent, nil
+}
+
+// Append durably logs one charge: the entry is written as a single line and
+// fsynced before Append returns. Callers invoke it from Budget.SpendWith so
+// the charge is only admitted if durability succeeded.
+func (l *Ledger) Append(e LedgerEntry) error {
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("ledger append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ledger sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

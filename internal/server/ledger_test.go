@@ -1,0 +1,132 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLedgerAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.jsonl")
+	l, spent, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spent) != 0 {
+		t.Fatalf("fresh ledger has spend: %v", spent)
+	}
+	charges := []LedgerEntry{
+		{Dataset: "a", Epsilon: 0.25, Query: "SELECT COUNT(*) FROM Edge"},
+		{Dataset: "a", Epsilon: 0.5},
+		{Dataset: "b", Epsilon: 1.5, Fingerprint: "abc"},
+	}
+	for _, e := range charges {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, spent, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if spent["a"] != 0.75 || spent["b"] != 1.5 {
+		t.Fatalf("replayed spend: %v", spent)
+	}
+	// Appends after a replay extend the same log.
+	if err := l2.Append(LedgerEntry{Dataset: "a", Epsilon: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	l3, spent, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if spent["a"] != 1.0 {
+		t.Fatalf("spend after second round: %v", spent)
+	}
+}
+
+func TestLedgerTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.jsonl")
+	body := `{"dataset":"a","epsilon":0.5}` + "\n" + `{"dataset":"a","eps` // torn mid-append
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, spent, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if spent["a"] != 0.5 {
+		t.Fatalf("spend: %v", spent)
+	}
+	// The torn fragment is truncated, so a new append lands cleanly.
+	if err := l.Append(LedgerEntry{Dataset: "a", Epsilon: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, spent, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if spent["a"] != 0.75 {
+		t.Fatalf("spend after repair: %v", spent)
+	}
+}
+
+func TestLedgerTornNewlineOnly(t *testing.T) {
+	// A complete final entry that lost only its newline: the charge counts
+	// and the file is repaired in place.
+	path := filepath.Join(t.TempDir(), "l.jsonl")
+	body := `{"dataset":"a","epsilon":0.5}` + "\n" + `{"dataset":"a","epsilon":0.25}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, spent, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent["a"] != 0.75 {
+		t.Fatalf("spend: %v", spent)
+	}
+	if err := l.Append(LedgerEntry{Dataset: "b", Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, spent, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if spent["a"] != 0.75 || spent["b"] != 1 {
+		t.Fatalf("spend after repair: %v", spent)
+	}
+}
+
+func TestLedgerCorruptionIsFatal(t *testing.T) {
+	cases := []string{
+		"garbage\n" + `{"dataset":"a","epsilon":0.5}` + "\n",  // corrupt interior line
+		`{"dataset":"","epsilon":0.5}` + "\n",                 // missing dataset
+		`{"dataset":"a","epsilon":-1}` + "\n",                 // non-positive charge
+		`{"dataset":"a","epsilon":0}` + "\n",                  // zero charge
+		`{"dataset":"a"}` + "\n",                              // absent charge
+		"\x00\x01\n" + `{"dataset":"a","epsilon":0.5}` + "\n", // binary junk
+	}
+	for _, body := range cases {
+		path := filepath.Join(t.TempDir(), "l.jsonl")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenLedger(path); err == nil {
+			t.Errorf("corrupt ledger %q accepted", body)
+		} else if !strings.Contains(err.Error(), "ledger") {
+			t.Errorf("error should identify the ledger: %v", err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request outcome labels for the r2td_queries_total counter. cache_hit
+// covers both map hits and coalesced followers; ok means a fresh mechanism
+// run released an answer (and charged ε).
+const (
+	statusOK        = "ok"
+	statusCacheHit  = "cache_hit"
+	statusInvalid   = "invalid"          // 400: bad request, options, or SQL
+	statusNotFound  = "not_found"        // 404: unknown dataset
+	statusRejected  = "rejected"         // 429: worker pool saturated
+	statusExhausted = "budget_exhausted" // 402: ε budget cannot cover the charge
+	statusTimeout   = "timeout"          // 504: deadline expired
+	statusError     = "error"            // 500: mechanism failure after admission
+)
+
+// metrics is the process-wide counter set behind /metrics, exported in the
+// Prometheus text exposition format (hand-rolled — the repo is stdlib-only).
+// Budget gauges are not stored here; they are read live from the registry at
+// scrape time so they can never drift from the ledger-backed truth.
+type metrics struct {
+	mu      sync.Mutex
+	started time.Time
+	queries map[statusKey]int64
+	latency map[string]*latencySummary // per dataset, all outcomes
+}
+
+type statusKey struct{ dataset, status string }
+
+func newMetrics() *metrics {
+	return &metrics{
+		started: time.Now(),
+		queries: make(map[statusKey]int64),
+		latency: make(map[string]*latencySummary),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(dataset, status string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries[statusKey{dataset, status}]++
+	s := m.latency[dataset]
+	if s == nil {
+		s = &latencySummary{}
+		m.latency[dataset] = s
+	}
+	s.add(d)
+}
+
+// latencySummary keeps exact count/sum/max plus a sliding window of the most
+// recent observations for quantiles — bounded memory, no dependency, and
+// accurate over the traffic that matters (the recent past).
+type latencySummary struct {
+	count int64
+	sum   time.Duration
+	max   time.Duration
+	ring  [512]float64 // seconds
+	n     int          // filled slots
+	next  int
+}
+
+func (s *latencySummary) add(d time.Duration) {
+	s.count++
+	s.sum += d
+	if d > s.max {
+		s.max = d
+	}
+	s.ring[s.next] = d.Seconds()
+	s.next = (s.next + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// quantiles returns the q-quantiles over the window, one per requested q.
+func (s *latencySummary) quantiles(qs ...float64) []float64 {
+	window := make([]float64, s.n)
+	copy(window, s.ring[:s.n])
+	sort.Float64s(window)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if s.n == 0 {
+			continue
+		}
+		idx := int(q * float64(s.n-1))
+		out[i] = window[idx]
+	}
+	return out
+}
+
+// writeTo renders the full exposition: query counts by outcome, cache
+// occupancy and hit rate, per-dataset ε accounting (live from the budgets),
+// and latency summaries.
+func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP r2td_uptime_seconds Time since the server started.\n# TYPE r2td_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "r2td_uptime_seconds %g\n", time.Since(m.started).Seconds())
+
+	fmt.Fprintf(w, "# HELP r2td_queries_total Finished query requests by dataset and outcome.\n# TYPE r2td_queries_total counter\n")
+	keys := make([]statusKey, 0, len(m.queries))
+	for k := range m.queries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dataset != keys[j].dataset {
+			return keys[i].dataset < keys[j].dataset
+		}
+		return keys[i].status < keys[j].status
+	})
+	hits := make(map[string]int64)
+	releases := make(map[string]int64)
+	for _, k := range keys {
+		fmt.Fprintf(w, "r2td_queries_total{dataset=%q,status=%q} %d\n", k.dataset, k.status, m.queries[k])
+		switch k.status {
+		case statusCacheHit:
+			hits[k.dataset] += m.queries[k]
+		case statusOK:
+			releases[k.dataset] += m.queries[k]
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP r2td_cache_answers Recorded releases in the free-replay cache.\n# TYPE r2td_cache_answers gauge\n")
+	fmt.Fprintf(w, "r2td_cache_answers %d\n", cache.size())
+	fmt.Fprintf(w, "# HELP r2td_cache_hit_ratio Fraction of answered queries served by free replay.\n# TYPE r2td_cache_hit_ratio gauge\n")
+	for _, name := range reg.Names() {
+		if answered := hits[name] + releases[name]; answered > 0 {
+			fmt.Fprintf(w, "r2td_cache_hit_ratio{dataset=%q} %g\n", name, float64(hits[name])/float64(answered))
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP r2td_epsilon_total Configured ε budget per dataset.\n# TYPE r2td_epsilon_total gauge\n")
+	for _, name := range reg.Names() {
+		fmt.Fprintf(w, "r2td_epsilon_total{dataset=%q} %g\n", name, reg.Get(name).Budget.Total())
+	}
+	fmt.Fprintf(w, "# HELP r2td_epsilon_spent Cumulative ε charged per dataset (survives restarts via the ledger).\n# TYPE r2td_epsilon_spent gauge\n")
+	fmt.Fprintf(w, "# HELP r2td_epsilon_remaining Unspent ε per dataset.\n# TYPE r2td_epsilon_remaining gauge\n")
+	for _, name := range reg.Names() {
+		spent, remaining := reg.Get(name).Budget.Balance()
+		fmt.Fprintf(w, "r2td_epsilon_spent{dataset=%q} %g\n", name, spent)
+		fmt.Fprintf(w, "r2td_epsilon_remaining{dataset=%q} %g\n", name, remaining)
+	}
+
+	fmt.Fprintf(w, "# HELP r2td_request_seconds Request latency summary per dataset.\n# TYPE r2td_request_seconds summary\n")
+	datasets := make([]string, 0, len(m.latency))
+	for name := range m.latency {
+		datasets = append(datasets, name)
+	}
+	sort.Strings(datasets)
+	for _, name := range datasets {
+		s := m.latency[name]
+		qv := s.quantiles(0.5, 0.95, 0.99)
+		fmt.Fprintf(w, "r2td_request_seconds{dataset=%q,quantile=\"0.5\"} %g\n", name, qv[0])
+		fmt.Fprintf(w, "r2td_request_seconds{dataset=%q,quantile=\"0.95\"} %g\n", name, qv[1])
+		fmt.Fprintf(w, "r2td_request_seconds{dataset=%q,quantile=\"0.99\"} %g\n", name, qv[2])
+		fmt.Fprintf(w, "r2td_request_seconds_sum{dataset=%q} %g\n", name, s.sum.Seconds())
+		fmt.Fprintf(w, "r2td_request_seconds_count{dataset=%q} %d\n", name, s.count)
+		fmt.Fprintf(w, "r2td_request_seconds_max{dataset=%q} %g\n", name, s.max.Seconds())
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"r2t"
+	"r2t/internal/schemadesc"
+)
+
+// DatasetConfig describes one dataset to host: a schema description file
+// (the cmd/r2t language, parsed by internal/schemadesc), a directory of
+// <Relation>.csv files, the dataset's total privacy budget, and the default
+// primary private relations applied when a request names none.
+type DatasetConfig struct {
+	Name       string
+	SchemaPath string
+	DataDir    string
+	Epsilon    float64  // total ε budget for this dataset's lifetime
+	Primary    []string // default primary private relations
+}
+
+// Dataset is one loaded dataset with its live budget. The DB is immutable
+// after loading (the server exposes no write path), so it is safe for
+// concurrent queries.
+type Dataset struct {
+	Name      string
+	DB        *r2t.DB
+	Budget    *r2t.Budget
+	Primary   []string
+	Relations int // loaded relations, surfaced by /v1/datasets
+}
+
+// Registry maps dataset names to loaded datasets. It is built once at
+// startup and read-only afterwards, so lookups need no locking.
+type Registry struct {
+	datasets map[string]*Dataset
+}
+
+// LoadDatasets loads every configured dataset: parse schema, load CSVs,
+// verify PK/FK integrity, and reconstruct the budget from the replayed
+// ledger spend (spent[name], typically from OpenLedger).
+func LoadDatasets(cfgs []DatasetConfig, spent map[string]float64) (*Registry, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("r2td: no datasets configured")
+	}
+	reg := &Registry{datasets: make(map[string]*Dataset, len(cfgs))}
+	for _, cfg := range cfgs {
+		if cfg.Name == "" {
+			return nil, fmt.Errorf("r2td: dataset with empty name")
+		}
+		if _, dup := reg.datasets[cfg.Name]; dup {
+			return nil, fmt.Errorf("r2td: duplicate dataset %q", cfg.Name)
+		}
+		ds, err := loadDataset(cfg, spent[cfg.Name])
+		if err != nil {
+			return nil, fmt.Errorf("r2td: dataset %q: %w", cfg.Name, err)
+		}
+		reg.datasets[cfg.Name] = ds
+	}
+	return reg, nil
+}
+
+func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
+	s, err := schemadesc.ParseFile(cfg.SchemaPath)
+	if err != nil {
+		return nil, err
+	}
+	db := r2t.NewDB(s)
+	loaded := 0
+	for _, name := range s.Names() {
+		path := filepath.Join(cfg.DataDir, name+".csv")
+		if _, err := os.Stat(path); err != nil {
+			continue // relations without a file stay empty
+		}
+		if err := db.LoadCSV(name, path); err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		loaded++
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		return nil, err
+	}
+	for _, p := range cfg.Primary {
+		rel := s.Relation(p)
+		if rel == nil {
+			return nil, fmt.Errorf("default primary relation %q not in schema", p)
+		}
+		if rel.PK == "" {
+			return nil, fmt.Errorf("default primary relation %q has no primary key", p)
+		}
+	}
+	budget, err := r2t.NewBudgetWithSpent(cfg.Epsilon, alreadySpent)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:      cfg.Name,
+		DB:        db,
+		Budget:    budget,
+		Primary:   append([]string(nil), cfg.Primary...),
+		Relations: loaded,
+	}, nil
+}
+
+// Get returns the named dataset, or nil.
+func (r *Registry) Get(name string) *Dataset { return r.datasets[name] }
+
+// Names returns the hosted dataset names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.datasets))
+	for n := range r.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

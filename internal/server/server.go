@@ -1,0 +1,388 @@
+// Package server implements r2td, the multi-tenant differentially private
+// query service built on the r2t engine (cmd/r2td is the binary). It hosts
+// named datasets (schema + CSV directory, the cmd/r2t format) and answers
+// SPJA queries over HTTP/JSON with production plumbing the one-shot CLI
+// lacks:
+//
+//   - per-dataset ε budgets enforced through a durable append-only ledger
+//     (JSON lines, fsynced, replayed on startup — a restart never resets
+//     privacy spend, and the charge is logged *before* the mechanism runs);
+//   - a free-replay answer cache: a repeated (dataset, normalized SQL, ε,
+//     GS_Q, β, primary-set) release is served from cache at zero additional
+//     ε, because re-publishing an already-released DP output is
+//     post-processing (see DESIGN.md);
+//   - a bounded worker pool with admission control (429 on saturation),
+//     per-request deadlines via context, and graceful drain on shutdown;
+//   - a Prometheus-style /metrics endpoint (query counts, cache hit rate, ε
+//     spent/remaining per dataset, latency summaries).
+//
+// Only the ε-DP estimate and budget/latency metadata leave the service;
+// the non-private diagnostic fields of r2t.Answer (true answer, τ*, race
+// details) are deliberately never serialized.
+package server
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"r2t"
+	"r2t/internal/dp"
+)
+
+// Config assembles a Server.
+type Config struct {
+	Datasets   []DatasetConfig
+	LedgerPath string // append-only budget WAL (created if absent)
+
+	// Workers bounds concurrent mechanism runs (default GOMAXPROCS).
+	// Requests beyond the bound are rejected with 429 rather than queued,
+	// so saturation is visible to clients immediately.
+	Workers int
+	// RequestTimeout is the per-query deadline (default 30s). Requests may
+	// lower it via timeout_ms but never raise it.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Seed makes noise deterministic for tests and demos (0 = a fresh
+	// crypto/rand seed per query). Never set it in production.
+	Seed int64
+}
+
+// Server is the r2td service. Create with New, expose via Handler, stop by
+// closing the http.Server around it and then calling Close.
+type Server struct {
+	reg     *Registry
+	ledger  *Ledger
+	cache   *answerCache
+	metrics *metrics
+	sem     chan struct{}
+	timeout time.Duration
+	maxBody int64
+	noise   func() r2t.NoiseSource
+}
+
+// New opens and replays the ledger, loads every dataset with its surviving
+// spend, and returns a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.LedgerPath == "" {
+		return nil, fmt.Errorf("r2td: ledger path is required (the budget must survive restarts)")
+	}
+	ledger, spent, err := OpenLedger(cfg.LedgerPath)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := LoadDatasets(cfg.Datasets, spent)
+	if err != nil {
+		ledger.Close()
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	s := &Server{
+		reg:     reg,
+		ledger:  ledger,
+		cache:   newAnswerCache(),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, workers),
+		timeout: timeout,
+		maxBody: maxBody,
+	}
+	if cfg.Seed != 0 {
+		shared := dp.NewLockedSource(dp.NewSource(cfg.Seed))
+		s.noise = func() r2t.NoiseSource { return shared }
+	} else {
+		s.noise = func() r2t.NoiseSource { return dp.NewSource(cryptoSeed()) }
+	}
+	return s, nil
+}
+
+// cryptoSeed draws a fresh PRNG seed from the OS entropy pool — per-query
+// seeding must not rely on wall-clock nanoseconds, which collide under
+// concurrency.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively impossible on modern kernels;
+		// fall back to time only to stay running.
+		return time.Now().UnixNano()
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+// Close releases the ledger. Call after the HTTP server has drained.
+func (s *Server) Close() error { return s.ledger.Close() }
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/query     evaluate one DP query
+//	GET  /v1/datasets  hosted datasets with live budget balances
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// queryRequest is the analyst-facing query API.
+type queryRequest struct {
+	Dataset string  `json:"dataset"`
+	SQL     string  `json:"sql"`
+	Epsilon float64 `json:"epsilon"`
+	GSQ     float64 `json:"gsq"`
+	// Beta is the utility failure probability (default 0.1).
+	Beta float64 `json:"beta,omitempty"`
+	// Primary overrides the dataset's default primary private relations.
+	Primary []string `json:"primary,omitempty"`
+	// TimeoutMS lowers (never raises) the server's per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse carries only releasable data: the ε-DP estimate plus
+// budget/latency metadata that depends on the query stream, not the data.
+type queryResponse struct {
+	Dataset          string  `json:"dataset"`
+	Query            string  `json:"query"` // normalized SQL actually answered
+	Estimate         float64 `json:"estimate"`
+	EpsilonCharged   float64 `json:"epsilon_charged"` // 0 on cache hits
+	Cached           bool    `json:"cached"`
+	EpsilonSpent     float64 `json:"epsilon_spent"`
+	EpsilonRemaining float64 `json:"epsilon_remaining"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// errSaturated marks worker-pool admission failure.
+var errSaturated = errors.New("r2td: all workers busy")
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.finish(w, r, "", statusInvalid, start, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ds := s.reg.Get(req.Dataset)
+	if ds == nil {
+		s.finish(w, r, req.Dataset, statusNotFound, start, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
+		return
+	}
+	primary := req.Primary
+	if len(primary) == 0 {
+		primary = ds.Primary
+	}
+	opt := r2t.Options{
+		Epsilon:   req.Epsilon,
+		GSQ:       req.GSQ,
+		Beta:      req.Beta,
+		Primary:   primary,
+		EarlyStop: true,
+		Noise:     s.noise(),
+	}
+	// The shared Options.Validate runs before anything can charge ε; the
+	// mechanism parameters it rejects here are exactly the ones Query would
+	// reject after a charge-free path.
+	if err := opt.Validate(); err != nil {
+		s.finish(w, r, ds.Name, statusInvalid, start, http.StatusBadRequest, err)
+		return
+	}
+	// Static analysis (parse, plan against the schema) catches bad SQL
+	// charge-free and yields the normalized query text the cache keys on.
+	expl, err := ds.DB.Explain(req.SQL, opt.Primary)
+	if err != nil {
+		s.finish(w, r, ds.Name, statusInvalid, start, http.StatusBadRequest, err)
+		return
+	}
+	normalized := expl.Query
+
+	timeout := s.timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// β=0 means the default; normalize so explicit and implicit defaults
+	// share a fingerprint.
+	beta := opt.Beta
+	if beta == 0 {
+		beta = 0.1
+	}
+	key := fingerprint(ds.Name, normalized, opt.Epsilon, opt.GSQ, beta, opt.Primary)
+
+	ans, cached, err := s.cache.do(ctx, key, func() (cachedAnswer, error) {
+		// Admission control: a slot in the bounded worker pool, or 429.
+		// Only fresh mechanism runs consume slots — cache hits and
+		// coalesced followers are free.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			return cachedAnswer{}, errSaturated
+		}
+		// Charge before running: the ledger append is the commit hook, so
+		// the charge is durable before it is admitted and admitted before
+		// the mechanism runs. From here on the charge stands even if the
+		// mechanism fails or the deadline expires (noise is already drawn;
+		// refunds would allow free re-runs).
+		if err := ds.Budget.SpendWith(opt.Epsilon, func() error {
+			return s.ledger.Append(LedgerEntry{
+				Dataset:     ds.Name,
+				Epsilon:     opt.Epsilon,
+				Query:       normalized,
+				Fingerprint: key,
+			})
+		}); err != nil {
+			return cachedAnswer{}, err
+		}
+		a, err := ds.DB.QueryContext(ctx, req.SQL, opt)
+		if err != nil {
+			return cachedAnswer{}, err
+		}
+		return cachedAnswer{
+			Estimate: a.Estimate,
+			Epsilon:  opt.Epsilon,
+			Query:    normalized,
+			At:       time.Now(),
+		}, nil
+	})
+	if err != nil {
+		status, code := classifyError(err)
+		s.finish(w, r, ds.Name, status, start, code, err)
+		return
+	}
+
+	charged := ans.Epsilon
+	if cached {
+		charged = 0
+	}
+	spent, remaining := ds.Budget.Balance()
+	st := statusOK
+	if cached {
+		st = statusCacheHit
+	}
+	s.metrics.observe(ds.Name, st, time.Since(start))
+	writeJSON(w, http.StatusOK, queryResponse{
+		Dataset:          ds.Name,
+		Query:            normalized,
+		Estimate:         ans.Estimate,
+		EpsilonCharged:   charged,
+		Cached:           cached,
+		EpsilonSpent:     spent,
+		EpsilonRemaining: remaining,
+		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// classifyError maps an evaluation failure to a metrics status and HTTP code.
+func classifyError(err error) (string, int) {
+	switch {
+	case errors.Is(err, errSaturated):
+		return statusRejected, http.StatusTooManyRequests
+	case errors.Is(err, r2t.ErrBudgetExhausted):
+		// 402: the request was valid, the data exists, but the privacy
+		// budget cannot pay for another release.
+		return statusExhausted, http.StatusPaymentRequired
+	case errors.Is(err, context.DeadlineExceeded):
+		return statusTimeout, http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusTimeout, http.StatusGatewayTimeout
+	default:
+		return statusError, http.StatusInternalServerError
+	}
+}
+
+// datasetInfo is one row of GET /v1/datasets.
+type datasetInfo struct {
+	Name             string   `json:"name"`
+	Relations        int      `json:"relations"`
+	DefaultPrimary   []string `json:"default_primary,omitempty"`
+	EpsilonTotal     float64  `json:"epsilon_total"`
+	EpsilonSpent     float64  `json:"epsilon_spent"`
+	EpsilonRemaining float64  `json:"epsilon_remaining"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	out := make([]datasetInfo, 0, len(s.reg.datasets))
+	for _, name := range s.reg.Names() {
+		ds := s.reg.Get(name)
+		spent, remaining := ds.Budget.Balance()
+		out = append(out, datasetInfo{
+			Name:             name,
+			Relations:        ds.Relations,
+			DefaultPrimary:   ds.Primary,
+			EpsilonTotal:     ds.Budget.Total(),
+			EpsilonSpent:     spent,
+			EpsilonRemaining: remaining,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w, s.reg, s.cache)
+}
+
+// finish records a failed request in metrics and writes the error response.
+func (s *Server) finish(w http.ResponseWriter, _ *http.Request, dataset, status string, start time.Time, code int, err error) {
+	if dataset == "" {
+		dataset = "_unknown"
+	}
+	s.metrics.observe(dataset, status, time.Since(start))
+	writeError(w, code, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

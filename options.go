@@ -1,0 +1,59 @@
+package r2t
+
+import "fmt"
+
+// Options configures one private query evaluation.
+type Options struct {
+	// Epsilon is the privacy budget ε (> 0). Required.
+	Epsilon float64
+	// GSQ is the assumed bound on the query's global sensitivity — the most
+	// any one individual may contribute (Section 4). Required, ≥ 2. R2T's
+	// error grows only logarithmically in GSQ, so be conservative.
+	GSQ float64
+	// Primary names the primary private relations (each must have a primary
+	// key). Required.
+	Primary []string
+	// Beta is the failure probability of the utility guarantee (default 0.1).
+	// It does not affect privacy.
+	Beta float64
+	// Noise overrides the noise source (default: time-seeded).
+	Noise NoiseSource
+	// EarlyStop enables the dual-bound race pruning of Algorithm 1.
+	EarlyStop bool
+	// Naive forces naive truncation instead of the LP operator. Only valid
+	// for self-join-free queries without projection; Query fails otherwise.
+	// The LP operator (default) is valid for all SPJA queries.
+	Naive bool
+	// Workers solves races concurrently (default 1; negative = GOMAXPROCS).
+	// The released estimate is unchanged; only wall time.
+	Workers int
+	// AllowNegativeSum lifts the paper's ψ ≥ 0 requirement for SUM queries:
+	// the query is split into Q⁺ − Q⁻ (each with non-negative weights), each
+	// half runs R2T with ε/2, and the difference is released. GSQ then bounds
+	// an individual's contribution to *either* half.
+	AllowNegativeSum bool
+}
+
+// Validate checks the parameter invariants the mechanism will enforce,
+// without evaluating anything. It is the single authority on what makes
+// Options well-formed: Query, QueryWithBudget and the r2td server all call
+// it up front, so no invalid-option request can reach a budget charge. (The
+// mechanism core re-checks defensively; both sides must agree.)
+func (opt Options) Validate() error {
+	if opt.Epsilon <= 0 {
+		return fmt.Errorf("r2t: ε must be positive, got %g", opt.Epsilon)
+	}
+	if opt.GSQ < 2 {
+		return fmt.Errorf("r2t: GS_Q must be at least 2, got %g", opt.GSQ)
+	}
+	if opt.Beta < 0 || opt.Beta >= 1 {
+		return fmt.Errorf("r2t: β must be in (0,1), or 0 for the default, got %g", opt.Beta)
+	}
+	if opt.Naive && opt.AllowNegativeSum {
+		return fmt.Errorf("r2t: Naive and AllowNegativeSum are mutually exclusive (the signed split requires the LP operator)")
+	}
+	if len(opt.Primary) == 0 {
+		return fmt.Errorf("r2t: at least one primary private relation is required")
+	}
+	return nil
+}

@@ -26,6 +26,7 @@
 package r2t
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -110,38 +111,6 @@ func (db *DB) LoadCSV(relation, path string) error {
 // CheckIntegrity verifies PK uniqueness and FK referential integrity.
 func (db *DB) CheckIntegrity() error { return db.instance.CheckIntegrity() }
 
-// Options configures one private query evaluation.
-type Options struct {
-	// Epsilon is the privacy budget ε (> 0). Required.
-	Epsilon float64
-	// GSQ is the assumed bound on the query's global sensitivity — the most
-	// any one individual may contribute (Section 4). Required, ≥ 2. R2T's
-	// error grows only logarithmically in GSQ, so be conservative.
-	GSQ float64
-	// Primary names the primary private relations (each must have a primary
-	// key). Required.
-	Primary []string
-	// Beta is the failure probability of the utility guarantee (default 0.1).
-	// It does not affect privacy.
-	Beta float64
-	// Noise overrides the noise source (default: time-seeded).
-	Noise NoiseSource
-	// EarlyStop enables the dual-bound race pruning of Algorithm 1.
-	EarlyStop bool
-	// Naive forces naive truncation instead of the LP operator. Only valid
-	// for self-join-free queries without projection; Query fails otherwise.
-	// The LP operator (default) is valid for all SPJA queries.
-	Naive bool
-	// Workers solves races concurrently (default 1; negative = GOMAXPROCS).
-	// The released estimate is unchanged; only wall time.
-	Workers int
-	// AllowNegativeSum lifts the paper's ψ ≥ 0 requirement for SUM queries:
-	// the query is split into Q⁺ − Q⁻ (each with non-negative weights), each
-	// half runs R2T with ε/2, and the difference is released. GSQ then bounds
-	// an individual's contribution to *either* half.
-	AllowNegativeSum bool
-}
-
 // Race mirrors core.Race: diagnostics for one truncation level.
 type Race = core.Race
 
@@ -185,21 +154,40 @@ func (db *DB) ExportReport(sqlText string, primary []string, w io.Writer) error 
 
 // Query runs one SPJA query under ε-DP with the R2T mechanism.
 func (db *DB) Query(sqlText string, opt Options) (*Answer, error) {
+	return db.QueryContext(context.Background(), sqlText, opt)
+}
+
+// QueryContext is Query with cancellation: if ctx is cancelled or its
+// deadline expires, the evaluation stops between pipeline stages and between
+// R2T races and ctx.Err() is returned.
+//
+// Budget semantics for callers that charge ε up front (QueryWithBudget, the
+// r2td server): a cancelled run must still be treated as charged. Noise for
+// every race is drawn before the races run, so a partial run has already
+// consumed its randomness; refunding ε for cancelled queries would let an
+// adversary rerun the mechanism for free by racing deadlines.
+func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*Answer, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	parsed, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return db.run(parsed, opt)
+	return db.run(ctx, parsed, opt)
 }
 
-func (db *DB) run(parsed *sql.Query, opt Options) (*Answer, error) {
+func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options) (*Answer, error) {
 	priv := schema.PrivateSpec{Primary: opt.Primary}
 	p, err := plan.Build(parsed, db.schema, priv)
 	if err != nil {
 		return nil, err
 	}
 	if opt.AllowNegativeSum && parsed.Agg == sql.AggSum {
-		return db.runSigned(p, opt)
+		return db.runSigned(ctx, p, opt)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res, err := exec.Run(p, db.instance)
 	if err != nil {
@@ -224,8 +212,12 @@ func (db *DB) run(parsed *sql.Query, opt Options) (*Answer, error) {
 		Noise:     opt.Noise,
 		EarlyStop: opt.EarlyStop,
 		Workers:   opt.Workers,
+		Interrupt: ctx.Done(),
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
 	return &Answer{
@@ -244,7 +236,10 @@ func (db *DB) run(parsed *sql.Query, opt Options) (*Answer, error) {
 // it into non-negative halves (Q = Q⁺ − Q⁻), running R2T on each with half
 // the budget, and releasing the difference — ε-DP by basic composition and
 // post-processing.
-func (db *DB) runSigned(p *plan.Plan, opt Options) (*Answer, error) {
+func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pos, neg, err := exec.RunSplit(p, db.instance)
 	if err != nil {
 		return nil, err
@@ -256,13 +251,20 @@ func (db *DB) runSigned(p *plan.Plan, opt Options) (*Answer, error) {
 		Noise:     opt.Noise,
 		EarlyStop: opt.EarlyStop,
 		Workers:   opt.Workers,
+		Interrupt: ctx.Done(),
 	}
 	outPos, err := core.Run(truncation.NewLP(pos), cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
 	outNeg, err := core.Run(truncation.NewLP(neg), cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
 	tauStar := pos.MaxTupleSensitivity()
