@@ -22,6 +22,13 @@
 // additional ε (re-releasing a published DP answer is post-processing).
 // SIGTERM/SIGINT drain in-flight queries before exit; the ledger guarantees
 // a kill -9 never forgets spent budget either.
+//
+// /healthz reports liveness; /readyz reports readiness, which additionally
+// probes that the budget ledger can still fsync — a daemon whose disk died
+// (or whose ledger is fail-closed after a failed append, DESIGN.md §9)
+// stays alive but not ready. The R2T_FAULTS environment variable arms the
+// fault-injection framework (internal/fault) for chaos testing; an armed
+// binary warns on startup and must never serve production traffic.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"r2t/internal/fault"
 	"r2t/internal/server"
 )
 
@@ -154,6 +162,13 @@ func main() {
 		done <- httpSrv.Shutdown(drainCtx)
 	}()
 
+	// Chaos runs arm failpoints via R2T_FAULTS before exec. That is a
+	// testing facility — injected faults break queries and can poison the
+	// ledger on purpose — so an armed production binary must say so loudly.
+	if fault.Active() {
+		fmt.Fprintf(os.Stderr, "r2td: WARNING: fault injection armed via %s=%q — NOT for production\n",
+			fault.EnvVar, os.Getenv(fault.EnvVar))
+	}
 	fmt.Printf("r2td: serving %s on %s (ledger %s)\n", datasets.String(), *addr, *ledgerPath)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "r2td:", err)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"r2t/internal/dp"
+	"r2t/internal/fault"
 	"r2t/internal/lp"
 	"r2t/internal/truncation"
 )
@@ -55,6 +56,17 @@ type Config struct {
 	// every race is drawn before any race runs, so callers that charge a
 	// privacy budget must treat an interrupted run as fully charged.
 	Interrupt <-chan struct{}
+
+	// Degrade enables per-race graceful degradation: a race whose LP solve
+	// fails (error, iteration-limit exhaustion, or a contained panic) is
+	// skipped instead of aborting the run, the remaining races continue,
+	// and the Output carries Degraded=true with the failure recorded in its
+	// Race entry. This is a valid — merely less accurate — DP release: the
+	// noise for every race is drawn up front, and the max over fewer races
+	// is post-processing of the same (ε/L)-DP race outputs (DESIGN.md §9).
+	// If no race survives, Run still returns an error. Interrupts always
+	// abort regardless of Degrade.
+	Degrade bool
 }
 
 func (c *Config) fill() error {
@@ -88,6 +100,8 @@ type Race struct {
 	Tau      float64
 	Solved   bool    // the exact LP was solved
 	Pruned   bool    // killed by a dual bound before an exact solve
+	Failed   bool    // the solve failed and the race was skipped (Degrade)
+	Err      string  // failure detail, when Failed
 	Value    float64 // exact Q(I,τ), when Solved
 	Noisy    float64 // Q̃(I,τ) = Value + noise − penalty, when Solved
 	Duration time.Duration
@@ -97,6 +111,7 @@ type Race struct {
 type Output struct {
 	Estimate  float64 // the released, ε-DP answer
 	WinnerTau float64 // τ of the winning race (0 if the floor Q(I,0) won)
+	Degraded  bool    // at least one race was skipped (Config.Degrade)
 	Races     []Race
 	Duration  time.Duration
 }
@@ -128,7 +143,23 @@ type GridTruncator interface {
 // property 1), so adding Lap(L·τ^(j)/ε) with L = log2(GS_Q) makes it
 // (ε/L)-DP; basic composition over the L races gives ε-DP, and taking the
 // max is post-processing. The penalty term is data-independent.
-func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
+//
+// Fault tolerance: Run never lets a panic escape — solver or noise-source
+// panics are recovered and converted to errors, so a caller that charged a
+// privacy budget before running stays on the safe side (charged but
+// unanswered) instead of crashing with the charge's fate ambiguous. With
+// cfg.Degrade, per-race solver failures additionally degrade the run
+// instead of failing it (see Config.Degrade).
+func Run(tr truncation.Truncator, cfg Config) (out *Output, err error) {
+	// Whole-run panic containment: noise draws, the floor evaluation, and
+	// anything else outside the per-race path. The per-race recover below
+	// is tighter (it enables degradation); this one is the backstop that
+	// guarantees the no-escaping-panics contract.
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, fmt.Errorf("r2t: panic during run (budget must be treated as charged): %v", p)
+		}
+	}()
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -139,11 +170,11 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 
 	// Q(I,0) is the floor of the max (always 0 for the operators in this
 	// repository, but ask the truncator to stay faithful to eq. 8).
-	floor, err := tr.Value(0)
-	if err != nil {
-		return nil, err
+	floor, floorErr := tr.Value(0)
+	if floorErr != nil {
+		return nil, floorErr
 	}
-	out := &Output{Estimate: floor, WinnerTau: 0}
+	out = &Output{Estimate: floor, WinnerTau: 0}
 
 	// Noise is drawn up front (as in Algorithm 1) so pruning decisions can
 	// be made before the corresponding LP is solved.
@@ -171,6 +202,7 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 	var mu sync.Mutex
 	best, winner := out.Estimate, out.WinnerTau
 	races := make([]Race, 0, n)
+	survivors, failures := 0, 0
 	readBest := func() float64 {
 		mu.Lock()
 		defer mu.Unlock()
@@ -180,6 +212,11 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		races = append(races, race)
+		if race.Failed {
+			failures++
+			return
+		}
+		survivors++
 		if race.Solved && race.Noisy > best {
 			best = race.Noisy
 			winner = race.Tau
@@ -200,6 +237,9 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 	runRace := func(j int) error {
 		if interrupted() {
 			return ErrInterrupted
+		}
+		if err := fault.Check("core.race"); err != nil {
+			return err
 		}
 		tau := taus[j]
 		shift := noise[j] - penaltyFactor*tau
@@ -238,6 +278,27 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 		return nil
 	}
 
+	// attemptRace is the fault boundary around one race: panics in the
+	// solver (or the truncator) are contained here, and with cfg.Degrade a
+	// failed race is recorded and skipped instead of aborting the run.
+	// Interrupts always propagate — they are the caller's own signal, not a
+	// race failure.
+	attemptRace := func(j int) error {
+		err := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("r2t: race τ=%g panicked: %v", taus[j], p)
+				}
+			}()
+			return runRace(j)
+		}()
+		if err == nil || errors.Is(err, ErrInterrupted) || !cfg.Degrade {
+			return err
+		}
+		finish(Race{Tau: taus[j], Failed: true, Err: err.Error()})
+		return nil
+	}
+
 	// Without early stop every race is solved exactly, so a grid-capable
 	// truncator evaluates the whole schedule in one amortized pass (the
 	// τ-independent LP structure is shared across races). Values is
@@ -245,58 +306,85 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 	// noise was already drawn above, in the same order as the race loop.
 	// Early stop keeps the per-race loop: pruning decisions interleave with
 	// solves and depend on the running best.
-	if gridTr, canGrid := tr.(GridTruncator); canGrid && !useEarly && n > 0 {
+	gridTr, canGrid := tr.(GridTruncator)
+	useGrid := canGrid && !useEarly && n > 0
+	if useGrid {
 		if interrupted() {
 			return nil, ErrInterrupted
 		}
 		gridStart := time.Now()
-		vs, err := gridTr.Values(taus)
-		if err != nil {
-			return nil, err
-		}
-		per := time.Since(gridStart) / time.Duration(n)
-		for j := n - 1; j >= 0; j-- {
-			shift := noise[j] - penaltyFactor*taus[j]
-			finish(Race{
-				Tau:      taus[j],
-				Solved:   true,
-				Value:    vs[j],
-				Noisy:    vs[j] + shift,
-				Duration: per, // amortized share of the grid pass
-			})
-		}
-	} else
-	// Largest τ first: those LPs tend to solve fastest (their capacity rows
-	// are mostly redundant), and a strong early best prunes the rest.
-	if workers == 1 {
-		for j := n - 1; j >= 0; j-- {
-			if err := runRace(j); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		idx := make(chan int, n)
-		for j := n - 1; j >= 0; j-- {
-			idx <- j
-		}
-		close(idx)
-		errs := make(chan error, workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				for j := range idx {
-					if err := runRace(j); err != nil {
-						errs <- err
-						return
-					}
+		vs, gridErr := func() (vs []float64, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("r2t: grid pass panicked: %v", p)
 				}
-				errs <- nil
 			}()
+			return gridTr.Values(taus)
+		}()
+		switch {
+		case gridErr == nil:
+			per := time.Since(gridStart) / time.Duration(n)
+			for j := n - 1; j >= 0; j-- {
+				shift := noise[j] - penaltyFactor*taus[j]
+				finish(Race{
+					Tau:      taus[j],
+					Solved:   true,
+					Value:    vs[j],
+					Noisy:    vs[j] + shift,
+					Duration: per, // amortized share of the grid pass
+				})
+			}
+		case cfg.Degrade:
+			// The amortized pass fails as a unit, so it cannot skip a single
+			// bad τ. Fall back to per-race solves: healthy races still
+			// release, and only the genuinely failing ones degrade.
+			useGrid = false
+		default:
+			return nil, gridErr
 		}
-		for w := 0; w < workers; w++ {
-			if err := <-errs; err != nil {
-				return nil, err
+	}
+	if !useGrid {
+		// Largest τ first: those LPs tend to solve fastest (their capacity
+		// rows are mostly redundant), and a strong early best prunes the
+		// rest.
+		if workers == 1 {
+			for j := n - 1; j >= 0; j-- {
+				if err := attemptRace(j); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			idx := make(chan int, n)
+			for j := n - 1; j >= 0; j-- {
+				idx <- j
+			}
+			close(idx)
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					for j := range idx {
+						if err := attemptRace(j); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- nil
+				}()
+			}
+			for w := 0; w < workers; w++ {
+				if err := <-errs; err != nil {
+					return nil, err
+				}
 			}
 		}
+	}
+
+	// A degraded run must still be anchored by at least one surviving race:
+	// releasing only the floor after every race failed would be technically
+	// valid but operationally a silent total failure — surface it instead,
+	// with the budget conservatively treated as charged by the caller.
+	if failures > 0 && survivors == 0 {
+		return nil, fmt.Errorf("r2t: no race survived (%d of %d failed; first: %s)", failures, n, races[0].Err)
 	}
 
 	// Deterministic diagnostics order (descending τ), regardless of how the
@@ -305,6 +393,7 @@ func Run(tr truncation.Truncator, cfg Config) (*Output, error) {
 	out.Races = races
 	out.Estimate = best
 	out.WinnerTau = winner
+	out.Degraded = failures > 0
 	out.Duration = time.Since(start)
 	return out, nil
 }

@@ -8,6 +8,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"r2t/internal/fault"
 )
 
 // NoiseSource draws the random noise a mechanism adds. Implementations must
@@ -32,6 +34,12 @@ func NewSource(seed int64) NoiseSource {
 // Laplace samples by inverse CDF: for U uniform in (−1/2, 1/2),
 // −b·sgn(U)·ln(1−2|U|) ~ Lap(b).
 func (s *rngSource) Laplace(scale float64) float64 {
+	// Failpoint for the chaos suite: noise draws happen before any race
+	// runs, so a panic here exercises core.Run's whole-run containment
+	// rather than the per-race path. One atomic load when unarmed.
+	if r, ok := fault.Fire("dp.laplace"); ok && r.Panic != nil {
+		panic(r.Panic)
+	}
 	if scale <= 0 {
 		return 0
 	}

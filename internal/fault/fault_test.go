@@ -1,0 +1,223 @@
+package fault
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("no rule armed, Active should be false")
+	}
+	if err := Check("anything"); err != nil {
+		t.Fatalf("unarmed Check returned %v", err)
+	}
+	if _, ok := Fire("anything"); ok {
+		t.Fatal("unarmed Fire fired")
+	}
+	if Hits("anything") != 0 {
+		t.Fatal("unarmed site counted hits")
+	}
+}
+
+func TestAlwaysRule(t *testing.T) {
+	defer Reset()
+	want := errors.New("boom")
+	disable := Enable("s", Rule{Err: want})
+	if !Active() {
+		t.Fatal("Active should be true with a rule armed")
+	}
+	for i := 0; i < 3; i++ {
+		if err := Check("s"); !errors.Is(err, want) {
+			t.Fatalf("hit %d: got %v", i, err)
+		}
+	}
+	if Hits("s") != 3 {
+		t.Fatalf("hits = %d, want 3", Hits("s"))
+	}
+	disable()
+	if Active() {
+		t.Fatal("disable should disarm the only rule")
+	}
+	if err := Check("s"); err != nil {
+		t.Fatalf("after disable: %v", err)
+	}
+}
+
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	defer Reset()
+	Enable("s", Rule{OnHit: 3, Err: syscall.EIO})
+	for i := 1; i <= 5; i++ {
+		err := Check("s")
+		if i == 3 && !errors.Is(err, syscall.EIO) {
+			t.Fatalf("hit 3 should fire, got %v", err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d should not fire, got %v", i, err)
+		}
+	}
+}
+
+func TestAfterFiresOnEveryLaterHit(t *testing.T) {
+	defer Reset()
+	Enable("s", Rule{After: 2})
+	for i := 1; i <= 4; i++ {
+		err := Check("s")
+		if (i > 2) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestNegativeOnHitIsPureCounter(t *testing.T) {
+	defer Reset()
+	Enable("s", Rule{OnHit: -1})
+	for i := 0; i < 7; i++ {
+		if err := Check("s"); err != nil {
+			t.Fatalf("counter rule fired: %v", err)
+		}
+	}
+	if Hits("s") != 7 {
+		t.Fatalf("hits = %d, want 7", Hits("s"))
+	}
+}
+
+func TestProbIsSeededAndDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		Enable("s", Rule{Prob: 0.5, Seed: 42})
+		defer Disable("s")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Check("s") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce the same fire sequence")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 over 64 hits fired %d times", fired)
+	}
+}
+
+func TestPanicPayload(t *testing.T) {
+	defer Reset()
+	Enable("s", Rule{Panic: "injected"})
+	defer func() {
+		if p := recover(); p != "injected" {
+			t.Fatalf("recovered %v", p)
+		}
+	}()
+	Check("s")
+	t.Fatal("Check should have panicked")
+}
+
+func TestFireExposesShortPayloadWithoutPanicking(t *testing.T) {
+	defer Reset()
+	Enable("s", Rule{Short: 5, Err: syscall.ENOSPC, Panic: "seam decides"})
+	r, ok := Fire("s")
+	if !ok || r.Short != 5 || !errors.Is(r.Err, syscall.ENOSPC) || r.Panic != "seam decides" {
+		t.Fatalf("Fire = %+v, %v", r, ok)
+	}
+}
+
+func TestEnableReplacesAndResetsHits(t *testing.T) {
+	defer Reset()
+	Enable("s", Rule{OnHit: -1})
+	Check("s")
+	Check("s")
+	Enable("s", Rule{OnHit: 1, Err: syscall.EIO})
+	if Hits("s") != 0 {
+		t.Fatal("re-arming must reset the hit count")
+	}
+	if err := Check("s"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("fresh OnHit=1 should fire on the first hit, got %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	defer Reset()
+	spec := "a=err,errno=EIO,on=2; b=panic,msg=kapow ;c=short,n=7,errno=ENOSPC;d=err,msg=custom,prob=0.25,seed=9"
+	if err := ParseSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("a"); err != nil {
+		t.Fatalf("a hit 1 fired early: %v", err)
+	}
+	if err := Check("a"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("a hit 2: %v", err)
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != "kapow" {
+				t.Fatalf("b panic payload %v", p)
+			}
+		}()
+		Check("b")
+	}()
+	r, ok := Fire("c")
+	if !ok || r.Short != 7 || !errors.Is(r.Err, syscall.ENOSPC) {
+		t.Fatalf("c rule %+v, %v", r, ok)
+	}
+	if r, ok := Fire("d"); ok && r.Err == nil {
+		t.Fatal("d fired with nil error")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{
+		"noequals",
+		"s=weird",
+		"s=err,errno=EWHAT",
+		"s=err,on=x",
+		"s=err,unknown=1",
+		"s=err,bare",
+	} {
+		if err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+		Reset()
+	}
+}
+
+func TestConcurrentCheckIsSafe(t *testing.T) {
+	defer Reset()
+	Enable("s", Rule{Prob: 0.5, Seed: 1})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				Check("s")
+				Check("other-unarmed")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if Hits("s") != 8*200 {
+		t.Fatalf("hits = %d, want %d", Hits("s"), 8*200)
+	}
+}
+
+func BenchmarkCheckDisabled(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Check("hot.path"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"r2t/internal/fault"
 )
 
 // GridSolver solves a family of packing LPs sharing one structure, where the
@@ -259,6 +261,12 @@ func validTau(tau float64) error {
 // bitwise identical to Solve on the materialized problem (same presolve,
 // same components, same pivots). Safe for concurrent use.
 func (g *GridSolver) SolveTau(tau float64, opt Options) (*Solution, error) {
+	// Same failpoint as Solve: every exact-solve entry path is injectable,
+	// so chaos tests hit races regardless of which pipeline they route
+	// through. One atomic load when unarmed.
+	if err := fault.Check("lp.solve"); err != nil {
+		return nil, err
+	}
 	if err := validTau(tau); err != nil {
 		return nil, err
 	}
@@ -287,6 +295,9 @@ func (g *GridSolver) SolveSchedule(taus []float64, opt Options) ([]*Solution, er
 	out := make([]*Solution, len(taus))
 	var warmX []float64
 	for _, oi := range order {
+		if err := fault.Check("lp.solve"); err != nil {
+			return nil, err
+		}
 		sol, err := g.solveTauWS(taus[oi], opt, ws, warmX)
 		if err != nil {
 			return nil, err

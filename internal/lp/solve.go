@@ -2,6 +2,8 @@ package lp
 
 import (
 	"sort"
+
+	"r2t/internal/fault"
 )
 
 // Options tunes Solve.
@@ -27,6 +29,11 @@ type Options struct {
 // many capacities (R2T's τ grid), use GridSolver, which additionally
 // amortizes the presolve and decomposition across solves.
 func Solve(p *Problem, opt Options) (*Solution, error) {
+	// Failpoint for crash-safety tests: lets the chaos suite deliver solver
+	// errors and panics at exact race indices. One atomic load when unarmed.
+	if err := fault.Check("lp.solve"); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"r2t/internal/fault"
+)
+
+// TestChaosLedgerCrashRecovery is the crash-safety acceptance test for the
+// budget ledger. It repeatedly: appends clean charges; injects one failure
+// mid-append (a torn short write, a failed fsync, or a panic between write
+// and sync — rotating); verifies the ledger fails closed; then simulates a
+// kill -9 by truncating the file to a random cut and reopening.
+//
+// The crash model matches what a real crash can do: bytes whose fsync
+// returned success are durable and cannot be lost, so the random cut is
+// always at or after the last durable offset — anything past it (the
+// unfsynced tail of the failed append) may vanish wholesale or partially.
+//
+// Invariant checked after every restart, per dataset:
+//
+//	admitted ≤ replayed ≤ attempted
+//
+// where admitted counts appends that returned nil (their charge was admitted
+// to the in-memory budget, so replaying less would let the same ε be spent
+// twice across a restart) and attempted additionally counts appends that
+// failed with unknown durability (their bytes may legitimately have reached
+// the disk, so replaying them merely wastes ε — the safe side). The ledger
+// must never replay spend it was never asked to record.
+func TestChaosLedgerCrashRecovery(t *testing.T) {
+	defer fault.Reset()
+	path := filepath.Join(t.TempDir(), "chaos.ledger")
+	rng := rand.New(rand.NewSource(20220613)) // deterministic chaos
+
+	datasets := []string{"alpha", "beta", "gamma"}
+	epsChoices := []float64{0.25, 0.5, 1} // exact in binary: sums compare cleanly
+	admitted := make(map[string]float64)
+	attempted := make(map[string]float64)
+
+	size := func() int64 {
+		t.Helper()
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	checkReplay := func(epoch int, replayed map[string]float64) {
+		t.Helper()
+		for _, ds := range datasets {
+			if replayed[ds] < admitted[ds]-1e-9 {
+				t.Fatalf("epoch %d, dataset %s: replayed %g < admitted %g — an admitted charge was lost (overspend enabled)",
+					epoch, ds, replayed[ds], admitted[ds])
+			}
+			if replayed[ds] > attempted[ds]+1e-9 {
+				t.Fatalf("epoch %d, dataset %s: replayed %g > attempted %g — the ledger invented spend",
+					epoch, ds, replayed[ds], attempted[ds])
+			}
+		}
+	}
+
+	l, replayed, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := size()
+
+	const epochs = 30
+	for epoch := 0; epoch < epochs; epoch++ {
+		checkReplay(epoch, replayed)
+
+		// A few clean, durable charges.
+		for i := rng.Intn(4); i >= 0; i-- {
+			ds := datasets[rng.Intn(len(datasets))]
+			eps := epsChoices[rng.Intn(len(epsChoices))]
+			attempted[ds] += eps
+			if err := l.Append(LedgerEntry{Dataset: ds, Epsilon: eps, Query: "SELECT COUNT(*) FROM Edge"}); err != nil {
+				t.Fatalf("epoch %d: clean append: %v", epoch, err)
+			}
+			admitted[ds] += eps
+			durable = size()
+		}
+		// Occasionally a readiness probe (blank line, no charge).
+		if rng.Intn(3) == 0 {
+			if err := l.Probe(); err != nil {
+				t.Fatalf("epoch %d: probe: %v", epoch, err)
+			}
+			durable = size()
+		}
+
+		// One injected failure mid-append: the charge's durability becomes
+		// unknown.
+		ds := datasets[rng.Intn(len(datasets))]
+		eps := epsChoices[rng.Intn(len(epsChoices))]
+		switch epoch % 3 {
+		case 0: // torn write: a prefix reaches the file, then EIO
+			fault.Enable("ledger.write", fault.Rule{Short: rng.Intn(40) + 1, Err: syscall.EIO})
+		case 1: // full write lands, fsync fails
+			fault.Enable("ledger.sync", fault.Rule{Err: syscall.ENOSPC})
+		case 2: // process "dies" inside the append
+			fault.Enable("ledger.write", fault.Rule{Panic: "killed mid-append"})
+		}
+		attempted[ds] += eps
+		appendErr := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("append panicked: %v", p)
+				}
+			}()
+			return l.Append(LedgerEntry{Dataset: ds, Epsilon: eps})
+		}()
+		fault.Reset()
+		if appendErr == nil {
+			t.Fatalf("epoch %d: injected append unexpectedly succeeded", epoch)
+		}
+		if !l.Poisoned() {
+			t.Fatalf("epoch %d: failed append did not poison the ledger", epoch)
+		}
+		// Fail-closed: nothing further may reach the file — not even a byte.
+		preSize := size()
+		if err := l.Append(LedgerEntry{Dataset: ds, Epsilon: 1}); !errors.Is(err, ErrLedgerPoisoned) {
+			t.Fatalf("epoch %d: poisoned append: %v, want ErrLedgerPoisoned", epoch, err)
+		}
+		if err := l.Probe(); !errors.Is(err, ErrLedgerPoisoned) {
+			t.Fatalf("epoch %d: poisoned probe: %v, want ErrLedgerPoisoned", epoch, err)
+		}
+		if size() != preSize {
+			t.Fatalf("epoch %d: poisoned ledger still wrote bytes", epoch)
+		}
+
+		// Crash. Everything past the last durable offset may be lost —
+		// entirely, partially, or not at all.
+		l.Close()
+		if sz := size(); sz > durable {
+			cut := durable + rng.Int63n(sz-durable+1)
+			if err := os.Truncate(path, cut); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Restart: replay must resolve the tail and restore a consistent,
+		// writable ledger.
+		l, replayed, err = OpenLedger(path)
+		if err != nil {
+			t.Fatalf("epoch %d: reopen after crash: %v", epoch, err)
+		}
+		if l.Poisoned() {
+			t.Fatalf("epoch %d: reopened ledger is poisoned", epoch)
+		}
+		durable = size()
+	}
+	checkReplay(epochs, replayed)
+	l.Close()
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"r2t/internal/fault"
+)
+
+// newFaultServer builds a server over the graph dataset with generous budget
+// and returns it with a live httptest server and client.
+func newFaultServer(t *testing.T) (*Server, *httptest.Server, *testClient) {
+	t.Helper()
+	ledgerPath := filepath.Join(t.TempDir(), "budget.ledger")
+	srv, err := New(newGraphConfig(t, ledgerPath, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts, &testClient{t: t, url: ts.URL}
+}
+
+// TestServerFsyncFailureFailsClosed is the acceptance scenario for the
+// fail-closed ledger: an injected fsync failure on the charge append yields
+// 503, the budget is NOT debited, the write is never retried, and the
+// poisoned state is visible on /metrics and /readyz while /healthz (mere
+// liveness) stays green.
+func TestServerFsyncFailureFailsClosed(t *testing.T) {
+	defer fault.Reset()
+	srv, _, c := newFaultServer(t)
+
+	// Count appends without interfering, and fail every fsync with EIO.
+	fault.Enable("ledger.write", fault.Rule{OnHit: -1})
+	fault.Enable("ledger.sync", fault.Rule{Err: syscall.EIO})
+
+	code, _, fail := c.query(`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge","epsilon":0.5,"gsq":16}`)
+	if code != 503 {
+		t.Fatalf("failed-fsync query: HTTP %d, %+v", code, fail)
+	}
+	if !strings.Contains(fail.Error, "poisoned") {
+		t.Fatalf("error should name the poisoned ledger: %+v", fail)
+	}
+	if fail.EpsilonRemaining == nil || *fail.EpsilonRemaining != 100 {
+		t.Fatalf("503 body should carry the intact remaining ε: %+v", fail)
+	}
+	if spent, _ := srv.reg.Get("graph").Budget.Balance(); spent != 0 {
+		t.Fatalf("un-durable charge was admitted: spent %g", spent)
+	}
+	if !srv.ledger.Poisoned() {
+		t.Fatal("ledger should be poisoned after a failed fsync")
+	}
+	if hits := fault.Hits("ledger.write"); hits != 1 {
+		t.Fatalf("ledger saw %d writes, want exactly 1 (no retry of an unknown-durability write)", hits)
+	}
+
+	// A second, distinct query is rejected by the poison check alone — no
+	// further bytes may reach the file.
+	code, _, _ = c.query(`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge WHERE src < dst","epsilon":0.5,"gsq":16}`)
+	if code != 503 {
+		t.Fatalf("query against poisoned ledger: HTTP %d", code)
+	}
+	if hits := fault.Hits("ledger.write"); hits != 1 {
+		t.Fatalf("poisoned ledger still accepted a write attempt (hits=%d)", hits)
+	}
+
+	// Poisoning is observable: /metrics flips the gauge, /readyz fails,
+	// /healthz (liveness) still succeeds.
+	if code, body := c.get("/metrics"); code != 200 ||
+		!strings.Contains(body, "r2td_ledger_poisoned 1") ||
+		!strings.Contains(body, `status="unavailable"`) {
+		t.Fatalf("/metrics after poisoning: HTTP %d\n%s", code, body)
+	}
+	if code, body := c.get("/readyz"); code != 503 || !strings.Contains(body, "poisoned") {
+		t.Fatalf("/readyz on poisoned ledger: HTTP %d %s", code, body)
+	}
+	if code, _ := c.get("/healthz"); code != 200 {
+		t.Fatalf("/healthz is liveness, not readiness: HTTP %d", code)
+	}
+}
+
+// TestServerReadyzProbesWritability: a sync failure injected into the
+// readiness probe itself flips /readyz (and poisons the ledger — a disk that
+// cannot fsync a probe cannot fsync a charge either).
+func TestServerReadyzProbesWritability(t *testing.T) {
+	defer fault.Reset()
+	srv, _, c := newFaultServer(t)
+
+	if code, body := c.get("/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("healthy /readyz: HTTP %d %s", code, body)
+	}
+	fault.Enable("ledger.sync", fault.Rule{Err: syscall.ENOSPC})
+	if code, _ := c.get("/readyz"); code != 503 {
+		t.Fatal("/readyz should fail when the probe cannot fsync")
+	}
+	if !srv.ledger.Poisoned() {
+		t.Fatal("a probe of unknown durability must poison the ledger")
+	}
+}
+
+// TestServerLPPanicContained: with every LP solve panicking, no race
+// survives, so the query fails 500 — but the panic never escapes the
+// handler, the charge stands (documented: noise was drawn), and once the
+// fault clears the daemon serves fresh queries without a restart.
+func TestServerLPPanicContained(t *testing.T) {
+	defer fault.Reset()
+	srv, _, c := newFaultServer(t)
+
+	// ε large enough that the penalty term does not let early stop prune
+	// every race against the zero floor — the solver must actually run.
+	fault.Enable("lp.solve", fault.Rule{Panic: "solver heap corrupted"})
+	code, _, fail := c.query(`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge","epsilon":50,"gsq":16}`)
+	if code != 500 {
+		t.Fatalf("all-races-panicked query: HTTP %d, %+v", code, fail)
+	}
+	if !strings.Contains(fail.Error, "no race survived") {
+		t.Fatalf("want the no-survivor error, got %+v", fail)
+	}
+	// The charge preceded the mechanism and stands.
+	if spent, _ := srv.reg.Get("graph").Budget.Balance(); spent != 50 {
+		t.Fatalf("spent %g after contained failure, want 50", spent)
+	}
+
+	fault.Reset()
+	code, r, _ := c.query(`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge WHERE src < dst","epsilon":50,"gsq":16}`)
+	if code != 200 || r.Degraded {
+		t.Fatalf("daemon should serve cleanly after the fault clears: HTTP %d, %+v", code, r)
+	}
+}
+
+// TestServerPanicInLeaderClosure: a panic injected into the ledger append —
+// inside the budget commit hook, the deepest point of the cache leader
+// closure — is contained by the handler's recover: 500, the panics metric
+// increments, the charge is not admitted, and the ledger is poisoned.
+func TestServerPanicInLeaderClosure(t *testing.T) {
+	defer fault.Reset()
+	srv, _, c := newFaultServer(t)
+
+	fault.Enable("ledger.write", fault.Rule{Panic: "torn page"})
+	code, _, fail := c.query(`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge","epsilon":0.5,"gsq":16}`)
+	if code != 500 || !strings.Contains(fail.Error, "panic during query evaluation") {
+		t.Fatalf("panicking append: HTTP %d, %+v", code, fail)
+	}
+	if spent, _ := srv.reg.Get("graph").Budget.Balance(); spent != 0 {
+		t.Fatalf("charge admitted despite panicking commit hook: spent %g", spent)
+	}
+	if !srv.ledger.Poisoned() {
+		t.Fatal("a panic mid-append leaves durability unknown: must poison")
+	}
+	fault.Reset()
+	if code, body := c.get("/metrics"); code != 200 || !strings.Contains(body, "r2td_panics_recovered_total 1") {
+		t.Fatalf("/metrics should count the recovered panic:\n%s", body)
+	}
+}
+
+// TestServerDegradedRelease: failing exactly one LP solve turns the response
+// degraded (HTTP 200, degraded:true) instead of failing the query, and the
+// degraded-releases counter increments. A cache replay of the degraded
+// release keeps the flag.
+func TestServerDegradedRelease(t *testing.T) {
+	defer fault.Reset()
+	_, _, c := newFaultServer(t)
+
+	// OnHit:1 kills exactly the first exact solve — the largest-τ race (the
+	// serial early-stop loop runs descending τ). ε is large so the penalty
+	// cannot early-prune the race before its solve.
+	fault.Enable("lp.solve", fault.Rule{Err: syscall.EIO, OnHit: 1})
+	const q = `{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge","epsilon":50,"gsq":16}`
+	code, r, fail := c.query(q)
+	if code != 200 {
+		t.Fatalf("single-race failure should degrade, not fail: HTTP %d, %+v", code, fail)
+	}
+	if !r.Degraded {
+		t.Fatalf("response should be marked degraded: %+v", r)
+	}
+	if code, body := c.get("/metrics"); code != 200 || !strings.Contains(body, "r2td_degraded_releases_total 1") {
+		t.Fatalf("/metrics should count the degraded release:\n%s", body)
+	}
+	// The degraded estimate is a published release; replaying it is free and
+	// keeps the flag so clients know its provenance.
+	code, r2, _ := c.query(q)
+	if code != 200 || !r2.Cached || !r2.Degraded || r2.Estimate != r.Estimate {
+		t.Fatalf("degraded replay: HTTP %d, %+v", code, r2)
+	}
+}
+
+// TestServerSaturationRetryAfter: 429 responses carry Retry-After and the
+// dataset's remaining ε, so a saturated client can tell "come back in a
+// second" from "the budget is gone".
+func TestServerSaturationRetryAfter(t *testing.T) {
+	ledgerPath := filepath.Join(t.TempDir(), "budget.ledger")
+	cfg := newGraphConfig(t, ledgerPath, 10)
+	cfg.Workers = 1
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	srv.sem <- struct{}{} // occupy the only worker slot
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge","epsilon":0.5,"gsq":16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("saturated query: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	var fail errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fail); err != nil {
+		t.Fatal(err)
+	}
+	if fail.EpsilonRemaining == nil || *fail.EpsilonRemaining != 10 {
+		t.Fatalf("429 body should carry remaining ε: %+v", fail)
+	}
+	<-srv.sem
+}

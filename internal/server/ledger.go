@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +22,11 @@ type LedgerEntry struct {
 	Fingerprint string  `json:"fingerprint,omitempty"` // cache key of the release
 }
 
+// ErrLedgerPoisoned reports that a previous write's durability is unknown
+// and the ledger refuses all further writes until it is reopened. The server
+// maps it to 503.
+var ErrLedgerPoisoned = errors.New("ledger poisoned: durability of a previous write is unknown; reopen to recover")
+
 // Ledger is the durable append-only budget write-ahead log: one JSON object
 // per line, fsynced by Append before it returns.
 //
@@ -31,9 +37,21 @@ type LedgerEntry struct {
 // may record a charge whose mechanism never released an answer (wasting ε),
 // but an answer can never have been released without its charge being
 // durable first.
+//
+// Fail-closed poisoning (DESIGN.md §9): once a write or fsync fails, the
+// bytes actually on disk are unknown — the kernel may have persisted none,
+// some, or all of them. Retrying would risk the same charge appearing twice
+// on replay; continuing to append would concatenate onto a possibly torn
+// tail. So any failed write or sync poisons the ledger: every subsequent
+// Append and Probe returns ErrLedgerPoisoned until the process reopens the
+// file, at which point replay resolves what actually persisted. Replay may
+// overcount (a charge that was durable but whose Append reported failure) —
+// that wastes ε, which is the safe side; it can never undercount an admitted
+// charge, because admission requires Append to have returned nil.
 type Ledger struct {
-	mu sync.Mutex
-	f  *os.File
+	mu       sync.Mutex
+	f        ledgerFile
+	poisoned bool
 }
 
 // OpenLedger opens (creating if absent) the ledger at path, replays it, and
@@ -47,7 +65,7 @@ type Ledger struct {
 // its charge was never admitted (admission happens only after the fsync
 // succeeds).
 func OpenLedger(path string) (*Ledger, map[string]float64, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := openLedgerFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,7 +106,7 @@ func OpenLedger(path string) (*Ledger, map[string]float64, error) {
 			// Complete entry, only the newline was torn off: count the charge
 			// and terminate the line so the next append starts fresh.
 			spent[e.Dataset] += e.Epsilon
-			if _, err := f.WriteString("\n"); err != nil {
+			if _, err := f.Write([]byte("\n")); err != nil {
 				f.Close()
 				return nil, nil, fmt.Errorf("repairing ledger %s: %w", path, err)
 			}
@@ -111,7 +129,9 @@ func OpenLedger(path string) (*Ledger, map[string]float64, error) {
 
 // Append durably logs one charge: the entry is written as a single line and
 // fsynced before Append returns. Callers invoke it from Budget.SpendWith so
-// the charge is only admitted if durability succeeded.
+// the charge is only admitted if durability succeeded. Any failure — error,
+// short write, or panic mid-append — poisons the ledger (see the type
+// comment); the caller must not retry.
 func (l *Ledger) Append(e LedgerEntry) error {
 	if e.Time == "" {
 		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
@@ -123,13 +143,60 @@ func (l *Ledger) Append(e LedgerEntry) error {
 	buf = append(buf, '\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.poisoned {
+		return ErrLedgerPoisoned
+	}
+	// The defer (not a plain assignment on the error paths) also poisons on
+	// a panic between write and sync — durability is unknown there too.
+	committed := false
+	defer func() {
+		if !committed {
+			l.poisoned = true
+		}
+	}()
 	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("ledger append: %w", err)
+		return fmt.Errorf("ledger append: %w: %w", err, ErrLedgerPoisoned)
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("ledger sync: %w", err)
+		return fmt.Errorf("ledger sync: %w: %w", err, ErrLedgerPoisoned)
 	}
+	committed = true
 	return nil
+}
+
+// Probe verifies the ledger is still writable by appending and fsyncing a
+// single newline (replay skips blank lines, so probes cost no ε and leave no
+// charge). The readiness endpoint calls it; like Append it is fail-closed —
+// a probe whose durability is unknown poisons the ledger rather than letting
+// real charges race a dying disk.
+func (l *Ledger) Probe() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.poisoned {
+		return ErrLedgerPoisoned
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			l.poisoned = true
+		}
+	}()
+	if _, err := l.f.Write([]byte("\n")); err != nil {
+		return fmt.Errorf("ledger probe: %w: %w", err, ErrLedgerPoisoned)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ledger probe sync: %w: %w", err, ErrLedgerPoisoned)
+	}
+	committed = true
+	return nil
+}
+
+// Poisoned reports whether the ledger has rejected writes since a failed
+// append (metrics and readiness expose it).
+func (l *Ledger) Poisoned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
 }
 
 // Close closes the underlying file.

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzOpenLedger feeds arbitrary bytes to the ledger replay. The contract
+// under corruption: OpenLedger either hard-errors (refusing to serve over a
+// ledger it cannot account for) or succeeds with a spend that covers every
+// fully newline-terminated valid entry — never less, since those entries may
+// back charges that were admitted before the corruption happened. On
+// success the ledger must also have repaired any torn tail well enough to
+// accept new appends.
+func FuzzOpenLedger(f *testing.F) {
+	valid := `{"time":"2022-06-13T00:00:00Z","dataset":"a","epsilon":0.5}` + "\n"
+	f.Add([]byte(nil))
+	f.Add([]byte(valid))
+	f.Add([]byte(valid + valid + valid))
+	f.Add([]byte(valid + `{"dataset":"b","epsi`))                // torn mid-append tail
+	f.Add([]byte(valid + `{"dataset":"b","epsilon":0.25}`))      // complete entry, newline torn off
+	f.Add([]byte("\n\n" + valid + "\n\n"))                       // probe blank lines
+	f.Add([]byte(strings.ReplaceAll(valid+valid, "\n", "\r\n"))) // CRLF line endings
+	f.Add([]byte(`{"dataset":"","epsilon":1}` + "\n"))           // invalid: empty dataset
+	f.Add([]byte(`{"dataset":"a","epsilon":-3}` + "\n"))         // invalid: negative ε
+	f.Add([]byte("not json at all\n" + valid))
+	f.Add([]byte{0xff, 0xfe, '\n', '{', 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ledger")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, spent, err := OpenLedger(path)
+		if err != nil {
+			return // refusing corrupt input is a correct outcome
+		}
+		defer l.Close()
+
+		// Replay accepted the file: its spend must cover every terminated
+		// valid entry (the torn tail may legitimately add more on top).
+		want := make(map[string]float64)
+		lines := strings.Split(string(data), "\n")
+		for _, line := range lines[:len(lines)-1] {
+			var e LedgerEntry
+			if json.Unmarshal([]byte(line), &e) == nil && e.Dataset != "" && e.Epsilon > 0 {
+				want[e.Dataset] += e.Epsilon
+			}
+		}
+		for ds, w := range want {
+			if spent[ds] < w-1e-9 {
+				t.Errorf("dataset %s: replayed %g < %g, an admitted charge was dropped", ds, spent[ds], w)
+			}
+		}
+
+		// The repaired ledger is append-ready: a fresh charge lands and is
+		// visible to the next replay.
+		if err := l.Append(LedgerEntry{Dataset: "fuzz-probe", Epsilon: 0.125}); err != nil {
+			t.Errorf("append after replay/repair: %v", err)
+		}
+	})
+}

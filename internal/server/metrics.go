@@ -12,14 +12,15 @@ import (
 // covers both map hits and coalesced followers; ok means a fresh mechanism
 // run released an answer (and charged ε).
 const (
-	statusOK        = "ok"
-	statusCacheHit  = "cache_hit"
-	statusInvalid   = "invalid"          // 400: bad request, options, or SQL
-	statusNotFound  = "not_found"        // 404: unknown dataset
-	statusRejected  = "rejected"         // 429: worker pool saturated
-	statusExhausted = "budget_exhausted" // 402: ε budget cannot cover the charge
-	statusTimeout   = "timeout"          // 504: deadline expired
-	statusError     = "error"            // 500: mechanism failure after admission
+	statusOK          = "ok"
+	statusCacheHit    = "cache_hit"
+	statusInvalid     = "invalid"          // 400: bad request, options, or SQL
+	statusNotFound    = "not_found"        // 404: unknown dataset
+	statusRejected    = "rejected"         // 429: worker pool saturated
+	statusExhausted   = "budget_exhausted" // 402: ε budget cannot cover the charge
+	statusTimeout     = "timeout"          // 504: deadline expired
+	statusError       = "error"            // 500: mechanism failure after admission
+	statusUnavailable = "unavailable"      // 503: ledger poisoned, charges cannot land
 )
 
 // metrics is the process-wide counter set behind /metrics, exported in the
@@ -27,10 +28,12 @@ const (
 // Budget gauges are not stored here; they are read live from the registry at
 // scrape time so they can never drift from the ledger-backed truth.
 type metrics struct {
-	mu      sync.Mutex
-	started time.Time
-	queries map[statusKey]int64
-	latency map[string]*latencySummary // per dataset, all outcomes
+	mu       sync.Mutex
+	started  time.Time
+	queries  map[statusKey]int64
+	latency  map[string]*latencySummary // per dataset, all outcomes
+	panics   int64                      // panics contained by the query path's recover
+	degraded int64                      // releases that skipped at least one race
 }
 
 type statusKey struct{ dataset, status string }
@@ -41,6 +44,20 @@ func newMetrics() *metrics {
 		queries: make(map[statusKey]int64),
 		latency: make(map[string]*latencySummary),
 	}
+}
+
+// panicRecovered counts one panic contained by the query path.
+func (m *metrics) panicRecovered() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+// degradedRelease counts one release that skipped at least one race.
+func (m *metrics) degradedRelease() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.degraded++
 }
 
 // observe records one finished request.
@@ -100,12 +117,27 @@ func (s *latencySummary) quantiles(qs ...float64) []float64 {
 // writeTo renders the full exposition: query counts by outcome, cache
 // occupancy and hit rate, per-dataset ε accounting (live from the budgets),
 // and latency summaries.
-func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache) {
+func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger *Ledger) {
+	// Read the ledger gauge before taking m.mu (independent locks, and the
+	// ledger must never wait on a metrics scrape).
+	poisoned := 0
+	if ledger != nil && ledger.Poisoned() {
+		poisoned = 1
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
 	fmt.Fprintf(w, "# HELP r2td_uptime_seconds Time since the server started.\n# TYPE r2td_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "r2td_uptime_seconds %g\n", time.Since(m.started).Seconds())
+
+	fmt.Fprintf(w, "# HELP r2td_ledger_poisoned Whether the budget ledger is fail-closed after a write of unknown durability (1 = rejecting all charges until reopen).\n# TYPE r2td_ledger_poisoned gauge\n")
+	fmt.Fprintf(w, "r2td_ledger_poisoned %d\n", poisoned)
+
+	fmt.Fprintf(w, "# HELP r2td_panics_recovered_total Panics contained by the query path (each left its ε conservatively charged).\n# TYPE r2td_panics_recovered_total counter\n")
+	fmt.Fprintf(w, "r2td_panics_recovered_total %d\n", m.panics)
+
+	fmt.Fprintf(w, "# HELP r2td_degraded_releases_total Releases that skipped at least one failed R2T race.\n# TYPE r2td_degraded_releases_total counter\n")
+	fmt.Fprintf(w, "r2td_degraded_releases_total %d\n", m.degraded)
 
 	fmt.Fprintf(w, "# HELP r2td_queries_total Finished query requests by dataset and outcome.\n# TYPE r2td_queries_total counter\n")
 	keys := make([]statusKey, 0, len(m.queries))

@@ -134,7 +134,8 @@ func (s *Server) Close() error { return s.ledger.Close() }
 //	POST /v1/query     evaluate one DP query
 //	GET  /v1/datasets  hosted datasets with live budget balances
 //	GET  /metrics      Prometheus text exposition
-//	GET  /healthz      liveness probe
+//	GET  /healthz      liveness probe (process is up)
+//	GET  /readyz       readiness probe (ledger is writable, charges can land)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
@@ -144,7 +145,27 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
+}
+
+// handleReady distinguishes "up" from "able to admit charges": it exercises
+// the ledger's write path (a zero-ε probe line plus fsync), so a full or
+// failing disk — or a ledger already poisoned by an earlier failed append —
+// flips readiness before any query has to discover it the hard way.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.ledger.Probe(); err != nil {
+		w.Header().Set("Retry-After", "60")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "not ready: %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // queryRequest is the analyst-facing query API.
@@ -164,11 +185,15 @@ type queryRequest struct {
 // queryResponse carries only releasable data: the ε-DP estimate plus
 // budget/latency metadata that depends on the query stream, not the data.
 type queryResponse struct {
-	Dataset          string  `json:"dataset"`
-	Query            string  `json:"query"` // normalized SQL actually answered
-	Estimate         float64 `json:"estimate"`
-	EpsilonCharged   float64 `json:"epsilon_charged"` // 0 on cache hits
-	Cached           bool    `json:"cached"`
+	Dataset        string  `json:"dataset"`
+	Query          string  `json:"query"` // normalized SQL actually answered
+	Estimate       float64 `json:"estimate"`
+	EpsilonCharged float64 `json:"epsilon_charged"` // 0 on cache hits
+	Cached         bool    `json:"cached"`
+	// Degraded reports that at least one R2T race was skipped after a solver
+	// failure: the estimate is still a valid ε-DP release over the surviving
+	// races, just possibly less accurate (DESIGN.md §9).
+	Degraded         bool    `json:"degraded,omitempty"`
 	EpsilonSpent     float64 `json:"epsilon_spent"`
 	EpsilonRemaining float64 `json:"epsilon_remaining"`
 	ElapsedMS        float64 `json:"elapsed_ms"`
@@ -176,6 +201,12 @@ type queryResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// EpsilonRemaining is the dataset's unspent ε, included whenever the
+	// failed request named a known dataset so clients can tell "retry later"
+	// (429, budget intact) from "the budget itself is the problem" (402).
+	// Budget balances depend only on the query stream, never on the data,
+	// so exposing them here is as safe as /v1/datasets.
+	EpsilonRemaining *float64 `json:"epsilon_remaining,omitempty"`
 }
 
 // errSaturated marks worker-pool admission failure.
@@ -191,12 +222,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.finish(w, r, "", statusInvalid, start, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.fail(w, "", nil, statusInvalid, start, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	ds := s.reg.Get(req.Dataset)
 	if ds == nil {
-		s.finish(w, r, req.Dataset, statusNotFound, start, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
+		s.fail(w, req.Dataset, nil, statusNotFound, start, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
 		return
 	}
 	primary := req.Primary
@@ -210,19 +241,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Primary:   primary,
 		EarlyStop: true,
 		Noise:     s.noise(),
+		// A multi-tenant service prefers a degraded (but still ε-DP) answer
+		// over burning the charged ε on nothing: a race whose LP solve fails
+		// is skipped and the response carries degraded:true.
+		Degrade: true,
 	}
 	// The shared Options.Validate runs before anything can charge ε; the
 	// mechanism parameters it rejects here are exactly the ones Query would
 	// reject after a charge-free path.
 	if err := opt.Validate(); err != nil {
-		s.finish(w, r, ds.Name, statusInvalid, start, http.StatusBadRequest, err)
+		s.fail(w, ds.Name, ds, statusInvalid, start, http.StatusBadRequest, err)
 		return
 	}
 	// Static analysis (parse, plan against the schema) catches bad SQL
 	// charge-free and yields the normalized query text the cache keys on.
 	expl, err := ds.DB.Explain(req.SQL, opt.Primary)
 	if err != nil {
-		s.finish(w, r, ds.Name, statusInvalid, start, http.StatusBadRequest, err)
+		s.fail(w, ds.Name, ds, statusInvalid, start, http.StatusBadRequest, err)
 		return
 	}
 	normalized := expl.Query
@@ -244,7 +279,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fingerprint(ds.Name, normalized, opt.Epsilon, opt.GSQ, beta, opt.Primary)
 
-	ans, cached, err := s.cache.do(ctx, key, func() (cachedAnswer, error) {
+	ans, cached, err := s.cache.do(ctx, key, func() (ca cachedAnswer, err error) {
+		// Contain panics across the whole leader closure, not just the
+		// mechanism: a panicking leader would leave coalesced followers
+		// blocked on a flight that never resolves, and a panic between the
+		// budget charge and the release must surface as "charged but
+		// unanswered" (the safe side — see DESIGN.md §9), never as a hung
+		// connection or a torn charge.
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panicRecovered()
+				err = fmt.Errorf("r2td: panic during query evaluation (any charged ε stands): %v", p)
+			}
+		}()
 		// Admission control: a slot in the bounded worker pool, or 429.
 		// Only fresh mechanism runs consume slots — cache hits and
 		// coalesced followers are free.
@@ -273,8 +320,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return cachedAnswer{}, err
 		}
+		if a.Degraded {
+			s.metrics.degradedRelease()
+		}
 		return cachedAnswer{
 			Estimate: a.Estimate,
+			Degraded: a.Degraded,
 			Epsilon:  opt.Epsilon,
 			Query:    normalized,
 			At:       time.Now(),
@@ -282,7 +333,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status, code := classifyError(err)
-		s.finish(w, r, ds.Name, status, start, code, err)
+		s.fail(w, ds.Name, ds, status, start, code, err)
 		return
 	}
 
@@ -302,6 +353,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Estimate:         ans.Estimate,
 		EpsilonCharged:   charged,
 		Cached:           cached,
+		Degraded:         ans.Degraded,
 		EpsilonSpent:     spent,
 		EpsilonRemaining: remaining,
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
@@ -313,6 +365,12 @@ func classifyError(err error) (string, int) {
 	switch {
 	case errors.Is(err, errSaturated):
 		return statusRejected, http.StatusTooManyRequests
+	case errors.Is(err, ErrLedgerPoisoned):
+		// 503 fail-closed: no charge can be made durable, so no release may
+		// happen. The budget was NOT debited for this request (the commit
+		// hook failed before admission); the service needs its ledger
+		// reopened (restart) to recover.
+		return statusUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, r2t.ErrBudgetExhausted):
 		// 402: the request was valid, the data exists, but the privacy
 		// budget cannot pay for another release.
@@ -363,16 +421,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeTo(w, s.reg, s.cache)
+	s.metrics.writeTo(w, s.reg, s.cache, s.ledger)
 }
 
-// finish records a failed request in metrics and writes the error response.
-func (s *Server) finish(w http.ResponseWriter, _ *http.Request, dataset, status string, start time.Time, code int, err error) {
+// fail records a failed request in metrics and writes the error response.
+// Rejections that are worth retrying carry a Retry-After hint: 429 clears as
+// soon as a worker frees (seconds), 503 needs operator intervention
+// (minutes). When the dataset is known, the body reports its remaining ε so
+// clients can distinguish transient rejection from a dead budget.
+func (s *Server) fail(w http.ResponseWriter, dataset string, ds *Dataset, status string, start time.Time, code int, err error) {
 	if dataset == "" {
 		dataset = "_unknown"
 	}
 	s.metrics.observe(dataset, status, time.Since(start))
-	writeError(w, code, err.Error())
+	resp := errorResponse{Error: err.Error()}
+	if ds != nil {
+		_, remaining := ds.Budget.Balance()
+		resp.EpsilonRemaining = &remaining
+	}
+	switch code {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "60")
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

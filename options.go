@@ -32,6 +32,14 @@ type Options struct {
 	// half runs R2T with ε/2, and the difference is released. GSQ then bounds
 	// an individual's contribution to *either* half.
 	AllowNegativeSum bool
+	// Degrade skips races whose LP solve fails (error, iteration-limit
+	// exhaustion, or a contained panic) instead of failing the query: the
+	// remaining races still race and Answer.Degraded reports the skip. The
+	// released value stays ε-DP — R2T's noise is drawn before any race runs
+	// and the max over fewer races is post-processing — it is merely less
+	// accurate (the skipped τ cannot win). The r2td server enables this;
+	// the default (off) fails the whole query on any race failure.
+	Degrade bool
 }
 
 // Validate checks the parameter invariants the mechanism will enforce,

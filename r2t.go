@@ -120,6 +120,13 @@ type Answer struct {
 	// Estimate is the released, ε-differentially-private query answer.
 	Estimate float64
 
+	// Degraded reports that at least one race was skipped after a solver
+	// failure (Options.Degrade): the estimate is still a valid ε-DP
+	// release, computed as the max over the surviving races, but the
+	// skipped τ could not win. See DESIGN.md §9 for why this is safe to
+	// surface alongside the estimate.
+	Degraded bool
+
 	// Non-private diagnostics (do not release):
 	TrueAnswer  float64 // exact query answer Q(I)
 	TauStar     float64 // DS_Q(I) for SJA, IS_Q(I) for SPJA — the error scale
@@ -213,6 +220,7 @@ func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options) (*Answer,
 		EarlyStop: opt.EarlyStop,
 		Workers:   opt.Workers,
 		Interrupt: ctx.Done(),
+		Degrade:   opt.Degrade,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -222,6 +230,7 @@ func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options) (*Answer,
 	}
 	return &Answer{
 		Estimate:    out.Estimate,
+		Degraded:    out.Degraded,
 		TrueAnswer:  res.TrueAnswer(),
 		TauStar:     res.MaxTupleSensitivity(),
 		WinnerTau:   out.WinnerTau,
@@ -252,6 +261,7 @@ func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options) (*Answer
 		EarlyStop: opt.EarlyStop,
 		Workers:   opt.Workers,
 		Interrupt: ctx.Done(),
+		Degrade:   opt.Degrade,
 	}
 	outPos, err := core.Run(truncation.NewLP(pos), cfg)
 	if err != nil {
@@ -273,6 +283,7 @@ func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options) (*Answer
 	}
 	return &Answer{
 		Estimate:    outPos.Estimate - outNeg.Estimate,
+		Degraded:    outPos.Degraded || outNeg.Degraded,
 		TrueAnswer:  pos.TrueAnswer() - neg.TrueAnswer(),
 		TauStar:     tauStar,
 		WinnerTau:   outPos.WinnerTau,

@@ -19,4 +19,15 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Robustness gate, named explicitly so a failure is attributable at a glance
+# (these also ran inside the full suite above): the ledger crash-recovery
+# chaos test, the server fault-injection scenarios, and the ledger-replay
+# fuzz seed corpus, all under the race detector. The R2T_FAULTS spec arms an
+# inert hit counter, proving the env-var chaos grammar parses and arms in a
+# real test binary without perturbing any assertion.
+R2T_FAULTS='ci.smoke=err,errno=EIO,on=-1' go test -race \
+	-run 'TestChaos|TestServerFsync|TestServerReadyz|TestServerLPPanic|TestServerPanicInLeader|TestServerDegraded|TestServerSaturation|FuzzOpenLedger' \
+	./internal/server/
+go test -race -run 'TestDegrade|TestPanic|TestAllRacesFailed|TestCoreRaceFaultSite' ./internal/core/ ./internal/fault/
+
 echo "check.sh: all green"
