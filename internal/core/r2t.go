@@ -61,11 +61,17 @@ type Config struct {
 	// fails (error, iteration-limit exhaustion, or a contained panic) is
 	// skipped instead of aborting the run, the remaining races continue,
 	// and the Output carries Degraded=true with the failure recorded in its
-	// Race entry. This is a valid — merely less accurate — DP release: the
-	// noise for every race is drawn up front, and the max over fewer races
-	// is post-processing of the same (ε/L)-DP race outputs (DESIGN.md §9).
-	// If no race survives, Run still returns an error. Interrupts always
-	// abort regardless of Degrade.
+	// Race entry. If no race survives, Run still returns an error.
+	// Interrupts always abort regardless of Degrade.
+	//
+	// The noise for every race is drawn up front, so the max over fewer
+	// races is post-processing of the same (ε/L)-DP race outputs — but only
+	// when the set of skipped races is data-independent. Organic solver
+	// failures generally are not (iteration counts depend on the LP
+	// instance), so callers releasing across a privacy boundary must treat
+	// a degraded run, and the Degraded flag itself, as outside the ε
+	// accounting (DESIGN.md §9d). The r2td server therefore leaves Degrade
+	// off and fails such runs uniformly.
 	Degrade bool
 }
 

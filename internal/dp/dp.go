@@ -36,7 +36,9 @@ func NewSource(seed int64) NoiseSource {
 func (s *rngSource) Laplace(scale float64) float64 {
 	// Failpoint for the chaos suite: noise draws happen before any race
 	// runs, so a panic here exercises core.Run's whole-run containment
-	// rather than the per-race path. One atomic load when unarmed.
+	// rather than the per-race path. Laplace has no error return, so the
+	// site honors panic payloads only — fault.ParseSpec rejects other kinds
+	// for it. One atomic load when unarmed.
 	if r, ok := fault.Fire("dp.laplace"); ok && r.Panic != nil {
 		panic(r.Panic)
 	}

@@ -22,7 +22,7 @@
 //	ledger.truncate  r2td ledger torn-tail repair     (internal/server)
 //	lp.solve         every exact LP solve             (internal/lp)
 //	core.race        the start of each R2T race       (internal/core)
-//	dp.laplace       every Laplace noise draw         (internal/dp)
+//	dp.laplace       every Laplace noise draw         (internal/dp) — panic payloads only
 //
 // Rules are armed programmatically with Enable (tests), or for whole-binary
 // chaos runs via the R2T_FAULTS environment variable, parsed once at
@@ -206,6 +206,16 @@ func checkSlow(name string) error {
 	return r.Err
 }
 
+// panicOnlySites are sites whose seam can deliver only Panic payloads —
+// NoiseSource.Laplace returns a bare float64, so an err or short rule armed
+// there would be silently ignored. ParseSpec rejects such rules outright
+// rather than let a chaos spec believe it is injecting errors. (Enable stays
+// permissive: tests legitimately arm payload-less rules like the OnHit:-1
+// hit counter.)
+var panicOnlySites = map[string]bool{
+	"dp.laplace": true,
+}
+
 // EnvVar is the environment variable ParseEnv reads at process start.
 const EnvVar = "R2T_FAULTS"
 
@@ -248,6 +258,9 @@ func ParseSpec(spec string) error {
 				case "err", "panic", "short":
 				default:
 					return fmt.Errorf("site %s: unknown kind %q (want err, panic, or short)", name, f)
+				}
+				if f != "panic" && panicOnlySites[name] {
+					return fmt.Errorf("site %s honors only panic payloads; a %q rule would be silently ignored", name, f)
 				}
 				continue
 			}

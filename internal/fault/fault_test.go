@@ -191,6 +191,31 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
+func TestParseSpecRejectsNonPanicOnPanicOnlySites(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{
+		"dp.laplace=err,errno=EIO",
+		"dp.laplace=short,n=3",
+	} {
+		if err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail: the dp.laplace seam honors only panics", bad)
+		}
+		Reset()
+	}
+	if err := ParseSpec("dp.laplace=panic,msg=noise"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != "noise" {
+				t.Fatalf("recovered %v", p)
+			}
+		}()
+		Check("dp.laplace")
+		t.Fatal("panic rule should have fired")
+	}()
+}
+
 func TestConcurrentCheckIsSafe(t *testing.T) {
 	defer Reset()
 	Enable("s", Rule{Prob: 0.5, Seed: 1})

@@ -51,7 +51,6 @@ func fingerprint(dataset, normalizedSQL string, eps, gsq, beta float64, primary 
 // cachedAnswer is one recorded release.
 type cachedAnswer struct {
 	Estimate float64   // the ε-DP estimate as first released
-	Degraded bool      // the first release skipped at least one race
 	Epsilon  float64   // what the first release was charged
 	Query    string    // normalized SQL, for /metrics and audit
 	At       time.Time // first release time

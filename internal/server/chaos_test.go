@@ -69,6 +69,7 @@ func TestChaosLedgerCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	l.probeTTL = 0 // every probe must physically hit the seam in this test
 	durable := size()
 
 	const epochs = 30
@@ -150,6 +151,7 @@ func TestChaosLedgerCrashRecovery(t *testing.T) {
 		if err != nil {
 			t.Fatalf("epoch %d: reopen after crash: %v", epoch, err)
 		}
+		l.probeTTL = 0
 		if l.Poisoned() {
 			t.Fatalf("epoch %d: reopened ledger is poisoned", epoch)
 		}

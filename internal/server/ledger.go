@@ -52,7 +52,19 @@ type Ledger struct {
 	mu       sync.Mutex
 	f        ledgerFile
 	poisoned bool
+	// probeTTL rate-limits Probe's physical append+fsync: within probeTTL of
+	// the last successful durable write (a charge append or a prior probe),
+	// Probe reports ready from that fact alone without touching the disk.
+	// /readyz is unauthenticated, so without the cap anyone could grow the
+	// ledger and serialize fsyncs against the charge path at will. Tests set
+	// it to 0 to force every probe through the seam.
+	probeTTL  time.Duration
+	lastWrite time.Time
 }
+
+// defaultProbeTTL bounds probe writes to one per window: a stale-by-seconds
+// readiness signal is fine, an attacker-driven fsync per request is not.
+const defaultProbeTTL = 5 * time.Second
 
 // OpenLedger opens (creating if absent) the ledger at path, replays it, and
 // returns the per-dataset ε already charged.
@@ -124,7 +136,7 @@ func OpenLedger(path string) (*Ledger, map[string]float64, error) {
 			}
 		}
 	}
-	return &Ledger{f: f}, spent, nil
+	return &Ledger{f: f, probeTTL: defaultProbeTTL}, spent, nil
 }
 
 // Append durably logs one charge: the entry is written as a single line and
@@ -161,6 +173,7 @@ func (l *Ledger) Append(e LedgerEntry) error {
 		return fmt.Errorf("ledger sync: %w: %w", err, ErrLedgerPoisoned)
 	}
 	committed = true
+	l.lastWrite = time.Now()
 	return nil
 }
 
@@ -169,11 +182,20 @@ func (l *Ledger) Append(e LedgerEntry) error {
 // charge). The readiness endpoint calls it; like Append it is fail-closed —
 // a probe whose durability is unknown poisons the ledger rather than letting
 // real charges race a dying disk.
+//
+// Physical probes are rate-limited to one per probeTTL: a successful durable
+// write in the window (a charge append counts — it is a better probe than
+// the probe) answers ready for free, so a busy server's /readyz never adds
+// probe bytes and an unauthenticated caller cannot hammer the fsync path.
+// The poisoned check is always live.
 func (l *Ledger) Probe() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.poisoned {
 		return ErrLedgerPoisoned
+	}
+	if !l.lastWrite.IsZero() && time.Since(l.lastWrite) < l.probeTTL {
+		return nil
 	}
 	committed := false
 	defer func() {
@@ -188,6 +210,7 @@ func (l *Ledger) Probe() error {
 		return fmt.Errorf("ledger probe sync: %w: %w", err, ErrLedgerPoisoned)
 	}
 	committed = true
+	l.lastWrite = time.Now()
 	return nil
 }
 

@@ -28,12 +28,11 @@ const (
 // Budget gauges are not stored here; they are read live from the registry at
 // scrape time so they can never drift from the ledger-backed truth.
 type metrics struct {
-	mu       sync.Mutex
-	started  time.Time
-	queries  map[statusKey]int64
-	latency  map[string]*latencySummary // per dataset, all outcomes
-	panics   int64                      // panics contained by the query path's recover
-	degraded int64                      // releases that skipped at least one race
+	mu      sync.Mutex
+	started time.Time
+	queries map[statusKey]int64
+	latency map[string]*latencySummary // per dataset, all outcomes
+	panics  int64                      // panics contained by the query path's recover
 }
 
 type statusKey struct{ dataset, status string }
@@ -51,13 +50,6 @@ func (m *metrics) panicRecovered() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.panics++
-}
-
-// degradedRelease counts one release that skipped at least one race.
-func (m *metrics) degradedRelease() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.degraded++
 }
 
 // observe records one finished request.
@@ -135,9 +127,6 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 
 	fmt.Fprintf(w, "# HELP r2td_panics_recovered_total Panics contained by the query path (each left its ε conservatively charged).\n# TYPE r2td_panics_recovered_total counter\n")
 	fmt.Fprintf(w, "r2td_panics_recovered_total %d\n", m.panics)
-
-	fmt.Fprintf(w, "# HELP r2td_degraded_releases_total Releases that skipped at least one failed R2T race.\n# TYPE r2td_degraded_releases_total counter\n")
-	fmt.Fprintf(w, "r2td_degraded_releases_total %d\n", m.degraded)
 
 	fmt.Fprintf(w, "# HELP r2td_queries_total Finished query requests by dataset and outcome.\n# TYPE r2td_queries_total counter\n")
 	keys := make([]statusKey, 0, len(m.queries))

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"time"
 
@@ -152,7 +153,10 @@ func (s *Server) Handler() http.Handler {
 // handleReady distinguishes "up" from "able to admit charges": it exercises
 // the ledger's write path (a zero-ε probe line plus fsync), so a full or
 // failing disk — or a ledger already poisoned by an earlier failed append —
-// flips readiness before any query has to discover it the hard way.
+// flips readiness before any query has to discover it the hard way. The
+// physical probe is rate-limited inside Ledger.Probe (one per few seconds,
+// with successful charge appends counting), so this unauthenticated endpoint
+// cannot grow the ledger or serialize fsyncs against the charge path.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
@@ -190,10 +194,9 @@ type queryResponse struct {
 	Estimate       float64 `json:"estimate"`
 	EpsilonCharged float64 `json:"epsilon_charged"` // 0 on cache hits
 	Cached         bool    `json:"cached"`
-	// Degraded reports that at least one R2T race was skipped after a solver
-	// failure: the estimate is still a valid ε-DP release over the surviving
-	// races, just possibly less accurate (DESIGN.md §9).
-	Degraded         bool    `json:"degraded,omitempty"`
+	// There is deliberately no degraded/failure field here: which R2T races
+	// survive a run is data-dependent, so the response must not vary with it
+	// (DESIGN.md §9d).
 	EpsilonSpent     float64 `json:"epsilon_spent"`
 	EpsilonRemaining float64 `json:"epsilon_remaining"`
 	ElapsedMS        float64 `json:"elapsed_ms"`
@@ -211,6 +214,12 @@ type errorResponse struct {
 
 // errSaturated marks worker-pool admission failure.
 var errSaturated = errors.New("r2td: all workers busy")
+
+// errInternal is the single analyst-visible body for every HTTP 500. Which
+// component failed after admission — an LP race, the solver, a contained
+// panic — can depend on the private data, so the response must carry no
+// structure beyond the abort itself; the real cause goes to the operator log.
+var errInternal = errors.New("internal error during query evaluation; any charged ε stands")
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -241,10 +250,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Primary:   primary,
 		EarlyStop: true,
 		Noise:     s.noise(),
-		// A multi-tenant service prefers a degraded (but still ε-DP) answer
-		// over burning the charged ε on nothing: a race whose LP solve fails
-		// is skipped and the response carries degraded:true.
-		Degrade: true,
+		// Degrade stays off. Whether a race's LP solve fails (iteration
+		// exhaustion, a contained solver panic) depends on the private data,
+		// so a max over the surviving races — or any analyst-visible trace of
+		// which races survived — would be an un-noised, data-dependent signal
+		// outside the ε accounting. The server fails such runs uniformly
+		// instead (DESIGN.md §9d).
 	}
 	// The shared Options.Validate runs before anything can charge ε; the
 	// mechanism parameters it rejects here are exactly the ones Query would
@@ -320,12 +331,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return cachedAnswer{}, err
 		}
-		if a.Degraded {
-			s.metrics.degradedRelease()
-		}
 		return cachedAnswer{
 			Estimate: a.Estimate,
-			Degraded: a.Degraded,
 			Epsilon:  opt.Epsilon,
 			Query:    normalized,
 			At:       time.Now(),
@@ -353,7 +360,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Estimate:         ans.Estimate,
 		EpsilonCharged:   charged,
 		Cached:           cached,
-		Degraded:         ans.Degraded,
 		EpsilonSpent:     spent,
 		EpsilonRemaining: remaining,
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
@@ -429,11 +435,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // soon as a worker frees (seconds), 503 needs operator intervention
 // (minutes). When the dataset is known, the body reports its remaining ε so
 // clients can distinguish transient rejection from a dead budget.
+//
+// 500s are reported uniformly: every other class here is data-independent
+// (parse errors, budget state, saturation, the ledger's disk), but a
+// mechanism failure after admission can encode the private data in its
+// message, so the analyst sees errInternal and the cause is logged
+// operator-side only (DESIGN.md §9d).
 func (s *Server) fail(w http.ResponseWriter, dataset string, ds *Dataset, status string, start time.Time, code int, err error) {
 	if dataset == "" {
 		dataset = "_unknown"
 	}
 	s.metrics.observe(dataset, status, time.Since(start))
+	if code == http.StatusInternalServerError {
+		fmt.Fprintf(os.Stderr, "r2td: internal error (dataset %s, reported uniformly to the client): %v\n", dataset, err)
+		err = errInternal
+	}
 	resp := errorResponse{Error: err.Error()}
 	if ds != nil {
 		_, remaining := ds.Budget.Balance()

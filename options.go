@@ -34,11 +34,17 @@ type Options struct {
 	AllowNegativeSum bool
 	// Degrade skips races whose LP solve fails (error, iteration-limit
 	// exhaustion, or a contained panic) instead of failing the query: the
-	// remaining races still race and Answer.Degraded reports the skip. The
-	// released value stays ε-DP — R2T's noise is drawn before any race runs
-	// and the max over fewer races is post-processing — it is merely less
-	// accurate (the skipped τ cannot win). The r2td server enables this;
-	// the default (off) fails the whole query on any race failure.
+	// remaining races still race and Answer.Degraded reports the skip.
+	//
+	// Privacy caveat: the max over fewer races is post-processing of the
+	// same (ε/L)-DP race outputs only when the set of skipped races does not
+	// depend on the data. Organic solver failures generally DO depend on the
+	// data (iteration counts are a function of the LP instance), so at a
+	// privacy boundary a degraded estimate — or any visible trace of which
+	// races survived — is not covered by the ε accounting. Use Degrade for
+	// experiments and curator-side diagnostics only; the r2td server leaves
+	// it off and fails such runs uniformly (DESIGN.md §9d). The default
+	// (off) fails the whole query on any race failure.
 	Degrade bool
 }
 

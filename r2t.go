@@ -120,14 +120,14 @@ type Answer struct {
 	// Estimate is the released, ε-differentially-private query answer.
 	Estimate float64
 
+	// Non-private diagnostics (do not release):
+
 	// Degraded reports that at least one race was skipped after a solver
-	// failure (Options.Degrade): the estimate is still a valid ε-DP
-	// release, computed as the max over the surviving races, but the
-	// skipped τ could not win. See DESIGN.md §9 for why this is safe to
-	// surface alongside the estimate.
+	// failure (Options.Degrade). Whether a solve fails can depend on the
+	// private data, so this flag — like every diagnostic below — must never
+	// be published alongside the estimate (DESIGN.md §9d).
 	Degraded bool
 
-	// Non-private diagnostics (do not release):
 	TrueAnswer  float64 // exact query answer Q(I)
 	TauStar     float64 // DS_Q(I) for SJA, IS_Q(I) for SPJA — the error scale
 	WinnerTau   float64 // τ of the winning race
