@@ -275,6 +275,77 @@ func BenchmarkR2TGrid(b *testing.B) {
 	}
 }
 
+// --- join-executor benchmarks (legacy map-based joins vs indexed executor) ---
+
+// BenchmarkExecJoin measures the join executor per workload in three modes:
+// "baseline" is the pre-index executor (per-row map[string][]int probes and a
+// fresh []value.V per candidate row); "serial" is the indexed, slab-allocated
+// executor with one worker; "parallel" adds the chunked probe at GOMAXPROCS
+// workers. All three produce bit-identical results (see parallel_test.go);
+// cmd/benchjson runs the same workloads and records BENCH_EXEC.json.
+func BenchmarkExecJoin(b *testing.B) {
+	workloads, err := experiments.ExecWorkloads(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range workloads {
+		w := &workloads[i]
+		b.Run(w.Name+"/baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunBaseline(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupBy measures the group-by evaluation strategies: "per-group"
+// runs one predicated join per group (G joins, the pre-PR QueryGroupBy);
+// "single-join" runs the join once and partitions rows by group value.
+func BenchmarkGroupBy(b *testing.B) {
+	workloads, err := experiments.GroupByWorkloads(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range workloads {
+		w := &workloads[i]
+		b.Run(w.Name+"/per-group", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunPerGroup(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/single-join", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunSingleJoin(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTPCHGenerate measures the synthetic data generator.
 func BenchmarkTPCHGenerate(b *testing.B) {
 	b.ReportAllocs()

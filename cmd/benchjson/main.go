@@ -1,14 +1,21 @@
-// Command benchjson measures the τ-grid workloads (the same ones
-// BenchmarkR2TGrid runs) with testing.Benchmark and writes the numbers to
-// BENCH_R2T.json, the repo's recorded perf trajectory for the amortized grid
-// solver. For every workload it times the cold per-race baseline (one full
+// Command benchjson measures the repo's recorded perf trajectories with
+// testing.Benchmark and writes them as JSON.
+//
+// BENCH_R2T.json covers the τ-grid workloads (the same ones BenchmarkR2TGrid
+// runs): for every workload it times the cold per-race baseline (one full
 // lp.Solve pipeline per τ, the pre-grid behaviour), the grid path
 // (production: shared skeleton, cold per-τ simplex), and the warm-start mode,
 // and verifies that cold and grid objectives agree bit-for-bit before
 // recording anything.
 //
-//	go run ./cmd/benchjson            # writes BENCH_R2T.json in the cwd
-//	go run ./cmd/benchjson -o out.json -sf 0.1
+// BENCH_EXEC.json covers the join executor (BenchmarkExecJoin /
+// BenchmarkGroupBy): the legacy map-based serial executor vs the indexed
+// slab-allocated one at one worker and at GOMAXPROCS, plus per-group joins vs
+// the single-join group-by. Results are compared row-for-row (ψ bits,
+// resolved provenance refs, projection groups) before any number is recorded.
+//
+//	go run ./cmd/benchjson            # writes BENCH_R2T.json and BENCH_EXEC.json
+//	go run ./cmd/benchjson -only exec -exec-o out.json -sf 0.1
 package main
 
 import (
@@ -60,17 +67,53 @@ func measure(f func() ([]float64, error)) (mode, error) {
 
 func round2(x float64) float64 { return math.Round(x*100) / 100 }
 
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"benchjson:"}, args...)...)
+	os.Exit(1)
+}
+
+func writeDoc(out, description string, workloads any) {
+	doc := struct {
+		Description string `json:"description"`
+		Command     string `json:"command"`
+		Workloads   any    `json:"workloads"`
+	}{
+		Description: description,
+		Command:     "go run ./cmd/benchjson",
+		Workloads:   workloads,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", out)
+}
+
 func main() {
 	var (
-		out = flag.String("o", "BENCH_R2T.json", "output file")
-		sf  = flag.Float64("sf", 0.05, "TPC-H scale factor for the tpch workload")
+		out     = flag.String("o", "BENCH_R2T.json", "τ-grid output file")
+		execOut = flag.String("exec-o", "BENCH_EXEC.json", "join-executor output file")
+		only    = flag.String("only", "all", "which suite to run: grid, exec, or all")
+		sf      = flag.Float64("sf", 0.05, "TPC-H scale factor for the tpch workloads")
 	)
 	flag.Parse()
 
-	workloads, err := experiments.GridWorkloads(*sf)
+	if *only == "all" || *only == "grid" {
+		runGrid(*out, *sf)
+	}
+	if *only == "all" || *only == "exec" {
+		runExec(*execOut, *sf)
+	}
+}
+
+func runGrid(out string, sf float64) {
+	workloads, err := experiments.GridWorkloads(sf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	var results []workloadResult
@@ -81,13 +124,11 @@ func main() {
 		// cold per-race pipeline's before any number is recorded.
 		coldVals, err := w.SolveCold()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
-			os.Exit(1)
+			fatal(w.Name, err)
 		}
 		gridVals, err := w.SolveGrid()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
-			os.Exit(1)
+			fatal(w.Name, err)
 		}
 		eq := len(coldVals) == len(gridVals)
 		for j := range coldVals {
@@ -97,8 +138,7 @@ func main() {
 			}
 		}
 		if !eq {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: grid values diverge from cold — refusing to record\n", w.Name)
-			os.Exit(1)
+			fatal(w.Name + ": grid values diverge from cold — refusing to record")
 		}
 
 		res := workloadResult{
@@ -110,21 +150,18 @@ func main() {
 		}
 		cold, err := measure(w.SolveCold)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
-			os.Exit(1)
+			fatal(w.Name, err)
 		}
 		res.Modes["cold"] = cold
 		grid, err := measure(w.SolveGrid)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
-			os.Exit(1)
+			fatal(w.Name, err)
 		}
 		grid.Speedup = round2(float64(cold.NsPerOp) / float64(grid.NsPerOp))
 		res.Modes["grid"] = grid
 		warm, err := measure(w.SolveGridWarm)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", w.Name, err)
-			os.Exit(1)
+			fatal(w.Name, err)
 		}
 		warm.Speedup = round2(float64(cold.NsPerOp) / float64(warm.NsPerOp))
 		res.Modes["grid-warm"] = warm
@@ -135,24 +172,141 @@ func main() {
 		results = append(results, res)
 	}
 
-	doc := struct {
-		Description string           `json:"description"`
-		Command     string           `json:"command"`
-		Workloads   []workloadResult `json:"workloads"`
-	}{
-		Description: "Full τ-grid solve (every race R2T runs for GS_Q=1024): cold per-race lp.Solve pipeline vs amortized lp.GridSolver. grid is the production path (bit-identical objectives, enforced above); grid-warm chains simplex warm starts across τ (exact but not bit-stable, see DESIGN.md).",
-		Command:     "go run ./cmd/benchjson",
-		Workloads:   results,
+	writeDoc(out, "Full τ-grid solve (every race R2T runs for GS_Q=1024): cold per-race lp.Solve pipeline vs amortized lp.GridSolver. grid is the production path (bit-identical objectives, enforced above); grid-warm chains simplex warm starts across τ (exact but not bit-stable, see DESIGN.md).", results)
+}
+
+// execMode is one executor configuration's measurement. Unlike the grid
+// modes, speedups are relative to the legacy map-based executor.
+type execMode struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type execResult struct {
+	Workload  string              `json:"workload"`
+	Rows      int                 `json:"join_rows"`
+	Groups    int                 `json:"groups,omitempty"`
+	BitwiseEq bool                `json:"bitwise_equals_baseline"`
+	Modes     map[string]execMode `json:"modes"`
+}
+
+func measureExec(f func() error) (execMode, error) {
+	var inner error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := f(); err != nil {
+				inner = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if inner != nil {
+		return execMode{}, inner
 	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
+	return execMode{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+func runExec(out string, sf float64) {
+	joins, err := experiments.ExecWorkloads(sf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	var results []execResult
+	for i := range joins {
+		w := &joins[i]
+
+		// Correctness gate: every mode must reproduce the legacy executor's
+		// result bit-for-bit (row order, ψ, resolved provenance refs) before
+		// its number is recorded. A fast wrong join is not a speedup.
+		base, err := w.RunBaseline()
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		for _, workers := range []int{1, 0} {
+			got, err := w.Run(workers)
+			if err != nil {
+				fatal(w.Name, err)
+			}
+			if !experiments.SameResult(base, got) {
+				fatal(w.Name + ": indexed executor diverges from baseline — refusing to record")
+			}
+		}
+
+		res := execResult{Workload: w.Name, Rows: len(base.Rows), BitwiseEq: true, Modes: map[string]execMode{}}
+		baseline, err := measureExec(func() error { _, err := w.RunBaseline(); return err })
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		res.Modes["baseline"] = baseline
+		serial, err := measureExec(func() error { _, err := w.Run(1); return err })
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		serial.Speedup = round2(float64(baseline.NsPerOp) / float64(serial.NsPerOp))
+		res.Modes["serial"] = serial
+		parallel, err := measureExec(func() error { _, err := w.Run(0); return err })
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		parallel.Speedup = round2(float64(baseline.NsPerOp) / float64(parallel.NsPerOp))
+		res.Modes["parallel"] = parallel
+
+		fmt.Fprintf(os.Stderr, "%-16s baseline %8dns  serial %8dns (%.2fx, allocs %d→%d)  parallel %8dns (%.2fx)\n",
+			w.Name, baseline.NsPerOp, serial.NsPerOp, serial.Speedup,
+			baseline.AllocsPerOp, serial.AllocsPerOp, parallel.NsPerOp, parallel.Speedup)
+		results = append(results, res)
 	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
+
+	groupbys, err := experiments.GroupByWorkloads(sf)
+	if err != nil {
+		fatal(err)
+	}
+	for i := range groupbys {
+		w := &groupbys[i]
+
+		// Gate: each partition of the single join must match the per-group
+		// predicated join row-for-row.
+		perGroup, err := w.RunPerGroup()
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		parts, err := w.RunSingleJoin(1)
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		rows := 0
+		for g := range perGroup {
+			if !experiments.SameResult(perGroup[g], parts[g]) {
+				fatal(w.Name + ": single-join partition diverges from per-group join — refusing to record")
+			}
+			rows += len(perGroup[g].Rows)
+		}
+
+		res := execResult{Workload: w.Name, Rows: rows, Groups: len(w.Groups), BitwiseEq: true, Modes: map[string]execMode{}}
+		pg, err := measureExec(func() error { _, err := w.RunPerGroup(); return err })
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		res.Modes["per-group"] = pg
+		single, err := measureExec(func() error { _, err := w.RunSingleJoin(1); return err })
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		single.Speedup = round2(float64(pg.NsPerOp) / float64(single.NsPerOp))
+		res.Modes["single-join"] = single
+
+		fmt.Fprintf(os.Stderr, "%-16s per-group %8dns  single-join %8dns (%.2fx, allocs %d→%d)\n",
+			w.Name, pg.NsPerOp, single.NsPerOp, single.Speedup, pg.AllocsPerOp, single.AllocsPerOp)
+		results = append(results, res)
+	}
+
+	writeDoc(out, "Join executor: legacy per-row-map serial joins (baseline) vs the indexed, slab-allocated executor at 1 worker (serial) and GOMAXPROCS workers (parallel); plus group-by as G predicated joins (per-group) vs one shared join partitioned by group value (single-join). All modes produce bit-identical rows, ψ values, and provenance refs (enforced above).", results)
 }

@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // pprof handlers on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -119,6 +120,8 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 		ledgerPath = flag.String("ledger", "r2td.ledger", "append-only budget ledger (JSON lines; replayed on startup)")
 		workers    = flag.Int("workers", 0, "max concurrent mechanism runs (0 = GOMAXPROCS); excess requests get 429")
+		execWork   = flag.Int("exec-workers", 0, "join-executor workers per query (0 = GOMAXPROCS, 1 = serial); answers are identical either way")
+		pprofAddr  = flag.String("pprof-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); keep it private — never the public -addr")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM")
 		seed       = flag.Int64("seed", 0, "deterministic noise seed, TESTS ONLY (0 = cryptographically seeded per query)")
@@ -135,6 +138,7 @@ func main() {
 		Datasets:       datasets,
 		LedgerPath:     *ledgerPath,
 		Workers:        *workers,
+		ExecWorkers:    *execWork,
 		RequestTimeout: *timeout,
 		Seed:           *seed,
 	})
@@ -147,6 +151,20 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Profiling is opt-in and isolated: the pprof handlers live on the
+	// DefaultServeMux (via the net/http/pprof import), which is served ONLY
+	// on this separate listener. The public API handler above is a private
+	// mux, so enabling profiling can never expose /debug/pprof/ to tenants.
+	if *pprofAddr != "" {
+		go func() {
+			pprofSrv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			fmt.Printf("r2td: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "r2td: pprof:", err)
+			}
+		}()
 	}
 
 	// Graceful drain: stop accepting on SIGTERM/SIGINT, let in-flight

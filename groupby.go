@@ -4,7 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"r2t/internal/exec"
+	"r2t/internal/plan"
+	"r2t/internal/schema"
 	"r2t/internal/sql"
+	"r2t/internal/value"
 )
 
 // GroupByAnswer is the result of one group in QueryGroupBy.
@@ -14,21 +18,31 @@ type GroupByAnswer struct {
 }
 
 // QueryGroupBy answers a group-by aggregation, implementing the simple
-// strategy the paper sketches as future work (Section 11): the query runs
-// once per group with the predicate column = group value appended, and the
-// privacy budget is split evenly across groups by basic composition, so the
-// whole release is ε-DP.
+// strategy the paper sketches as future work (Section 11): each group is the
+// query with the predicate column = group value appended, and the privacy
+// budget is split evenly across groups by basic composition, so the whole
+// release is ε-DP.
+//
+// The join runs ONCE, without the group predicate, and its result rows are
+// partitioned by the group column's value. Because that predicate is an
+// equality on a join-output column, each partition holds exactly the rows
+// the per-group query would produce, in the same order (DESIGN.md §10), so
+// every per-group answer — and with a seeded noise source, every released
+// value — is identical to running the groups one by one; only the G−1
+// redundant joins are gone. The budget split is unchanged.
 //
 // The group list must be public knowledge (e.g. the domain of a categorical
 // attribute such as NATION); deriving it from the private data would leak.
-// Columns are resolved against the query's FROM aliases, so pass the same
-// qualifier you would write in SQL ("c.NK" → qualifier "c", attr "NK").
+// Duplicate group values are rejected: each duplicate would charge (and
+// waste) an extra ε share for a repeated release of the same group. Columns
+// are resolved against the query's FROM aliases, so pass the same qualifier
+// you would write in SQL ("c.NK" → qualifier "c", attr "NK").
 func (db *DB) QueryGroupBy(sqlText string, column string, groups []Value, opt Options) ([]GroupByAnswer, error) {
 	return db.QueryGroupByContext(context.Background(), sqlText, column, groups, opt)
 }
 
 // QueryGroupByContext is QueryGroupBy with cancellation between (and inside)
-// the per-group runs. The same charge semantics as QueryContext apply: a
+// the per-group releases. The same charge semantics as QueryContext apply: a
 // cancelled release must be treated as fully charged.
 func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column string, groups []Value, opt Options) ([]GroupByAnswer, error) {
 	if len(groups) == 0 {
@@ -36,6 +50,13 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
+	}
+	seen := make(map[value.V]int, len(groups))
+	for i, g := range groups {
+		if j, dup := seen[g.Key()]; dup {
+			return nil, fmt.Errorf("r2t: duplicate group value %v (positions %d and %d): each group would be released twice and charged two ε shares", g, j, i)
+		}
+		seen[g.Key()] = i
 	}
 	parsed, err := sql.Parse(sqlText)
 	if err != nil {
@@ -45,20 +66,42 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 	if err != nil {
 		return nil, err
 	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: opt.Primary})
+	if err != nil {
+		return nil, err
+	}
+	groupVar := p.ColVar(colRef)
+	if groupVar < 0 {
+		return nil, fmt.Errorf("r2t: group-by column %q does not name a join column of the query (unknown or ambiguous)", column)
+	}
 
 	perGroup := opt
 	perGroup.Epsilon = opt.Epsilon / float64(len(groups))
 
+	signed := opt.AllowNegativeSum && parsed.Agg == sql.AggSum
+	if signed && len(p.ProjVars) > 0 {
+		return nil, fmt.Errorf("r2t: signed split does not apply to projection queries")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	parts, err := exec.RunPartitioned(p, db.instance, execConfig(opt), groupVar, groups, signed)
+	if err != nil {
+		return nil, err
+	}
+
 	out := make([]GroupByAnswer, 0, len(groups))
-	for _, g := range groups {
-		q := *parsed
-		pred := sql.Binary{Op: "=", L: sql.Col{Ref: colRef}, R: sql.Lit{Val: g}}
-		if q.Where == nil {
-			q.Where = pred
-		} else {
-			q.Where = sql.Binary{Op: "AND", L: q.Where, R: pred}
+	for i, g := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("r2t: group %v: %w", g, err)
 		}
-		ans, err := db.run(ctx, &q, perGroup)
+		var ans *Answer
+		if signed {
+			pos, neg := exec.Split(parts[i])
+			ans, err = db.privatizeSigned(ctx, pos, neg, perGroup)
+		} else {
+			ans, err = db.privatize(ctx, parts[i], perGroup)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("r2t: group %v: %w", g, err)
 		}

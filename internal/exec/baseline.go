@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"fmt"
+
+	"r2t/internal/plan"
+	"r2t/internal/sql"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+// RunBaseline evaluates p with the pre-optimization serial executor: Go-map
+// build tables rebuilt at every step and one heap allocation per candidate
+// output row. It is kept verbatim as the reference the optimized executor
+// must match bit-for-bit (row order included) and as the denominator for
+// BENCH_EXEC.json speedups.
+func RunBaseline(p *plan.Plan, inst *storage.Instance) (*Result, error) {
+	res, _, err := run(p, inst, runOpts{baseline: true, groupVar: -1})
+	return res, err
+}
+
+// joinStepBaseline is the legacy joinStep, unchanged.
+func joinStepBaseline(current [][]value.V, st step, rows []storage.Row, filters []boolFn, numVars int) [][]value.V {
+	// Build side: hash atom rows on the shared columns.
+	build := make(map[string][]int, len(rows))
+	var buf []byte
+rowLoop:
+	for ri, row := range rows {
+		for _, pair := range st.checkCols {
+			if !value.Equal(row[pair[0]], row[pair[1]]) {
+				continue rowLoop
+			}
+		}
+		buf = buf[:0]
+		for _, c := range st.sharedCols {
+			buf = appendValueKey(buf, row[c])
+		}
+		k := string(buf)
+		build[k] = append(build[k], ri)
+	}
+
+	var out [][]value.V
+	for _, asg := range current {
+		buf = buf[:0]
+		for _, v := range st.sharedVars {
+			buf = appendValueKey(buf, asg[v])
+		}
+		matches := build[string(buf)]
+		for _, ri := range matches {
+			row := rows[ri]
+			next := make([]value.V, numVars)
+			copy(next, asg)
+			for j, v := range st.newVars {
+				next[v] = row[st.newCols[j]]
+			}
+			ok := true
+			for _, f := range filters {
+				if !f(next) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, next)
+			}
+		}
+	}
+	return out
+}
+
+// compileBoolBaseline is the predicate compiler as it stood before the
+// executor optimization: comparisons compile to one generic closure that
+// dispatches on the operator string and calls value.Compare for every row.
+// The optimized compiler emits per-operator closures with an Int/Int fast
+// path; keeping the old form here keeps RunBaseline's cost model honest.
+// Node kinds the optimization did not touch (IN, BETWEEN, LIKE) delegate to
+// the shared compiler, which is verbatim the legacy code for them.
+func compileBoolBaseline(e sql.Expr, p *plan.Plan) (boolFn, error) {
+	switch t := e.(type) {
+	case sql.Binary:
+		switch t.Op {
+		case "AND", "OR":
+			l, err := compileBoolBaseline(t.L, p)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileBoolBaseline(t.R, p)
+			if err != nil {
+				return nil, err
+			}
+			if t.Op == "AND" {
+				return func(row []value.V) bool { return l(row) && r(row) }, nil
+			}
+			return func(row []value.V) bool { return l(row) || r(row) }, nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, err := compileScalar(t.L, p)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileScalar(t.R, p)
+			if err != nil {
+				return nil, err
+			}
+			op := t.Op
+			return func(row []value.V) bool {
+				c := value.Compare(l(row), r(row))
+				switch op {
+				case "=":
+					return c == 0
+				case "<>":
+					return c != 0
+				case "<":
+					return c < 0
+				case "<=":
+					return c <= 0
+				case ">":
+					return c > 0
+				default:
+					return c >= 0
+				}
+			}, nil
+		}
+		return nil, fmt.Errorf("exec: operator %q is not boolean", t.Op)
+	case sql.Not:
+		inner, err := compileBoolBaseline(t.E, p)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []value.V) bool { return !inner(row) }, nil
+	default:
+		return compileBool(e, p)
+	}
+}

@@ -92,24 +92,7 @@ func compileBool(e sql.Expr, p *plan.Plan) (boolFn, error) {
 			if err != nil {
 				return nil, err
 			}
-			op := t.Op
-			return func(row []value.V) bool {
-				c := value.Compare(l(row), r(row))
-				switch op {
-				case "=":
-					return c == 0
-				case "<>":
-					return c != 0
-				case "<":
-					return c < 0
-				case "<=":
-					return c <= 0
-				case ">":
-					return c > 0
-				default:
-					return c >= 0
-				}
-			}, nil
+			return compileCmp(t.Op, t.L, t.R, l, r, p), nil
 		}
 		return nil, fmt.Errorf("exec: operator %q is not boolean", t.Op)
 	case sql.Not:
@@ -160,6 +143,80 @@ func compileBool(e sql.Expr, p *plan.Plan) (boolFn, error) {
 		}, nil
 	default:
 		return nil, fmt.Errorf("exec: expression %s is not boolean", sql.ExprString(e))
+	}
+}
+
+// compileCmp builds a comparison closure specialized twice over: per
+// operator (no per-row dispatch on the operator string) and per operand
+// shape — column/column and column/literal comparisons, which is what join
+// filters overwhelmingly are, read the row directly instead of going through
+// scalar closures. Every variant carries an inline Int/Int fast path;
+// value.Compare orders Int/Int by I, so the fast path is exact. Comparisons
+// dominate the per-candidate cost of join filtering, which is why this
+// much specialization pays for itself.
+func compileCmp(op string, le, re sql.Expr, l, r scalarFn, p *plan.Plan) boolFn {
+	cmp := cmpOp(op)
+	if lc, ok := le.(sql.Col); ok {
+		if lv := p.ColVar(lc.Ref); lv >= 0 {
+			if rc, ok := re.(sql.Col); ok {
+				if rv := p.ColVar(rc.Ref); rv >= 0 {
+					return func(row []value.V) bool { return cmp(row[lv], row[rv]) }
+				}
+			}
+			if rl, ok := re.(sql.Lit); ok {
+				lit := rl.Val
+				return func(row []value.V) bool { return cmp(row[lv], lit) }
+			}
+		}
+	}
+	return func(row []value.V) bool { return cmp(l(row), r(row)) }
+}
+
+// cmpOp returns the per-operator comparison with an Int/Int fast path.
+func cmpOp(op string) func(a, b value.V) bool {
+	switch op {
+	case "=":
+		return func(a, b value.V) bool {
+			if a.K == value.Int && b.K == value.Int {
+				return a.I == b.I
+			}
+			return value.Compare(a, b) == 0
+		}
+	case "<>":
+		return func(a, b value.V) bool {
+			if a.K == value.Int && b.K == value.Int {
+				return a.I != b.I
+			}
+			return value.Compare(a, b) != 0
+		}
+	case "<":
+		return func(a, b value.V) bool {
+			if a.K == value.Int && b.K == value.Int {
+				return a.I < b.I
+			}
+			return value.Compare(a, b) < 0
+		}
+	case "<=":
+		return func(a, b value.V) bool {
+			if a.K == value.Int && b.K == value.Int {
+				return a.I <= b.I
+			}
+			return value.Compare(a, b) <= 0
+		}
+	case ">":
+		return func(a, b value.V) bool {
+			if a.K == value.Int && b.K == value.Int {
+				return a.I > b.I
+			}
+			return value.Compare(a, b) > 0
+		}
+	default:
+		return func(a, b value.V) bool {
+			if a.K == value.Int && b.K == value.Int {
+				return a.I >= b.I
+			}
+			return value.Compare(a, b) >= 0
+		}
 	}
 }
 

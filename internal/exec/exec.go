@@ -23,17 +23,25 @@ type TupleRef struct {
 func (t TupleRef) String() string { return t.Rel + ":" + t.Key.String() }
 
 // JoinRow is one join result q_k: its weight ψ(q_k) and the individuals it
-// references.
+// references, as indices into Result.Universe.
 type JoinRow struct {
-	Psi  float64
-	Refs []TupleRef
+	Psi    float64
+	RefIDs []int32
 }
 
 // Result is the evaluated reporting query (Section 9): everything the
 // truncation operators need.
+//
+// Provenance is interned: Universe lists every referenced individual once,
+// in first-appearance order over the rows, and each row carries indices into
+// it. Results produced from the same run (Split halves, RunPartitioned
+// partitions) share one Universe, so a Result's rows may reference only a
+// subset of it — per-result aggregates (NumIndividuals, SortedTupleRefs, …)
+// count only individuals that actually occur in the rows.
 type Result struct {
-	Plan *plan.Plan
-	Rows []JoinRow
+	Plan     *plan.Plan
+	Rows     []JoinRow
+	Universe []TupleRef
 
 	// Projection structure, set only for COUNT(DISTINCT ...) queries:
 	// Groups[l] lists the row indices whose projection equals p_l (the D_l
@@ -41,6 +49,17 @@ type Result struct {
 	IsProjection bool
 	Groups       [][]int
 	GroupPsi     []float64
+}
+
+// Refs resolves row k's interned provenance against the universe. It
+// allocates; hot paths should index Universe with RefIDs directly.
+func (r *Result) Refs(k int) []TupleRef {
+	row := r.Rows[k]
+	out := make([]TupleRef, len(row.RefIDs))
+	for i, id := range row.RefIDs {
+		out[i] = r.Universe[id]
+	}
+	return out
 }
 
 // TrueAnswer returns Q(I): Σψ(q_k) for SJA, Σψ(p_l) for SPJA.
@@ -58,13 +77,28 @@ func (r *Result) TrueAnswer() float64 {
 	return s
 }
 
+// sensByID accumulates S_Q(I, t) per universe id, and which ids occur in
+// the rows at all (the universe can be a superset for shared-run results).
+func (r *Result) sensByID() (sens []float64, occurs []bool) {
+	sens = make([]float64, len(r.Universe))
+	occurs = make([]bool, len(r.Universe))
+	for _, row := range r.Rows {
+		for _, id := range row.RefIDs {
+			sens[id] += row.Psi
+			occurs[id] = true
+		}
+	}
+	return sens, occurs
+}
+
 // SensitivityByTuple returns S_Q(I, t_P) for every referenced individual
 // (eq. 4): the total ψ-weight of join results referencing that tuple.
 func (r *Result) SensitivityByTuple() map[TupleRef]float64 {
+	sens, occurs := r.sensByID()
 	out := make(map[TupleRef]float64)
-	for _, row := range r.Rows {
-		for _, t := range row.Refs {
-			out[t] += row.Psi
+	for id, ok := range occurs {
+		if ok {
+			out[r.Universe[id]] = sens[id]
 		}
 	}
 	return out
@@ -73,10 +107,11 @@ func (r *Result) SensitivityByTuple() map[TupleRef]float64 {
 // MaxTupleSensitivity returns max_t S_Q(I,t): DS_Q(I) for SJA queries and
 // IS_Q(I) (the indirect sensitivity, Section 7) for SPJA queries.
 func (r *Result) MaxTupleSensitivity() float64 {
+	sens, occurs := r.sensByID()
 	var m float64
-	for _, s := range r.SensitivityByTuple() {
-		if s > m {
-			m = s
+	for id, ok := range occurs {
+		if ok && sens[id] > m {
+			m = sens[id]
 		}
 	}
 	return m
@@ -90,18 +125,18 @@ func (r *Result) DownwardSensitivity() float64 {
 	if !r.IsProjection {
 		return r.MaxTupleSensitivity()
 	}
-	loss := make(map[TupleRef]float64)
+	loss := make([]float64, len(r.Universe))
 	for l, group := range r.Groups {
 		// Individuals referenced by *every* witness of p_l.
-		common := make(map[TupleRef]int)
+		common := make(map[int32]int)
 		for _, k := range group {
-			for _, t := range r.Rows[k].Refs {
-				common[t]++
+			for _, id := range r.Rows[k].RefIDs {
+				common[id]++
 			}
 		}
-		for t, c := range common {
+		for id, c := range common {
 			if c == len(group) {
-				loss[t] += r.GroupPsi[l]
+				loss[id] += r.GroupPsi[l]
 			}
 		}
 	}
@@ -116,55 +151,213 @@ func (r *Result) DownwardSensitivity() float64 {
 
 // NumIndividuals returns the number of distinct referenced individuals.
 func (r *Result) NumIndividuals() int {
-	seen := make(map[TupleRef]bool)
-	for _, row := range r.Rows {
-		for _, t := range row.Refs {
-			seen[t] = true
+	_, occurs := r.sensByID()
+	n := 0
+	for _, ok := range occurs {
+		if ok {
+			n++
 		}
 	}
-	return len(seen)
+	return n
 }
 
-// RunSplit evaluates a SUM query whose expression may go negative, splitting
-// the join results into two non-negative halves: pos carries ψ⁺ = max(ψ,0)
-// and neg carries ψ⁻ = max(−ψ,0), so Q(I) = pos.TrueAnswer() −
-// neg.TrueAnswer(). Each half is a valid input to a truncation operator;
-// privatizing both (with split budget) and subtracting is the standard way
-// to lift the paper's ψ ≥ 0 requirement. Projection queries are rejected
-// (COUNT DISTINCT weights are always 1).
-func RunSplit(p *plan.Plan, inst *storage.Instance) (pos, neg *Result, err error) {
-	if len(p.ProjVars) > 0 {
-		return nil, nil, fmt.Errorf("exec: signed split does not apply to projection queries")
-	}
-	full, err := run(p, inst, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	pos = &Result{Plan: p}
-	neg = &Result{Plan: p}
-	for _, row := range full.Rows {
-		if row.Psi >= 0 {
-			pos.Rows = append(pos.Rows, row)
-		} else {
-			neg.Rows = append(neg.Rows, JoinRow{Psi: -row.Psi, Refs: row.Refs})
+// SortedTupleRefs returns the distinct individuals referenced anywhere in r,
+// in a deterministic order — handy for tests and experiment output.
+func (r *Result) SortedTupleRefs() []TupleRef {
+	_, occurs := r.sensByID()
+	var out []TupleRef
+	for id, ok := range occurs {
+		if ok {
+			out = append(out, r.Universe[id])
 		}
 	}
-	return pos, neg, nil
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return value.Less(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
+// Config tunes the executor without changing its results.
+type Config struct {
+	// Workers bounds the probe worker pool. 0 (or negative) means
+	// GOMAXPROCS; 1 runs fully serial. Row order — and therefore every
+	// downstream LP objective and seeded DP answer — is identical for every
+	// setting.
+	Workers int
 }
 
 // Run evaluates p against inst with left-deep hash joins and predicate
 // pushdown, producing join rows with provenance.
 func Run(p *plan.Plan, inst *storage.Instance) (*Result, error) {
-	return run(p, inst, false)
+	return RunConfig(p, inst, Config{})
 }
 
-func run(p *plan.Plan, inst *storage.Instance, allowNegative bool) (*Result, error) {
-	// Compile filters and the aggregate expression.
+// RunConfig is Run with an explicit executor configuration.
+func RunConfig(p *plan.Plan, inst *storage.Instance, cfg Config) (*Result, error) {
+	res, _, err := run(p, inst, runOpts{workers: cfg.Workers, groupVar: -1})
+	return res, err
+}
+
+// Split separates an allowNegative run into two non-negative halves: pos
+// carries ψ⁺ = max(ψ,0) and neg carries ψ⁻ = max(−ψ,0), so Q(I) =
+// pos.TrueAnswer() − neg.TrueAnswer(). Both halves share full's Universe.
+func Split(full *Result) (pos, neg *Result) {
+	pos = &Result{Plan: full.Plan, Universe: full.Universe}
+	neg = &Result{Plan: full.Plan, Universe: full.Universe}
+	for _, row := range full.Rows {
+		if row.Psi >= 0 {
+			pos.Rows = append(pos.Rows, row)
+		} else {
+			neg.Rows = append(neg.Rows, JoinRow{Psi: -row.Psi, RefIDs: row.RefIDs})
+		}
+	}
+	return pos, neg
+}
+
+// RunSplit evaluates a SUM query whose expression may go negative, splitting
+// the join results into two non-negative halves (see Split). Each half is a
+// valid input to a truncation operator; privatizing both (with split budget)
+// and subtracting is the standard way to lift the paper's ψ ≥ 0 requirement.
+// Projection queries are rejected (COUNT DISTINCT weights are always 1).
+func RunSplit(p *plan.Plan, inst *storage.Instance) (pos, neg *Result, err error) {
+	return RunSplitConfig(p, inst, Config{})
+}
+
+// RunSplitConfig is RunSplit with an explicit executor configuration.
+func RunSplitConfig(p *plan.Plan, inst *storage.Instance, cfg Config) (pos, neg *Result, err error) {
+	if len(p.ProjVars) > 0 {
+		return nil, nil, fmt.Errorf("exec: signed split does not apply to projection queries")
+	}
+	full, _, err := run(p, inst, runOpts{allowNegative: true, workers: cfg.Workers, groupVar: -1})
+	if err != nil {
+		return nil, nil, err
+	}
+	pos, neg = Split(full)
+	return pos, neg, nil
+}
+
+// RunPartitioned evaluates p once and partitions the join results by the
+// value of variable groupVar: partition i holds exactly the rows an
+// evaluation of p with the extra predicate groupVar = groups[i] would
+// produce, in the same order (the predicate is a pointwise filter on a
+// bound output column, so filtering after the join selects the same row
+// subsequence as pushing it down — see DESIGN.md §10). Rows whose group
+// value matches no entry of groups are dropped. All partitions share one
+// Universe. Duplicate group values are rejected.
+func RunPartitioned(p *plan.Plan, inst *storage.Instance, cfg Config, groupVar int, groups []value.V, allowNegative bool) ([]*Result, error) {
+	if groupVar < 0 || groupVar >= p.NumVars {
+		return nil, fmt.Errorf("exec: partition variable %d out of range", groupVar)
+	}
+	groupOf := make(map[value.V]int32, len(groups))
+	for i, g := range groups {
+		k := g.Key()
+		if _, dup := groupOf[k]; dup {
+			return nil, fmt.Errorf("exec: duplicate partition value %v", g)
+		}
+		groupOf[k] = int32(i)
+	}
+	full, rowPart, err := run(p, inst, runOpts{
+		allowNegative: allowNegative,
+		workers:       cfg.Workers,
+		groupVar:      groupVar,
+		groupOf:       groupOf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	parts := make([]*Result, len(groups))
+	for i := range parts {
+		parts[i] = &Result{Plan: p, Universe: full.Universe, IsProjection: full.IsProjection}
+	}
+	// For projections, map each row to its full-run projection group so the
+	// partitions can rebuild their own Groups in first-appearance order —
+	// exactly the order a per-group run's projKeys map would assign.
+	var rowProj []int32
+	var localGroup [][]int // per partition: full group id → local id + 1
+	if full.IsProjection {
+		rowProj = make([]int32, len(full.Rows))
+		for l, group := range full.Groups {
+			for _, k := range group {
+				rowProj[k] = int32(l)
+			}
+		}
+		localGroup = make([][]int, len(groups))
+		for i := range localGroup {
+			localGroup[i] = make([]int, len(full.Groups))
+		}
+	}
+	for k, row := range full.Rows {
+		pi := rowPart[k]
+		if pi < 0 {
+			continue
+		}
+		part := parts[pi]
+		idx := len(part.Rows)
+		part.Rows = append(part.Rows, row)
+		if full.IsProjection {
+			gl := rowProj[k]
+			l := localGroup[pi][gl]
+			if l == 0 {
+				part.Groups = append(part.Groups, nil)
+				part.GroupPsi = append(part.GroupPsi, full.GroupPsi[gl])
+				l = len(part.Groups)
+				localGroup[pi][gl] = l
+			}
+			part.Groups[l-1] = append(part.Groups[l-1], idx)
+		}
+	}
+	return parts, nil
+}
+
+// runOpts selects executor variants that all produce bit-identical rows.
+type runOpts struct {
+	allowNegative bool
+	workers       int
+	baseline      bool // use the frozen pre-optimization join path
+	groupVar      int  // -1: no partitioning
+	groupOf       map[value.V]int32
+}
+
+// refInterner assigns dense ids to TupleRefs in first-appearance order.
+type refInterner struct {
+	ids   map[TupleRef]int32
+	order []TupleRef
+}
+
+func newRefInterner() *refInterner {
+	return &refInterner{ids: make(map[TupleRef]int32)}
+}
+
+func (in *refInterner) id(r TupleRef) int32 {
+	if id, ok := in.ids[r]; ok {
+		return id
+	}
+	id := int32(len(in.order))
+	in.ids[r] = id
+	in.order = append(in.order, r)
+	return id
+}
+
+// run joins, then builds rows with ψ, interned provenance, projection groups
+// and (optionally) partition assignments. The second return value is the
+// per-row partition id (or nil when opt.groupVar < 0).
+func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, error) {
+	// Compile filters and the aggregate expression. The baseline executor
+	// keeps its own frozen predicate compiler so its numbers reflect the
+	// pre-optimization engine end to end.
+	compilePred := compileBool
+	if opt.baseline {
+		compilePred = compileBoolBaseline
+	}
 	filters := make([]boolFn, len(p.Filters))
 	for i, f := range p.Filters {
-		fn, err := compileBool(f.Expr, p)
+		fn, err := compilePred(f.Expr, p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		filters[i] = fn
 	}
@@ -172,14 +365,14 @@ func run(p *plan.Plan, inst *storage.Instance, allowNegative bool) (*Result, err
 	if p.SumExpr != nil {
 		fn, err := compileScalar(p.SumExpr, p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sumFn = fn
 	}
 
 	steps, err := orderSteps(p, inst)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Attach each filter to the earliest step where all its variables bind.
@@ -209,8 +402,13 @@ func run(p *plan.Plan, inst *storage.Instance, allowNegative bool) (*Result, err
 	}
 	for fi := range assigned {
 		if !assigned[fi] {
-			return nil, fmt.Errorf("exec: filter %d references unbound variables", fi)
+			return nil, nil, fmt.Errorf("exec: filter %d references unbound variables", fi)
 		}
+	}
+
+	workers := opt.workers
+	if workers <= 0 {
+		workers = defaultWorkers()
 	}
 
 	// Join.
@@ -218,9 +416,13 @@ func run(p *plan.Plan, inst *storage.Instance, allowNegative bool) (*Result, err
 	for si, st := range steps {
 		table := inst.Table(p.Atoms[st.atom].Rel.Name)
 		if table == nil {
-			return nil, fmt.Errorf("exec: no table for relation %q", p.Atoms[st.atom].Rel.Name)
+			return nil, nil, fmt.Errorf("exec: no table for relation %q", p.Atoms[st.atom].Rel.Name)
 		}
-		current = joinStep(current, st, table.Rows, filterAt[si], p.NumVars)
+		if opt.baseline {
+			current = joinStepBaseline(current, st, table.Rows, filterAt[si], p.NumVars)
+		} else {
+			current = joinStepExec(current, &steps[si], table, filterAt[si], p.NumVars, workers)
+		}
 		if len(current) == 0 {
 			break
 		}
@@ -235,41 +437,64 @@ func run(p *plan.Plan, inst *storage.Instance, allowNegative bool) (*Result, err
 		res.IsProjection = true
 		projKeys = make(map[string]int)
 	}
+	var rowPart []int32
+	if opt.groupVar >= 0 {
+		rowPart = make([]int32, 0, len(current))
+	}
+	intern := newRefInterner()
+	numPriv := 0
+	for _, pk := range p.PrivPK {
+		if pk >= 0 {
+			numPriv++
+		}
+	}
+	// One backing array for every row's RefIDs; capacity is exact, so the
+	// appends below never reallocate and the per-row subslices stay valid.
+	refSlab := make([]int32, 0, len(current)*numPriv)
 	var keyBuf []byte
 	for _, asg := range current {
 		var psi float64 = 1
 		if sumFn != nil {
 			v := sumFn(asg)
 			if !v.IsNumeric() {
-				return nil, fmt.Errorf("exec: SUM expression evaluated to non-numeric value %v", v)
+				return nil, nil, fmt.Errorf("exec: SUM expression evaluated to non-numeric value %v", v)
 			}
 			psi = v.AsFloat()
-			if psi < 0 && !allowNegative {
-				return nil, fmt.Errorf("exec: SUM expression produced negative weight %v (ψ must be non-negative; set AllowNegativeSum to split the query)", psi)
+			if psi < 0 && !opt.allowNegative {
+				return nil, nil, fmt.Errorf("exec: SUM expression produced negative weight %v (ψ must be non-negative; set AllowNegativeSum to split the query)", psi)
 			}
 			if math.IsNaN(psi) || math.IsInf(psi, 0) {
-				return nil, fmt.Errorf("exec: SUM expression produced non-finite weight")
+				return nil, nil, fmt.Errorf("exec: SUM expression produced non-finite weight")
 			}
 		}
 		row := JoinRow{Psi: psi}
+		start := len(refSlab)
 		for i, pk := range p.PrivPK {
 			if pk < 0 {
 				continue
 			}
-			ref := TupleRef{Rel: p.Atoms[i].Rel.Name, Key: asg[pk].Key()}
+			id := intern.id(TupleRef{Rel: p.Atoms[i].Rel.Name, Key: asg[pk].Key()})
 			dup := false
-			for _, ex := range row.Refs {
-				if ex == ref {
+			for _, ex := range refSlab[start:] {
+				if ex == id {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				row.Refs = append(row.Refs, ref)
+				refSlab = append(refSlab, id)
 			}
 		}
+		row.RefIDs = refSlab[start:len(refSlab):len(refSlab)]
 		k := len(res.Rows)
 		res.Rows = append(res.Rows, row)
+		if rowPart != nil {
+			pi, ok := opt.groupOf[asg[opt.groupVar].Key()]
+			if !ok {
+				pi = -1
+			}
+			rowPart = append(rowPart, pi)
+		}
 		if isProj {
 			keyBuf = keyBuf[:0]
 			for _, v := range p.ProjVars {
@@ -286,7 +511,8 @@ func run(p *plan.Plan, inst *storage.Instance, allowNegative bool) (*Result, err
 			res.Groups[l] = append(res.Groups[l], k)
 		}
 	}
-	return res, nil
+	res.Universe = intern.order
+	return res, rowPart, nil
 }
 
 // step describes joining one atom into the current assignment set.
@@ -371,55 +597,6 @@ func orderSteps(p *plan.Plan, inst *storage.Instance) ([]step, error) {
 	return steps, nil
 }
 
-// joinStep extends every current assignment with matching rows of the atom.
-func joinStep(current [][]value.V, st step, rows []storage.Row, filters []boolFn, numVars int) [][]value.V {
-	// Build side: hash atom rows on the shared columns.
-	build := make(map[string][]int, len(rows))
-	var buf []byte
-rowLoop:
-	for ri, row := range rows {
-		for _, pair := range st.checkCols {
-			if !value.Equal(row[pair[0]], row[pair[1]]) {
-				continue rowLoop
-			}
-		}
-		buf = buf[:0]
-		for _, c := range st.sharedCols {
-			buf = appendValueKey(buf, row[c])
-		}
-		k := string(buf)
-		build[k] = append(build[k], ri)
-	}
-
-	var out [][]value.V
-	for _, asg := range current {
-		buf = buf[:0]
-		for _, v := range st.sharedVars {
-			buf = appendValueKey(buf, asg[v])
-		}
-		matches := build[string(buf)]
-		for _, ri := range matches {
-			row := rows[ri]
-			next := make([]value.V, numVars)
-			copy(next, asg)
-			for j, v := range st.newVars {
-				next[v] = row[st.newCols[j]]
-			}
-			ok := true
-			for _, f := range filters {
-				if !f(next) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out = append(out, next)
-			}
-		}
-	}
-	return out
-}
-
 // appendValueKey appends a canonical, collision-free encoding of v.
 func appendValueKey(buf []byte, v value.V) []byte {
 	v = v.Key()
@@ -440,26 +617,4 @@ func appendValueKey(buf []byte, v value.V) []byte {
 		buf = append(buf, v.S...)
 	}
 	return buf
-}
-
-// SortedTupleRefs returns the distinct individuals referenced anywhere in r,
-// in a deterministic order — handy for tests and experiment output.
-func (r *Result) SortedTupleRefs() []TupleRef {
-	seen := make(map[TupleRef]bool)
-	for _, row := range r.Rows {
-		for _, t := range row.Refs {
-			seen[t] = true
-		}
-	}
-	out := make([]TupleRef, 0, len(seen))
-	for t := range seen {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rel != out[j].Rel {
-			return out[i].Rel < out[j].Rel
-		}
-		return value.Less(out[i].Key, out[j].Key)
-	})
-	return out
 }

@@ -67,9 +67,9 @@ func TestEdgeCount(t *testing.T) {
 		t.Fatalf("edge count = %g, want 4", got)
 	}
 	// Each edge references its two endpoints.
-	for _, row := range res.Rows {
-		if len(row.Refs) != 2 {
-			t.Fatalf("edge row refs = %v", row.Refs)
+	for k, row := range res.Rows {
+		if len(row.RefIDs) != 2 {
+			t.Fatalf("edge row refs = %v", res.Refs(k))
 		}
 	}
 	// Node 2 touches 3 edges.
@@ -92,9 +92,9 @@ func TestTriangleCount(t *testing.T) {
 	if got := res.TrueAnswer(); got != 2 {
 		t.Fatalf("triangle count = %g, want 2", got)
 	}
-	for _, row := range res.Rows {
-		if len(row.Refs) != 3 {
-			t.Fatalf("triangle refs = %v", row.Refs)
+	for k, row := range res.Rows {
+		if len(row.RefIDs) != 3 {
+			t.Fatalf("triangle refs = %v", res.Refs(k))
 		}
 	}
 	// Nodes 1 and 2 are in both triangles.
@@ -118,7 +118,7 @@ func TestLength2PathCompletedQuery(t *testing.T) {
 		t.Fatalf("wedge count = %g, want 1", got)
 	}
 	// The completed query references all three nodes.
-	if got := res.Rows[0].Refs; len(got) != 3 {
+	if got := res.Refs(0); len(got) != 3 {
 		t.Fatalf("wedge refs = %v, want 3 nodes", got)
 	}
 }
@@ -173,9 +173,9 @@ func TestSumWithMultiplePrimaryPrivate(t *testing.T) {
 		t.Errorf("S(supplier 8) = %g, want 50", got)
 	}
 	// Every lineitem row references exactly one supplier and one customer.
-	for _, row := range res.Rows {
-		if len(row.Refs) != 2 {
-			t.Fatalf("refs = %v, want supplier+customer", row.Refs)
+	for k, row := range res.Rows {
+		if len(row.RefIDs) != 2 {
+			t.Fatalf("refs = %v, want supplier+customer", res.Refs(k))
 		}
 	}
 }

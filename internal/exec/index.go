@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"r2t/internal/value"
+)
+
+// tableIndex is a build-side hash index: rows grouped by the canonical byte
+// encoding (appendValueKey) of a column tuple. Groups live in an
+// open-addressed slot table; each group's row ids sit in one shared CSR
+// array, filled in ascending row order so probing a group yields matches in
+// exactly the order the legacy map[string][]int build produced them.
+//
+// An index is immutable after build and safe for concurrent lookups, which
+// is what lets storage.Table.JoinCache share it across queries and the
+// parallel probe share it across workers.
+type tableIndex struct {
+	keys   []byte     // concatenated group keys (byte mode)
+	groups []idxGroup // one per distinct key
+	slots  []int32    // open addressing: group id + 1; 0 = empty
+	mask   uint64
+	starts []int32 // CSR offsets, len(groups)+1
+	rowIDs []int32
+
+	// Integer fast path: when every key column's canonical value
+	// (value.V.Key) is Int in every indexed row — the dominant case, since
+	// joins run on integer ids — keys are stored and probed as raw int64
+	// tuples, skipping the byte encoding and byte-wise FNV entirely.
+	intMode  bool
+	nIntCols int
+	intKeys  []int64 // group keys, nIntCols each, when intMode
+}
+
+type idxGroup struct {
+	hash     uint64
+	off, end uint32 // key bytes in tableIndex.keys
+}
+
+// buildIndex indexes rowset on cols, first dropping rows that fail the
+// checkCols equalities (repeated variables), mirroring the legacy build
+// loop. The generic row type admits both storage.Row and raw assignments.
+func buildIndex[R ~[]value.V](rowset []R, cols []int, checkCols [][2]int) *tableIndex {
+	n := len(rowset)
+	// Distinct keys ≤ n, so 2× slots keeps the load factor ≤ 0.5 with no
+	// regrowth during the build.
+	capSlots := 8
+	for capSlots < 2*n {
+		capSlots <<= 1
+	}
+	ix := &tableIndex{
+		slots: make([]int32, capSlots),
+		mask:  uint64(capSlots - 1),
+	}
+	ix.intMode = true
+	ix.nIntCols = len(cols)
+scanLoop:
+	for _, row := range rowset {
+		for _, c := range cols {
+			if row[c].Key().K != value.Int {
+				ix.intMode = false
+				break scanLoop
+			}
+		}
+	}
+	gidOf := make([]int32, n)
+	var buf []byte
+	ikey := make([]int64, len(cols))
+rowLoop:
+	for ri, row := range rowset {
+		gidOf[ri] = -1
+		for _, pair := range checkCols {
+			if !value.Equal(row[pair[0]], row[pair[1]]) {
+				continue rowLoop
+			}
+		}
+		if ix.intMode {
+			for j, c := range cols {
+				ikey[j] = row[c].Key().I
+			}
+			gidOf[ri] = ix.findOrInsertInt(ikey)
+			continue
+		}
+		buf = buf[:0]
+		for _, c := range cols {
+			buf = appendValueKey(buf, row[c])
+		}
+		gidOf[ri] = ix.findOrInsert(buf)
+	}
+
+	counts := make([]int32, len(ix.groups))
+	total := 0
+	for _, g := range gidOf {
+		if g >= 0 {
+			counts[g]++
+			total++
+		}
+	}
+	ix.starts = make([]int32, len(ix.groups)+1)
+	for i, c := range counts {
+		ix.starts[i+1] = ix.starts[i] + c
+	}
+	ix.rowIDs = make([]int32, total)
+	cursor := append([]int32(nil), ix.starts[:len(ix.groups)]...)
+	for ri, g := range gidOf {
+		if g >= 0 {
+			ix.rowIDs[cursor[g]] = int32(ri)
+			cursor[g]++
+		}
+	}
+	return ix
+}
+
+func (ix *tableIndex) findOrInsert(key []byte) int32 {
+	h := hashBytes(key)
+	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
+		s := ix.slots[slot]
+		if s == 0 {
+			gid := int32(len(ix.groups))
+			off := uint32(len(ix.keys))
+			ix.keys = append(ix.keys, key...)
+			ix.groups = append(ix.groups, idxGroup{hash: h, off: off, end: uint32(len(ix.keys))})
+			ix.slots[slot] = gid + 1
+			return gid
+		}
+		g := &ix.groups[s-1]
+		if g.hash == h && bytes.Equal(ix.keys[g.off:g.end], key) {
+			return s - 1
+		}
+	}
+}
+
+func (ix *tableIndex) intKeyEq(gid int32, key []int64) bool {
+	g := ix.intKeys[int(gid)*ix.nIntCols:]
+	for j, k := range key {
+		if g[j] != k {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *tableIndex) findOrInsertInt(key []int64) int32 {
+	h := hashIntKey(key)
+	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
+		s := ix.slots[slot]
+		if s == 0 {
+			gid := int32(len(ix.groups))
+			ix.groups = append(ix.groups, idxGroup{hash: h})
+			ix.intKeys = append(ix.intKeys, key...)
+			ix.slots[slot] = gid + 1
+			return gid
+		}
+		if ix.groups[s-1].hash == h && ix.intKeyEq(s-1, key) {
+			return s - 1
+		}
+	}
+}
+
+// lookupInt is lookup for intMode indexes.
+func (ix *tableIndex) lookupInt(key []int64) []int32 {
+	h := hashIntKey(key)
+	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
+		s := ix.slots[slot]
+		if s == 0 {
+			return nil
+		}
+		if ix.groups[s-1].hash == h && ix.intKeyEq(s-1, key) {
+			return ix.rowIDs[ix.starts[s-1]:ix.starts[s]]
+		}
+	}
+}
+
+// lookup returns the row ids whose key equals key, in ascending order, or
+// nil. The returned slice aliases the index and must not be modified.
+func (ix *tableIndex) lookup(key []byte) []int32 {
+	h := hashBytes(key)
+	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
+		s := ix.slots[slot]
+		if s == 0 {
+			return nil
+		}
+		g := &ix.groups[s-1]
+		if g.hash == h && bytes.Equal(ix.keys[g.off:g.end], key) {
+			return ix.rowIDs[ix.starts[s-1]:ix.starts[s]]
+		}
+	}
+}
+
+// hashIntKey chains the 64-bit finalizer of MurmurHash3 — two
+// multiply-xorshift rounds per element, enough to scatter sequential ids
+// across the slot table.
+func hashIntKey(key []int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, k := range key {
+		h ^= uint64(k)
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+		h ^= h >> 33
+	}
+	return h
+}
+
+// hashBytes is FNV-1a 64.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// indexCacheKey names the cached build-side index of one join step on its
+// table: the shared columns plus the intra-row equality checks fully
+// determine the index contents, so any step (of any query) with the same
+// signature can share it.
+func indexCacheKey(st *step) string {
+	var b strings.Builder
+	b.WriteString("exec.join:")
+	for _, c := range st.sharedCols {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	b.WriteByte(';')
+	for _, pair := range st.checkCols {
+		fmt.Fprintf(&b, "%d=%d,", pair[0], pair[1])
+	}
+	return b.String()
+}

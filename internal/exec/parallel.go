@@ -1,0 +1,364 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// rowArena carves fixed-width output rows out of growing slabs, replacing
+// one make([]value.V, numVars) per candidate row with one allocation per
+// slab. Rows handed out have capacity exactly numVars (three-index slices),
+// so they behave like the individually allocated rows they replace. A row is
+// only consumed ("committed") if it survives the step's filters; otherwise
+// the same storage is reused for the next candidate.
+type rowArena struct {
+	numVars  int
+	slab     []value.V
+	off      int
+	slabRows int
+}
+
+func newRowArena(numVars int) *rowArena {
+	return &rowArena{numVars: numVars, slabRows: 64}
+}
+
+func (a *rowArena) next() []value.V {
+	if a.off+a.numVars > len(a.slab) {
+		// Cap slab growth: the tail slab is wasted on average half-full, and
+		// at large sizes the waste would rival the useful output.
+		if a.slabRows < 1024 {
+			a.slabRows *= 2
+		}
+		a.slab = make([]value.V, a.slabRows*a.numVars)
+		a.off = 0
+	}
+	return a.slab[a.off : a.off+a.numVars : a.off+a.numVars]
+}
+
+func (a *rowArena) commit() { a.off += a.numVars }
+
+// emitter materializes extended assignments, filtering before they touch the
+// arena: the probe-side values are copied into a scratch row once per base
+// assignment, each candidate writes only its new columns there, and only
+// candidates that pass every filter are copied into the arena. Rejected
+// candidates (the majority under selective filters) never pay a full-width
+// copy or arena traffic.
+type emitter struct {
+	arena   *rowArena
+	scratch []value.V
+	st      *step
+	filters []boolFn
+	out     [][]value.V
+}
+
+func newEmitter(st *step, filters []boolFn, numVars int) *emitter {
+	return &emitter{arena: newRowArena(numVars), scratch: make([]value.V, numVars), st: st, filters: filters}
+}
+
+// base installs the assignment all subsequent emits extend.
+func (e *emitter) base(asg []value.V) { copy(e.scratch, asg) }
+
+// emit extends the current base with row, keeping the result only if every
+// filter passes.
+func (e *emitter) emit(row storage.Row) {
+	for j, v := range e.st.newVars {
+		e.scratch[v] = row[e.st.newCols[j]]
+	}
+	for _, f := range e.filters {
+		if !f(e.scratch) {
+			return
+		}
+	}
+	next := e.arena.next()
+	copy(next, e.scratch)
+	e.arena.commit()
+	e.out = append(e.out, next)
+}
+
+// chunkBounds splits n items into contiguous chunks: several per worker for
+// load balancing, but never so many that per-chunk overhead dominates.
+// Returns the boundary offsets (len = number of chunks + 1).
+func chunkBounds(n, workers int) []int {
+	if workers <= 1 {
+		// Serial: one chunk, so the step emits straight into one arena and
+		// concatChunks returns it without re-copying the row headers.
+		return []int{0, n}
+	}
+	const minChunk = 256
+	nchunks := workers * 4
+	if maxChunks := (n + minChunk - 1) / minChunk; nchunks > maxChunks {
+		nchunks = maxChunks
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	bounds := make([]int, nchunks+1)
+	for i := 1; i <= nchunks; i++ {
+		bounds[i] = i * n / nchunks
+	}
+	return bounds
+}
+
+// dispatch runs work(ci) for every chunk index in [0, nchunks), on up to
+// workers goroutines pulling chunks from a shared counter. With one worker
+// (or one chunk) it runs inline — the fully serial mode has no goroutine or
+// synchronization overhead at all.
+func dispatch(nchunks, workers int, work func(ci int)) {
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for ci := 0; ci < nchunks; ci++ {
+			work(ci)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				work(ci)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// concatChunks joins per-chunk outputs in chunk order, so the overall row
+// order equals the serial scan order regardless of worker interleaving.
+func concatChunks(outs [][][]value.V) [][]value.V {
+	if len(outs) == 1 {
+		return outs[0]
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([][]value.V, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// joinStepExec extends every current assignment with matching rows of the
+// atom. It picks between three physically different but row-for-row
+// identical strategies: probing a (cached) table-side index in parallel,
+// scanning the table when the step shares no variables, and building the
+// index on the current side when it is much smaller than the table.
+func joinStepExec(current [][]value.V, st *step, tbl *storage.Table, filters []boolFn, numVars, workers int) [][]value.V {
+	rows := tbl.Rows
+	if len(current) == 0 || len(rows) == 0 {
+		return nil
+	}
+	if len(st.sharedVars) == 0 {
+		return joinScan(current, st, rows, filters, numVars, workers)
+	}
+
+	key := indexCacheKey(st)
+	if _, cached := tbl.JoinCacheGet(key); !cached {
+		// Smaller-side build: when the probe side is much smaller than the
+		// table and no shared index exists yet, hashing the full table is
+		// wasted work — index the assignments instead and stream the table
+		// past them once. The output is reordered back to probe-major below,
+		// so this is invisible downstream; don't pollute the cache with it.
+		if len(rows) >= 1024 && len(current)*8 < len(rows) {
+			return joinBuildCurrent(current, st, rows, filters, numVars)
+		}
+	}
+	ix := tbl.JoinCache(key, func() any {
+		return buildIndex(rows, st.sharedCols, st.checkCols)
+	}).(*tableIndex)
+
+	bounds := chunkBounds(len(current), workers)
+	outs := make([][][]value.V, len(bounds)-1)
+	dispatch(len(outs), workers, func(ci int) {
+		em := newEmitter(st, filters, numVars)
+		if ix.intMode {
+			ikey := make([]int64, len(st.sharedVars))
+			for i := bounds[ci]; i < bounds[ci+1]; i++ {
+				asg := current[i]
+				// Non-Int canonical probe values can't equal any indexed
+				// key, so they match nothing — exactly what the generic
+				// encoding would conclude.
+				if !intProbeKey(ikey, asg, st.sharedVars) {
+					continue
+				}
+				matches := ix.lookupInt(ikey)
+				if len(matches) == 0 {
+					continue
+				}
+				em.base(asg)
+				for _, ri := range matches {
+					em.emit(rows[ri])
+				}
+			}
+			outs[ci] = em.out
+			return
+		}
+		var buf []byte
+		for i := bounds[ci]; i < bounds[ci+1]; i++ {
+			asg := current[i]
+			buf = buf[:0]
+			for _, v := range st.sharedVars {
+				buf = appendValueKey(buf, asg[v])
+			}
+			matches := ix.lookup(buf)
+			if len(matches) == 0 {
+				continue
+			}
+			em.base(asg)
+			for _, ri := range matches {
+				em.emit(rows[ri])
+			}
+		}
+		outs[ci] = em.out
+	})
+	return concatChunks(outs)
+}
+
+// intProbeKey fills ikey with the canonical int values of row at cols,
+// reporting false if any value is not canonically Int (and thus cannot match
+// an intMode index).
+func intProbeKey(ikey []int64, row []value.V, cols []int) bool {
+	for j, c := range cols {
+		kv := row[c].Key()
+		if kv.K != value.Int {
+			return false
+		}
+		ikey[j] = kv.I
+	}
+	return true
+}
+
+// joinScan handles steps with no shared variables (cross products, and the
+// first step of every plan): every assignment pairs with every table row
+// that passes the intra-row checks, in (assignment, row) order.
+func joinScan(current [][]value.V, st *step, rows []storage.Row, filters []boolFn, numVars, workers int) [][]value.V {
+	// Precompute the rows passing checkCols once; ascending order.
+	pass := make([]int32, 0, len(rows))
+rowLoop:
+	for ri, row := range rows {
+		for _, pair := range st.checkCols {
+			if !value.Equal(row[pair[0]], row[pair[1]]) {
+				continue rowLoop
+			}
+		}
+		pass = append(pass, int32(ri))
+	}
+	if len(pass) == 0 {
+		return nil
+	}
+
+	if len(current) == 1 {
+		// The common case (first step): parallelize over the table.
+		asg := current[0]
+		bounds := chunkBounds(len(pass), workers)
+		outs := make([][][]value.V, len(bounds)-1)
+		dispatch(len(outs), workers, func(ci int) {
+			em := newEmitter(st, filters, numVars)
+			em.base(asg)
+			for i := bounds[ci]; i < bounds[ci+1]; i++ {
+				em.emit(rows[pass[i]])
+			}
+			outs[ci] = em.out
+		})
+		return concatChunks(outs)
+	}
+
+	bounds := chunkBounds(len(current), workers)
+	outs := make([][][]value.V, len(bounds)-1)
+	dispatch(len(outs), workers, func(ci int) {
+		em := newEmitter(st, filters, numVars)
+		for i := bounds[ci]; i < bounds[ci+1]; i++ {
+			em.base(current[i])
+			for _, ri := range pass {
+				em.emit(rows[ri])
+			}
+		}
+		outs[ci] = em.out
+	})
+	return concatChunks(outs)
+}
+
+// joinBuildCurrent indexes the (small) assignment side and streams the table
+// past it once. Matches are gathered per assignment in ascending row order
+// and emitted assignment-major, reproducing the probe-side order exactly.
+func joinBuildCurrent(current [][]value.V, st *step, rows []storage.Row, filters []boolFn, numVars int) [][]value.V {
+	cix := buildIndex(current, st.sharedVars, nil)
+
+	type match struct{ asg, ri int32 }
+	var pairs []match
+	counts := make([]int32, len(current))
+	var buf []byte
+	ikey := make([]int64, len(st.sharedCols))
+rowLoop:
+	for ri, row := range rows {
+		for _, pair := range st.checkCols {
+			if !value.Equal(row[pair[0]], row[pair[1]]) {
+				continue rowLoop
+			}
+		}
+		var matches []int32
+		if cix.intMode {
+			if intProbeKey(ikey, row, st.sharedCols) {
+				matches = cix.lookupInt(ikey)
+			}
+		} else {
+			buf = buf[:0]
+			for _, c := range st.sharedCols {
+				buf = appendValueKey(buf, row[c])
+			}
+			matches = cix.lookup(buf)
+		}
+		for _, ai := range matches {
+			pairs = append(pairs, match{ai, int32(ri)})
+			counts[ai]++
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+
+	// Stable counting sort by assignment: within each assignment the table
+	// rows were appended in ascending order and stay that way.
+	starts := make([]int32, len(current)+1)
+	for i, c := range counts {
+		starts[i+1] = starts[i] + c
+	}
+	byAsg := make([]int32, len(pairs))
+	cursor := append([]int32(nil), starts[:len(current)]...)
+	for _, m := range pairs {
+		byAsg[cursor[m.asg]] = m.ri
+		cursor[m.asg]++
+	}
+
+	em := newEmitter(st, filters, numVars)
+	for ai := range current {
+		rs := byAsg[starts[ai]:starts[ai+1]]
+		if len(rs) == 0 {
+			continue
+		}
+		em.base(current[ai])
+		for _, ri := range rs {
+			em.emit(rows[ri])
+		}
+	}
+	return em.out
+}

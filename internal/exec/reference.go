@@ -32,6 +32,7 @@ func RunReference(p *plan.Plan, inst *storage.Instance) (*Result, error) {
 	isProj := len(p.ProjVars) > 0
 	res.IsProjection = isProj
 	projKeys := make(map[string]int)
+	intern := newRefInterner()
 
 	asg := make([]value.V, p.NumVars)
 	bound := make([]bool, p.NumVars)
@@ -56,15 +57,15 @@ func RunReference(p *plan.Plan, inst *storage.Instance) (*Result, error) {
 				if pk < 0 {
 					continue
 				}
-				ref := TupleRef{Rel: p.Atoms[i].Rel.Name, Key: asg[pk].Key()}
+				id := intern.id(TupleRef{Rel: p.Atoms[i].Rel.Name, Key: asg[pk].Key()})
 				dup := false
-				for _, ex := range row.Refs {
-					if ex == ref {
+				for _, ex := range row.RefIDs {
+					if ex == id {
 						dup = true
 					}
 				}
 				if !dup {
-					row.Refs = append(row.Refs, ref)
+					row.RefIDs = append(row.RefIDs, id)
 				}
 			}
 			k := len(res.Rows)
@@ -117,5 +118,6 @@ func RunReference(p *plan.Plan, inst *storage.Instance) (*Result, error) {
 	if err := recurse(0); err != nil {
 		return nil, err
 	}
+	res.Universe = intern.order
 	return res, nil
 }

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"r2t/internal/exec"
+	"r2t/internal/graph"
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/sql"
+	"r2t/internal/storage"
+	"r2t/internal/tpch"
+	"r2t/internal/value"
+)
+
+// ExecWorkload is one join-executor benchmarking workload: a compiled plan
+// plus the instance it runs over. It backs BenchmarkExecJoin and cmd/benchjson
+// (BENCH_EXEC.json), which compare the pre-PR map-based serial executor
+// (exec.RunBaseline) against the allocation-lean executor at various worker
+// counts.
+type ExecWorkload struct {
+	Name string
+	Plan *plan.Plan
+	Inst *storage.Instance
+}
+
+// RunBaseline evaluates the workload with the legacy map-based serial join.
+func (w *ExecWorkload) RunBaseline() (*exec.Result, error) {
+	return exec.RunBaseline(w.Plan, w.Inst)
+}
+
+// Run evaluates the workload with the indexed executor at the given worker
+// count (1 = serial probe, ≥2 = chunked parallel probe).
+func (w *ExecWorkload) Run(workers int) (*exec.Result, error) {
+	return exec.RunConfig(w.Plan, w.Inst, exec.Config{Workers: workers})
+}
+
+const execTriangleSQL = `SELECT count(*) FROM Edge e1, Edge e2, Edge e3
+	WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src
+	  AND e1.src < e2.src AND e2.src < e3.src`
+
+func graphSQLSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Relation{Name: "Node", Attrs: []string{"ID"}, PK: "ID"},
+		&schema.Relation{Name: "Edge", Attrs: []string{"src", "dst"},
+			FKs: []schema.FK{{Attr: "src", Ref: "Node"}, {Attr: "dst", Ref: "Node"}}},
+	)
+}
+
+// graphToInstance loads a directed edge list (each undirected edge appears in
+// both directions, the convention of Example 3.1) into the Node/Edge schema.
+func graphToInstance(g *graph.Graph) *storage.Instance {
+	inst := storage.NewInstance(graphSQLSchema())
+	for u := 0; u < g.N; u++ {
+		inst.MustInsert("Node", storage.Row{value.IntV(int64(u))})
+		for _, v := range g.Adj[u] {
+			inst.MustInsert("Edge", storage.Row{value.IntV(int64(u)), value.IntV(int64(v))})
+		}
+	}
+	return inst
+}
+
+func compile(src string, s *schema.Schema, primary []string) (*plan.Plan, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Build(q, s, schema.PrivateSpec{Primary: primary})
+}
+
+// ExecWorkloads builds the executor benchmark workloads: triangle counting on
+// the social graph (a 3-way self-join, the executor's worst case: every join
+// step probes the full Edge relation) and TPC-H Q3 (the paper's
+// Customer⋈Orders⋈Lineitem chain with selective filters).
+func ExecWorkloads(tpchSF float64) ([]ExecWorkload, error) {
+	var out []ExecWorkload
+
+	social := graph.GenSocial(300, 1200, 64, 3)
+	gp, err := compile(execTriangleSQL, graphSQLSchema(), []string{"Node"})
+	if err != nil {
+		return nil, fmt.Errorf("graph-triangles: %w", err)
+	}
+	out = append(out, ExecWorkload{Name: "graph-triangles", Plan: gp, Inst: graphToInstance(social)})
+
+	inst := tpch.Generate(tpch.GenOptions{SF: tpchSF, Seed: 1})
+	q3 := tpch.QueryByName("Q3")
+	tp, err := compile(q3.SQL, tpch.Schema(), q3.Primary)
+	if err != nil {
+		return nil, fmt.Errorf("tpch-q3: %w", err)
+	}
+	out = append(out, ExecWorkload{Name: "tpch-q3", Plan: tp, Inst: inst})
+	return out, nil
+}
+
+// GroupByWorkload benchmarks the single-join group-by against the strategy it
+// replaced: one full predicated join per group. Both produce identical
+// per-group results (exec.RunPartitioned's contract); the benchmark measures
+// the G-joins-to-1 saving.
+type GroupByWorkload struct {
+	Name     string
+	Inst     *storage.Instance
+	Plan     *plan.Plan // unpredicated query
+	GroupVar int        // join variable of the group column
+	Groups   []value.V
+
+	perGroup []*plan.Plan // predicated query, one per group (pre-PR strategy)
+}
+
+// RunPerGroup evaluates one predicated join per group — the pre-PR strategy
+// QueryGroupBy used, with the legacy executor.
+func (w *GroupByWorkload) RunPerGroup() ([]*exec.Result, error) {
+	out := make([]*exec.Result, len(w.perGroup))
+	for i, p := range w.perGroup {
+		res, err := exec.RunBaseline(p, w.Inst)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// RunSingleJoin evaluates the join once and partitions rows by group value.
+func (w *GroupByWorkload) RunSingleJoin(workers int) ([]*exec.Result, error) {
+	return exec.RunPartitioned(w.Plan, w.Inst, exec.Config{Workers: workers}, w.GroupVar, w.Groups, false)
+}
+
+// GroupByWorkloads builds the group-by benchmark: TPC-H Customer⋈Orders⋈Lineitem
+// grouped by market segment (the 5-value public domain of c.mktsegment).
+func GroupByWorkloads(tpchSF float64) ([]GroupByWorkload, error) {
+	inst := tpch.Generate(tpch.GenOptions{SF: tpchSF, Seed: 1})
+	base := `SELECT COUNT(*) FROM Customer c, Orders o, Lineitem l
+	         WHERE c.CK = o.CK AND o.OK = l.OK AND o.odate < 1800`
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+	p, err := compile(base, tpch.Schema(), []string{"Customer"})
+	if err != nil {
+		return nil, err
+	}
+	groupVar := p.ColVar(sql.ColRef{Qualifier: "c", Attr: "mktsegment"})
+	if groupVar < 0 {
+		return nil, fmt.Errorf("mktsegment is not a join column of the plan")
+	}
+	w := GroupByWorkload{
+		Name: "tpch-mktsegment", Inst: inst, Plan: p, GroupVar: groupVar,
+	}
+	for _, seg := range segments {
+		w.Groups = append(w.Groups, value.StringV(seg))
+		pg, err := compile(fmt.Sprintf("%s AND c.mktsegment = '%s'", base, seg), tpch.Schema(), []string{"Customer"})
+		if err != nil {
+			return nil, fmt.Errorf("segment %s: %w", seg, err)
+		}
+		w.perGroup = append(w.perGroup, pg)
+	}
+	return []GroupByWorkload{w}, nil
+}
+
+// SameResult reports whether two executor results are bit-identical on
+// everything downstream consumers observe: row order, ψ bits, resolved
+// provenance refs, and projection groups. It is the equality gate cmd/benchjson
+// applies before recording a speedup — a fast wrong executor must not produce
+// a benchmark number. Refs are compared resolved (not by interned id) so
+// results with different universes (e.g. a partition vs a standalone run)
+// compare correctly.
+func SameResult(a, b *exec.Result) bool {
+	if len(a.Rows) != len(b.Rows) || a.IsProjection != b.IsProjection {
+		return false
+	}
+	for k := range a.Rows {
+		if math.Float64bits(a.Rows[k].Psi) != math.Float64bits(b.Rows[k].Psi) {
+			return false
+		}
+		ra, rb := a.Refs(k), b.Refs(k)
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return false
+			}
+		}
+	}
+	if len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for gi := range a.Groups {
+		if len(a.Groups[gi]) != len(b.Groups[gi]) {
+			return false
+		}
+		for i := range a.Groups[gi] {
+			if a.Groups[gi][i] != b.Groups[gi][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -46,6 +46,13 @@ type Config struct {
 	// Requests beyond the bound are rejected with 429 rather than queued,
 	// so saturation is visible to clients immediately.
 	Workers int
+	// ExecWorkers bounds each query's join-executor worker pool
+	// (r2t.Options.ExecWorkers; default 0 = GOMAXPROCS, 1 = serial).
+	// Answers are bit-identical for every setting. With Workers concurrent
+	// queries each fanning out ExecWorkers probes, total parallelism is the
+	// product; deployments saturating the admission pool may want
+	// ExecWorkers=1.
+	ExecWorkers int
 	// RequestTimeout is the per-query deadline (default 30s). Requests may
 	// lower it via timeout_ms but never raise it.
 	RequestTimeout time.Duration
@@ -59,14 +66,15 @@ type Config struct {
 // Server is the r2td service. Create with New, expose via Handler, stop by
 // closing the http.Server around it and then calling Close.
 type Server struct {
-	reg     *Registry
-	ledger  *Ledger
-	cache   *answerCache
-	metrics *metrics
-	sem     chan struct{}
-	timeout time.Duration
-	maxBody int64
-	noise   func() r2t.NoiseSource
+	reg         *Registry
+	ledger      *Ledger
+	cache       *answerCache
+	metrics     *metrics
+	sem         chan struct{}
+	execWorkers int
+	timeout     time.Duration
+	maxBody     int64
+	noise       func() r2t.NoiseSource
 }
 
 // New opens and replays the ledger, loads every dataset with its surviving
@@ -97,13 +105,14 @@ func New(cfg Config) (*Server, error) {
 		maxBody = 1 << 20
 	}
 	s := &Server{
-		reg:     reg,
-		ledger:  ledger,
-		cache:   newAnswerCache(),
-		metrics: newMetrics(),
-		sem:     make(chan struct{}, workers),
-		timeout: timeout,
-		maxBody: maxBody,
+		reg:         reg,
+		ledger:      ledger,
+		cache:       newAnswerCache(),
+		metrics:     newMetrics(),
+		sem:         make(chan struct{}, workers),
+		execWorkers: cfg.ExecWorkers,
+		timeout:     timeout,
+		maxBody:     maxBody,
 	}
 	if cfg.Seed != 0 {
 		shared := dp.NewLockedSource(dp.NewSource(cfg.Seed))
@@ -244,12 +253,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		primary = ds.Primary
 	}
 	opt := r2t.Options{
-		Epsilon:   req.Epsilon,
-		GSQ:       req.GSQ,
-		Beta:      req.Beta,
-		Primary:   primary,
-		EarlyStop: true,
-		Noise:     s.noise(),
+		Epsilon:     req.Epsilon,
+		GSQ:         req.GSQ,
+		Beta:        req.Beta,
+		Primary:     primary,
+		EarlyStop:   true,
+		Noise:       s.noise(),
+		ExecWorkers: s.execWorkers,
 		// Degrade stays off. Whether a race's LP solve fails (iteration
 		// exhaustion, a contained solver panic) depends on the private data,
 		// so a max over the surviving races — or any analyst-visible trace of

@@ -6,6 +6,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"r2t/internal/schema"
 	"r2t/internal/value"
@@ -20,6 +21,13 @@ type Table struct {
 	Rows []Row
 
 	indexes map[string]map[value.V][]int
+
+	// joinCache holds opaque build-side structures keyed by the executor
+	// (per shared-column set). It is guarded by mu so concurrent queries can
+	// share one index build, and cleared by Append so no query ever probes a
+	// stale index.
+	mu        sync.Mutex
+	joinCache map[string]any
 }
 
 // NewTable returns an empty table for rel.
@@ -36,7 +44,37 @@ func (t *Table) Append(rows ...Row) error {
 	}
 	t.Rows = append(t.Rows, rows...)
 	t.indexes = nil
+	t.mu.Lock()
+	t.joinCache = nil
+	t.mu.Unlock()
 	return nil
+}
+
+// JoinCacheGet returns the cached join structure for key, if present.
+func (t *Table) JoinCacheGet(key string) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.joinCache[key]
+	return v, ok
+}
+
+// JoinCache returns the cached join structure for key, building it with
+// build on first use. The build runs under the table lock, so concurrent
+// queries needing the same index wait for one build instead of repeating it.
+// Cached values must be immutable once returned: readers use them without
+// synchronization.
+func (t *Table) JoinCache(key string, build func() any) any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.joinCache[key]; ok {
+		return v
+	}
+	v := build()
+	if t.joinCache == nil {
+		t.joinCache = make(map[string]any)
+	}
+	t.joinCache[key] = v
+	return v
 }
 
 // Len returns the number of rows.

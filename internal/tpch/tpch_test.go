@@ -96,9 +96,9 @@ func TestQ21HasSelfJoinProvenance(t *testing.T) {
 	}
 	// Every Q21 row must reference two distinct suppliers plus a customer.
 	sawThree := false
-	for _, row := range res.Rows {
+	for k := range res.Rows {
 		supp := 0
-		for _, ref := range row.Refs {
+		for _, ref := range res.Refs(k) {
 			if ref.Rel == "Supplier" {
 				supp++
 			}

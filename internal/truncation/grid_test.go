@@ -112,9 +112,31 @@ func TestBounderBitIdenticalToLegacy(t *testing.T) {
 	}
 }
 
-// refResult builds an exec.Result from (ψ, individual-name) rows.
-func refResult(rows []exec.JoinRow) *exec.Result {
-	return &exec.Result{Rows: rows}
+// refRow describes one join result by its ψ and resolved individuals.
+type refRow struct {
+	Psi  float64
+	Refs []exec.TupleRef
+}
+
+// refResult builds an exec.Result from (ψ, individual-name) rows, interning
+// the refs in encounter order the way the executor does.
+func refResult(rows []refRow) *exec.Result {
+	res := &exec.Result{}
+	ids := make(map[exec.TupleRef]int32)
+	for _, r := range rows {
+		jr := exec.JoinRow{Psi: r.Psi}
+		for _, ref := range r.Refs {
+			id, ok := ids[ref]
+			if !ok {
+				id = int32(len(res.Universe))
+				ids[ref] = id
+				res.Universe = append(res.Universe, ref)
+			}
+			jr.RefIDs = append(jr.RefIDs, id)
+		}
+		res.Rows = append(res.Rows, jr)
+	}
+	return res
 }
 
 func TestFromResultDeterministicUnderShuffle(t *testing.T) {
@@ -126,7 +148,7 @@ func TestFromResultDeterministicUnderShuffle(t *testing.T) {
 	}
 	for trial := 0; trial < 25; trial++ {
 		nRows := 1 + rng.Intn(40)
-		rows := make([]exec.JoinRow, nRows)
+		rows := make([]refRow, nRows)
 		for k := range rows {
 			nRefs := 1 + rng.Intn(4)
 			refs := make([]exec.TupleRef, nRefs)
@@ -137,12 +159,12 @@ func TestFromResultDeterministicUnderShuffle(t *testing.T) {
 				}
 				refs[i] = ref(rel, int64(rng.Intn(12)))
 			}
-			rows[k] = exec.JoinRow{Psi: float64(1 + rng.Intn(4)), Refs: refs}
+			rows[k] = refRow{Psi: float64(1 + rng.Intn(4)), Refs: refs}
 		}
 		base := FromResult(refResult(rows))
 
 		perm := rng.Perm(nRows)
-		shuffled := make([]exec.JoinRow, nRows)
+		shuffled := make([]refRow, nRows)
 		for i, p := range perm {
 			shuffled[i] = rows[p]
 		}
@@ -175,7 +197,7 @@ func TestFromResultSetsShareBacking(t *testing.T) {
 	ref := func(key int64) exec.TupleRef {
 		return exec.TupleRef{Rel: "Node", Key: value.IntV(key)}
 	}
-	res := refResult([]exec.JoinRow{
+	res := refResult([]refRow{
 		{Psi: 1, Refs: []exec.TupleRef{ref(3), ref(1)}},
 		{Psi: 1, Refs: []exec.TupleRef{ref(2)}},
 		{Psi: 1, Refs: []exec.TupleRef{ref(1), ref(0), ref(2)}},

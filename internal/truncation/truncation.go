@@ -152,43 +152,52 @@ func NewLPFromOccurrences(o *Occurrences) *LPTruncator {
 
 // FromResult converts an evaluated query into occurrence form, renaming
 // TupleRefs to dense individual ids (deterministically, sorted).
+//
+// The executor already interns refs (Result.Universe + per-row RefIDs), so
+// the conversion never hashes a TupleRef: it restricts the universe to the
+// ids that occur in res.Rows (shared-universe results — Split halves,
+// RunPartitioned partitions — may reference only a subset), sorts those, and
+// renames each row's ids through the resulting permutation.
 func FromResult(res *exec.Result) *Occurrences {
-	var order []exec.TupleRef
-	seen := make(map[exec.TupleRef]int32)
+	occurs := make([]bool, len(res.Universe))
+	total := 0
 	for _, row := range res.Rows {
-		for _, ref := range row.Refs {
-			if _, ok := seen[ref]; !ok {
-				seen[ref] = 0
-				order = append(order, ref)
-			}
+		total += len(row.RefIDs)
+		for _, id := range row.RefIDs {
+			occurs[id] = true
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Rel != order[j].Rel {
-			return order[i].Rel < order[j].Rel
+	present := make([]int32, 0, len(res.Universe))
+	for id, ok := range occurs {
+		if ok {
+			present = append(present, int32(id))
 		}
-		return value.Less(order[i].Key, order[j].Key)
+	}
+	sort.Slice(present, func(i, j int) bool {
+		a, b := res.Universe[present[i]], res.Universe[present[j]]
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		return value.Less(a.Key, b.Key)
 	})
-	for i, ref := range order {
-		seen[ref] = int32(i)
+	rename := make([]int32, len(res.Universe))
+	for dense, id := range present {
+		rename[id] = int32(dense)
 	}
-	o := &Occurrences{NumIndividuals: len(order)}
+
+	o := &Occurrences{NumIndividuals: len(present)}
 	o.Sets = make([][]int32, len(res.Rows))
 	o.Psi = make([]float64, len(res.Rows))
 	// One backing array for all per-row id sets: large SJA results have
-	// millions of tiny Refs slices, and individual allocations dominate the
+	// millions of tiny ref slices, and individual allocations dominate the
 	// conversion cost.
-	total := 0
-	for _, row := range res.Rows {
-		total += len(row.Refs)
-	}
 	back := make([]int32, total)
 	off := 0
 	for k, row := range res.Rows {
-		set := back[off : off+len(row.Refs) : off+len(row.Refs)]
-		off += len(row.Refs)
-		for i, ref := range row.Refs {
-			set[i] = seen[ref]
+		set := back[off : off+len(row.RefIDs) : off+len(row.RefIDs)]
+		off += len(row.RefIDs)
+		for i, id := range row.RefIDs {
+			set[i] = rename[id]
 		}
 		o.Sets[k] = set
 		o.Psi[k] = row.Psi

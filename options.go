@@ -27,6 +27,11 @@ type Options struct {
 	// Workers solves races concurrently (default 1; negative = GOMAXPROCS).
 	// The released estimate is unchanged; only wall time.
 	Workers int
+	// ExecWorkers bounds the join executor's probe worker pool (default 0 =
+	// GOMAXPROCS; 1 runs fully serial). Join results — row order included —
+	// and therefore every released answer are bit-identical for every
+	// setting; only wall time changes.
+	ExecWorkers int
 	// AllowNegativeSum lifts the paper's ψ ≥ 0 requirement for SUM queries:
 	// the query is split into Q⁺ − Q⁻ (each with non-negative weights), each
 	// half runs R2T with ε/2, and the difference is released. GSQ then bounds

@@ -184,6 +184,11 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*A
 	return db.run(ctx, parsed, opt)
 }
 
+// execConfig maps the public executor knob onto the exec package.
+func execConfig(opt Options) exec.Config {
+	return exec.Config{Workers: opt.ExecWorkers}
+}
+
 func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options) (*Answer, error) {
 	priv := schema.PrivateSpec{Primary: opt.Primary}
 	p, err := plan.Build(parsed, db.schema, priv)
@@ -196,11 +201,15 @@ func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options) (*Answer,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(p, db.instance)
+	res, err := exec.RunConfig(p, db.instance, execConfig(opt))
 	if err != nil {
 		return nil, err
 	}
+	return db.privatize(ctx, res, opt)
+}
 
+// privatize runs the R2T mechanism over an evaluated query.
+func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options) (*Answer, error) {
 	var tr truncation.Truncator
 	if opt.Naive {
 		nt, err := truncation.NewNaive(res)
@@ -249,10 +258,16 @@ func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options) (*Answer
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pos, neg, err := exec.RunSplit(p, db.instance)
+	pos, neg, err := exec.RunSplitConfig(p, db.instance, execConfig(opt))
 	if err != nil {
 		return nil, err
 	}
+	return db.privatizeSigned(ctx, pos, neg, opt)
+}
+
+// privatizeSigned releases Q⁺ − Q⁻ from the two halves of a signed split,
+// each privatized with half the budget.
+func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Options) (*Answer, error) {
 	cfg := core.Config{
 		Epsilon:   opt.Epsilon / 2,
 		Beta:      opt.Beta,

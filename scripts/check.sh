@@ -30,4 +30,17 @@ R2T_FAULTS='ci.smoke=err,errno=EIO,on=-1' go test -race \
 	./internal/server/
 go test -race -run 'TestDegrade|TestPanic|TestAllRacesFailed|TestCoreRaceFaultSite' ./internal/core/ ./internal/fault/
 
+# Executor equivalence gate, named explicitly (these also ran inside the
+# full suite above): the optimized join executor must reproduce the frozen
+# baseline bit-for-bit — row order, ψ bits, provenance refs, projection
+# groups — at every worker count, and the single-join group-by must be
+# indistinguishable from per-group runs, all under the race detector
+# (DESIGN.md §10).
+go test -race -run 'TestExecEquivalence|TestExecWorkers|TestExecSmallSide|TestIndexCache|TestRunPartitioned' ./internal/exec/
+go test -race -run 'TestQueryExecWorkers|TestQueryGroupByExecWorkers|TestQueryGroupBySingleJoin|TestQueryGroupByDuplicate' .
+
+# Benchmark-compile smoke: every benchmark builds and runs one iteration,
+# so BENCH_*.json regeneration can't silently rot.
+go test -run=NONE -bench=. -benchtime=1x ./...
+
 echo "check.sh: all green"
