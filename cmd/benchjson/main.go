@@ -26,7 +26,9 @@ import (
 	"os"
 	"testing"
 
+	"r2t/internal/exec"
 	"r2t/internal/experiments"
+	"r2t/internal/obs"
 )
 
 type mode struct {
@@ -42,6 +44,10 @@ type workloadResult struct {
 	Occurrences int             `json:"occurrences"`
 	BitwiseEq   bool            `json:"grid_bitwise_equals_cold"`
 	Modes       map[string]mode `json:"modes"`
+	// Profile is one instrumented grid solve's stage/counter breakdown
+	// (simplex iterations and pivots, components, τ-monotone redundancy
+	// skips) — the work the timings above are made of.
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 func measure(f func() ([]float64, error)) (mode, error) {
@@ -166,6 +172,17 @@ func runGrid(out string, sf float64) {
 		warm.Speedup = round2(float64(cold.NsPerOp) / float64(warm.NsPerOp))
 		res.Modes["grid-warm"] = warm
 
+		// One instrumented grid solve for the stage/counter breakdown. The
+		// recorder is pure observation (estimates stay bit-identical), and is
+		// detached afterwards so it cannot skew later measurements.
+		rec := obs.NewRecorder()
+		w.Tr.SetRecorder(rec)
+		if _, err := w.SolveGrid(); err != nil {
+			fatal(w.Name, err)
+		}
+		w.Tr.SetRecorder(nil)
+		res.Profile = rec.Snapshot()
+
 		fmt.Fprintf(os.Stderr, "%-16s cold %8dns  grid %8dns (%.2fx, allocs %d→%d)  warm %8dns (%.2fx)\n",
 			w.Name, cold.NsPerOp, grid.NsPerOp, grid.Speedup,
 			cold.AllocsPerOp, grid.AllocsPerOp, warm.NsPerOp, warm.Speedup)
@@ -190,6 +207,9 @@ type execResult struct {
 	Groups    int                 `json:"groups,omitempty"`
 	BitwiseEq bool                `json:"bitwise_equals_baseline"`
 	Modes     map[string]execMode `json:"modes"`
+	// Profile is one instrumented run's stage/counter breakdown (rows
+	// probed/emitted, index-cache traffic, arena bytes).
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 func measureExec(f func() error) (execMode, error) {
@@ -259,6 +279,12 @@ func runExec(out string, sf float64) {
 		parallel.Speedup = round2(float64(baseline.NsPerOp) / float64(parallel.NsPerOp))
 		res.Modes["parallel"] = parallel
 
+		rec := obs.NewRecorder()
+		if _, err := exec.RunConfig(w.Plan, w.Inst, exec.Config{Recorder: rec}); err != nil {
+			fatal(w.Name, err)
+		}
+		res.Profile = rec.Snapshot()
+
 		fmt.Fprintf(os.Stderr, "%-16s baseline %8dns  serial %8dns (%.2fx, allocs %d→%d)  parallel %8dns (%.2fx)\n",
 			w.Name, baseline.NsPerOp, serial.NsPerOp, serial.Speedup,
 			baseline.AllocsPerOp, serial.AllocsPerOp, parallel.NsPerOp, parallel.Speedup)
@@ -302,6 +328,12 @@ func runExec(out string, sf float64) {
 		}
 		single.Speedup = round2(float64(pg.NsPerOp) / float64(single.NsPerOp))
 		res.Modes["single-join"] = single
+
+		rec := obs.NewRecorder()
+		if _, err := exec.RunPartitioned(w.Plan, w.Inst, exec.Config{Workers: 1, Recorder: rec}, w.GroupVar, w.Groups, false); err != nil {
+			fatal(w.Name, err)
+		}
+		res.Profile = rec.Snapshot()
 
 		fmt.Fprintf(os.Stderr, "%-16s per-group %8dns  single-join %8dns (%.2fx, allocs %d→%d)\n",
 			w.Name, pg.NsPerOp, single.NsPerOp, single.Speedup, pg.AllocsPerOp, single.AllocsPerOp)

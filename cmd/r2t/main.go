@@ -34,8 +34,9 @@ func main() {
 		eps        = flag.Float64("eps", 0.8, "privacy budget ε")
 		gsq        = flag.Float64("gsq", 1e6, "assumed global sensitivity bound")
 		beta       = flag.Float64("beta", 0.1, "utility failure probability β")
-		seed       = flag.Int64("seed", 0, "noise seed (0 = time-based)")
+		seed       = flag.Int64("seed", 0, "noise seed (0 = fresh crypto seed)")
 		early      = flag.Bool("earlystop", true, "enable early-stop race pruning")
+		profile    = flag.Bool("profile", false, "print the NON-PRIVATE per-stage profile (EXPLAIN ANALYZE style)")
 		debug      = flag.Bool("debug", false, "print NON-PRIVATE diagnostics (true answer, τ*, races)")
 		report     = flag.String("report", "", "instead of answering, export the NON-PRIVATE reporting-query occurrences to this file (Figure 3 pipeline)")
 	)
@@ -85,18 +86,23 @@ func main() {
 		Beta:      *beta,
 		Primary:   strings.Split(*primary, ","),
 		EarlyStop: *early,
+		Profile:   *profile,
 	}
 	if *seed != 0 {
 		opt.Noise = r2t.NewNoiseSource(*seed)
-	} else {
-		opt.Noise = r2t.NewNoiseSource(time.Now().UnixNano())
 	}
+	// seed == 0: leave Noise nil so the engine seeds from the system CSPRNG
+	// (dp.CryptoSeed) — wall-clock seeding is reconstructible by anyone who
+	// can bound when the query ran.
 
 	ans, err := db.Query(*query, opt)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("private answer: %.6g\n", ans.Estimate)
+	if *profile {
+		fmt.Print(r2t.ExplainAnalyze(ans))
+	}
 	if *debug {
 		fmt.Printf("NON-PRIVATE true answer: %.6g (error %.4g%%)\n",
 			ans.TrueAnswer, 100*abs(ans.Estimate-ans.TrueAnswer)/max(1, abs(ans.TrueAnswer)))

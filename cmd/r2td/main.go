@@ -125,6 +125,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM")
 		seed       = flag.Int64("seed", 0, "deterministic noise seed, TESTS ONLY (0 = cryptographically seeded per query)")
+		reqLog     = flag.String("request-log", "", "append one JSON line per request (outcome, latency, stage timings) to this OPERATOR-SIDE file; never expose it to analysts")
 	)
 	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2 (repeatable)")
 	flag.Parse()
@@ -134,14 +135,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Datasets:       datasets,
 		LedgerPath:     *ledgerPath,
 		Workers:        *workers,
 		ExecWorkers:    *execWork,
 		RequestTimeout: *timeout,
 		Seed:           *seed,
-	})
+	}
+	var logFile *os.File
+	if *reqLog != "" {
+		f, err := os.OpenFile(*reqLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "r2td: request log:", err)
+			os.Exit(1)
+		}
+		logFile = f
+		cfg.RequestLog = f
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "r2td:", err)
 		os.Exit(1)
@@ -198,6 +210,9 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "r2td:", err)
 		os.Exit(1)
+	}
+	if logFile != nil {
+		logFile.Close()
 	}
 	fmt.Println("r2td: drained, ledger closed")
 }

@@ -2,6 +2,7 @@ package r2t
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -98,14 +99,67 @@ func (db *DB) Sensitivities(sqlText string, primary []string) (*SensitivityProfi
 			total += s
 		}
 		prof.Mean = total / float64(len(sens))
-		prof.Median = sens[len(sens)/2]
-		p95 := int(float64(len(sens)) * 0.95)
-		if p95 >= len(sens) {
-			p95 = len(sens) - 1
-		}
-		prof.P95 = sens[p95]
+		prof.Median = medianOf(sens)
+		prof.P95 = percentileOf(sens, 0.95)
 	}
 	return prof, nil
+}
+
+// medianOf returns the median of a sorted sample: the middle element for odd
+// n, the mean of the two middle elements for even n. (Indexing sens[n/2]
+// would upper-bias every even-sized sample.)
+func medianOf(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// percentileOf returns the nearest-rank p-th percentile of a sorted sample:
+// the smallest element with at least ⌈p·n⌉ of the sample at or below it,
+// i.e. index ⌈p·n⌉−1. (The old int(p*n) indexing over-shot by one whenever
+// p·n was integral — P95 of 100 samples read sorted[95], the 96th value,
+// instead of sorted[94]; of 20 samples, sorted[19], the maximum, instead of
+// sorted[18].)
+func percentileOf(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
+// ExplainAnalyze renders an evaluated Answer's stage profile EXPLAIN
+// ANALYZE-style: end-to-end wall time, the per-stage breakdown with work
+// counters, and the join/race shape of the run. The answer must come from a
+// query with Options.Profile set; without a profile only the summary lines
+// render. Everything here except Estimate is a NON-PRIVATE diagnostic — show
+// it to the data curator, never alongside a release.
+func ExplainAnalyze(ans *Answer) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "duration:      %v (end to end)\n", ans.Duration)
+	fmt.Fprintf(&b, "join results:  %d rows, %d protected individuals\n", ans.NumResults, ans.Individuals)
+	fmt.Fprintf(&b, "races:         %d", len(ans.Races))
+	if ans.WinnerTauNeg != 0 {
+		fmt.Fprintf(&b, " (signed split; winners τ⁺=%g τ⁻=%g)", ans.WinnerTau, ans.WinnerTauNeg)
+	} else if ans.WinnerTau != 0 {
+		fmt.Fprintf(&b, " (winner τ=%g)", ans.WinnerTau)
+	}
+	b.WriteString("\n")
+	if ans.Profile == nil {
+		b.WriteString("no stage profile: run the query with Options.Profile\n")
+		return b.String()
+	}
+	b.WriteString(ans.Profile.String())
+	if gap := ans.Duration - ans.Profile.StageTotal(); gap > 0 {
+		fmt.Fprintf(&b, "unattributed:  %v (work between stages)\n", gap)
+	}
+	return b.String()
 }
 
 // Explain lowers a query without touching any data and reports the completed

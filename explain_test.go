@@ -72,6 +72,53 @@ func TestExplainErrors(t *testing.T) {
 	}
 }
 
+// TestMedianOf pins the nearest-rank median: middle element for odd n, mean
+// of the two middle elements for even n. The sample 1..n makes the expected
+// value easy to state in closed form: (n+1)/2.
+func TestMedianOf(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 19, 20, 100} {
+		sorted := make([]float64, n)
+		for i := range sorted {
+			sorted[i] = float64(i + 1)
+		}
+		want := float64(n+1) / 2
+		if got := medianOf(sorted); got != want {
+			t.Errorf("medianOf(1..%d) = %g, want %g", n, got, want)
+		}
+	}
+}
+
+// TestPercentileOf pins nearest-rank percentiles on the sample 1..n, where
+// the p-th percentile is exactly ⌈p·n⌉.
+func TestPercentileOf(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want float64
+	}{
+		{1, 0.95, 1},
+		{2, 0.95, 2},
+		{3, 0.95, 3},
+		{4, 0.95, 4},
+		{5, 0.95, 5},
+		{19, 0.95, 19}, // ⌈18.05⌉ = 19th value
+		{20, 0.95, 19}, // ⌈19⌉ = 19th value — int(p·n) used to read the max
+		{100, 0.95, 95},
+		{100, 0.5, 50},
+		{4, 0.5, 2},
+		{5, 0.25, 2},
+	}
+	for _, c := range cases {
+		sorted := make([]float64, c.n)
+		for i := range sorted {
+			sorted[i] = float64(i + 1)
+		}
+		if got := percentileOf(sorted, c.p); got != c.want {
+			t.Errorf("percentileOf(1..%d, %g) = %g, want %g", c.n, c.p, got, c.want)
+		}
+	}
+}
+
 func TestSensitivities(t *testing.T) {
 	// A 10-star plus an isolated edge.
 	var edges [][2]int64

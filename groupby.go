@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"r2t/internal/exec"
+	"r2t/internal/obs"
 	"r2t/internal/plan"
 	"r2t/internal/schema"
 	"r2t/internal/sql"
@@ -58,7 +59,13 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 		}
 		seen[g.Key()] = i
 	}
+	var rec *obs.Recorder
+	if opt.Profile {
+		rec = obs.NewRecorder()
+	}
+	stopParse := rec.Time(obs.StageParse)
 	parsed, err := sql.Parse(sqlText)
+	stopParse()
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +73,9 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 	if err != nil {
 		return nil, err
 	}
+	stopPlan := rec.Time(obs.StagePlan)
 	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: opt.Primary})
+	stopPlan()
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +94,7 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	parts, err := exec.RunPartitioned(p, db.instance, execConfig(opt), groupVar, groups, signed)
+	parts, err := exec.RunPartitioned(p, db.instance, execConfig(opt, rec), groupVar, groups, signed)
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +107,21 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 		var ans *Answer
 		if signed {
 			pos, neg := exec.Split(parts[i])
-			ans, err = db.privatizeSigned(ctx, pos, neg, perGroup)
+			ans, err = db.privatizeSigned(ctx, pos, neg, perGroup, rec)
 		} else {
-			ans, err = db.privatize(ctx, parts[i], perGroup)
+			ans, err = db.privatize(ctx, parts[i], perGroup, rec)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("r2t: group %v: %w", g, err)
 		}
 		out = append(out, GroupByAnswer{Group: g, Answer: ans})
+	}
+	if prof := rec.Snapshot(); prof != nil {
+		// One recorder spans the shared parse/plan/exec work and every group's
+		// R2T run, so each group carries the same whole-evaluation profile.
+		for i := range out {
+			out[i].Answer.Profile = prof
+		}
 	}
 	return out, nil
 }

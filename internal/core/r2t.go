@@ -20,6 +20,7 @@ import (
 	"r2t/internal/dp"
 	"r2t/internal/fault"
 	"r2t/internal/lp"
+	"r2t/internal/obs"
 	"r2t/internal/truncation"
 )
 
@@ -29,7 +30,7 @@ type Config struct {
 	Beta    float64 // failure probability β of the utility bound; 0 → 0.1
 	GSQ     float64 // assumed global sensitivity bound (≥ 2)
 
-	Noise dp.NoiseSource // nil → a fresh time-seeded source
+	Noise dp.NoiseSource // nil → a fresh crypto-seeded source (dp.CryptoSeed)
 
 	// EarlyStop enables Algorithm 1: races are killed as soon as a dual
 	// upper bound proves they cannot beat the current best. Requires a
@@ -73,6 +74,11 @@ type Config struct {
 	// accounting (DESIGN.md §9d). The r2td server therefore leaves Degrade
 	// off and fails such runs uniformly.
 	Degrade bool
+
+	// Recorder, when non-nil, collects stage timings (noise draws, the race
+	// section) and counters (early-stop prunes, LP work via the truncator).
+	// Profiling is pure observation — it never alters the released estimate.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) fill() error {
@@ -90,7 +96,9 @@ func (c *Config) fill() error {
 		}
 	}
 	if c.Noise == nil {
-		c.Noise = dp.NewSource(time.Now().UnixNano())
+		// A predictable (e.g. clock-derived) seed would let an adversary
+		// reconstruct the Laplace draws; default to the system CSPRNG.
+		c.Noise = dp.NewSource(dp.CryptoSeed())
 	}
 	if c.DualRounds <= 0 {
 		c.DualRounds = 8
@@ -104,6 +112,7 @@ func (c *Config) fill() error {
 // Race records one τ's fate, for diagnostics and the early-stop experiments.
 type Race struct {
 	Tau      float64
+	Half     string  // "" for unsigned runs; "+"/"-" per half of a signed split
 	Solved   bool    // the exact LP was solved
 	Pruned   bool    // killed by a dual bound before an exact solve
 	Failed   bool    // the solve failed and the race was skipped (Degrade)
@@ -184,6 +193,7 @@ func Run(tr truncation.Truncator, cfg Config) (out *Output, err error) {
 
 	// Noise is drawn up front (as in Algorithm 1) so pruning decisions can
 	// be made before the corresponding LP is solved.
+	stopNoise := cfg.Recorder.Time(obs.StageNoise)
 	n := int(L)
 	taus := make([]float64, n)
 	noise := make([]float64, n)
@@ -191,6 +201,7 @@ func Run(tr truncation.Truncator, cfg Config) (out *Output, err error) {
 		taus[j-1] = math.Pow(2, float64(j))
 		noise[j-1] = cfg.Noise.Laplace(noiseScaleFactor * taus[j-1])
 	}
+	stopNoise()
 
 	bounded, canBound := tr.(DualBounded)
 	useEarly := cfg.EarlyStop && canBound
@@ -215,6 +226,9 @@ func Run(tr truncation.Truncator, cfg Config) (out *Output, err error) {
 		return best
 	}
 	finish := func(race Race) {
+		if race.Pruned {
+			cfg.Recorder.Add(obs.CtrEarlyStopPrune, 1)
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		races = append(races, race)
@@ -312,6 +326,9 @@ func Run(tr truncation.Truncator, cfg Config) (out *Output, err error) {
 	// noise was already drawn above, in the same order as the race loop.
 	// Early stop keeps the per-race loop: pruning decisions interleave with
 	// solves and depend on the running best.
+	// The race section — grid pass or per-race loop — is timed as one
+	// wall-clock interval, so concurrent race workers are not double-counted.
+	stopLP := cfg.Recorder.Time(obs.StageLPSolve)
 	gridTr, canGrid := tr.(GridTruncator)
 	useGrid := canGrid && !useEarly && n > 0
 	if useGrid {
@@ -384,6 +401,7 @@ func Run(tr truncation.Truncator, cfg Config) (out *Output, err error) {
 			}
 		}
 	}
+	stopLP()
 
 	// A degraded run must still be anchored by at least one surviving race:
 	// releasing only the floor after every race failed would be technically

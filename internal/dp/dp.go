@@ -5,6 +5,9 @@
 package dp
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -29,6 +32,21 @@ type rngSource struct {
 // NewSource returns a deterministic, seeded noise source.
 func NewSource(seed int64) NoiseSource {
 	return &rngSource{r: rand.New(rand.NewSource(seed))}
+}
+
+// CryptoSeed draws a noise-source seed from the operating system's CSPRNG.
+// It is the default seed for every mechanism run that was not given an
+// explicit source: a clock-derived seed is guessable, and a guessable seed
+// lets an adversary reconstruct the Laplace draws and undo the privacy
+// guarantee. There is deliberately no fallback — if the system's entropy
+// source is broken, no safe noise can be drawn, so CryptoSeed panics rather
+// than silently degrading to predictable randomness.
+func CryptoSeed() int64 {
+	var buf [8]byte
+	if _, err := crand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("dp: cannot read crypto/rand for noise seed: %v", err))
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:]))
 }
 
 // Laplace samples by inverse CDF: for U uniform in (−1/2, 1/2),

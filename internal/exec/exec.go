@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"r2t/internal/obs"
 	"r2t/internal/plan"
 	"r2t/internal/storage"
 	"r2t/internal/value"
@@ -187,6 +188,11 @@ type Config struct {
 	// downstream LP objective and seeded DP answer — is identical for every
 	// setting.
 	Workers int
+
+	// Recorder, when non-nil, collects the exec stage timing plus row
+	// traffic, index-cache, and arena counters. Pure observation: the
+	// produced Result is bit-identical with or without it.
+	Recorder *obs.Recorder
 }
 
 // Run evaluates p against inst with left-deep hash joins and predicate
@@ -197,7 +203,7 @@ func Run(p *plan.Plan, inst *storage.Instance) (*Result, error) {
 
 // RunConfig is Run with an explicit executor configuration.
 func RunConfig(p *plan.Plan, inst *storage.Instance, cfg Config) (*Result, error) {
-	res, _, err := run(p, inst, runOpts{workers: cfg.Workers, groupVar: -1})
+	res, _, err := run(p, inst, runOpts{workers: cfg.Workers, groupVar: -1, rec: cfg.Recorder})
 	return res, err
 }
 
@@ -231,7 +237,7 @@ func RunSplitConfig(p *plan.Plan, inst *storage.Instance, cfg Config) (pos, neg 
 	if len(p.ProjVars) > 0 {
 		return nil, nil, fmt.Errorf("exec: signed split does not apply to projection queries")
 	}
-	full, _, err := run(p, inst, runOpts{allowNegative: true, workers: cfg.Workers, groupVar: -1})
+	full, _, err := run(p, inst, runOpts{allowNegative: true, workers: cfg.Workers, groupVar: -1, rec: cfg.Recorder})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -264,6 +270,7 @@ func RunPartitioned(p *plan.Plan, inst *storage.Instance, cfg Config, groupVar i
 		workers:       cfg.Workers,
 		groupVar:      groupVar,
 		groupOf:       groupOf,
+		rec:           cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -320,6 +327,7 @@ type runOpts struct {
 	baseline      bool // use the frozen pre-optimization join path
 	groupVar      int  // -1: no partitioning
 	groupOf       map[value.V]int32
+	rec           *obs.Recorder // nil = profiling off
 }
 
 // refInterner assigns dense ids to TupleRefs in first-appearance order.
@@ -346,6 +354,24 @@ func (in *refInterner) id(r TupleRef) int32 {
 // and (optionally) partition assignments. The second return value is the
 // per-row partition id (or nil when opt.groupVar < 0).
 func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, error) {
+	stopExec := opt.rec.Time(obs.StageExec)
+	defer stopExec()
+
+	// Snapshot every atom's table up front: a concurrent Append can land
+	// mid-query, and the snapshot pins both the row view (Append only
+	// extends, never mutates the shared prefix) and the version the join
+	// cache is allowed to store indexes under. Every later row access in
+	// this run goes through the snapshot, never tbl.Rows.
+	snaps := make([]tableSnap, len(p.Atoms))
+	for i := range p.Atoms {
+		t := inst.Table(p.Atoms[i].Rel.Name)
+		if t == nil {
+			return nil, nil, fmt.Errorf("exec: no table for relation %q", p.Atoms[i].Rel.Name)
+		}
+		rows, ver := t.Snapshot()
+		snaps[i] = tableSnap{tbl: t, rows: rows, version: ver}
+	}
+
 	// Compile filters and the aggregate expression. The baseline executor
 	// keeps its own frozen predicate compiler so its numbers reflect the
 	// pre-optimization engine end to end.
@@ -370,7 +396,7 @@ func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, e
 		sumFn = fn
 	}
 
-	steps, err := orderSteps(p, inst)
+	steps, err := orderSteps(p, snaps)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -414,15 +440,14 @@ func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, e
 	// Join.
 	current := [][]value.V{make([]value.V, p.NumVars)} // one empty assignment
 	for si, st := range steps {
-		table := inst.Table(p.Atoms[st.atom].Rel.Name)
-		if table == nil {
-			return nil, nil, fmt.Errorf("exec: no table for relation %q", p.Atoms[st.atom].Rel.Name)
-		}
+		snap := snaps[st.atom]
+		opt.rec.Add(obs.CtrExecRowsProbed, int64(len(current)))
 		if opt.baseline {
-			current = joinStepBaseline(current, st, table.Rows, filterAt[si], p.NumVars)
+			current = joinStepBaseline(current, st, snap.rows, filterAt[si], p.NumVars)
 		} else {
-			current = joinStepExec(current, &steps[si], table, filterAt[si], p.NumVars, workers)
+			current = joinStepExec(current, &steps[si], snap, filterAt[si], p.NumVars, workers, opt.rec)
 		}
+		opt.rec.Add(obs.CtrExecRowsOut, int64(len(current)))
 		if len(current) == 0 {
 			break
 		}
@@ -525,19 +550,25 @@ type step struct {
 	newCols    []int    // first atom column per new var
 }
 
+// tableSnap pins one atom's table view for the duration of a run: the row
+// slice taken under the table lock and the version it belongs to.
+type tableSnap struct {
+	tbl     *storage.Table
+	rows    []storage.Row
+	version uint64
+}
+
 // orderSteps picks a greedy left-deep join order: start from the smallest
 // user atom, then repeatedly take the atom that shares a variable with the
-// bound set (smallest table first), falling back to a cross product.
-func orderSteps(p *plan.Plan, inst *storage.Instance) ([]step, error) {
+// bound set (smallest table first), falling back to a cross product. Sizes
+// come from the run's snapshots so a concurrent Append cannot skew the
+// ordering relative to the rows actually joined.
+func orderSteps(p *plan.Plan, snaps []tableSnap) ([]step, error) {
 	n := len(p.Atoms)
 	used := make([]bool, n)
 	bound := make([]bool, p.NumVars)
 	size := func(i int) int {
-		t := inst.Table(p.Atoms[i].Rel.Name)
-		if t == nil {
-			return 0
-		}
-		return t.Len()
+		return len(snaps[i].rows)
 	}
 	shares := func(i int) bool {
 		for _, v := range p.Atoms[i].Vars {

@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"r2t/internal/obs"
 	"r2t/internal/storage"
 	"r2t/internal/value"
 )
@@ -22,10 +24,11 @@ type rowArena struct {
 	slab     []value.V
 	off      int
 	slabRows int
+	rec      *obs.Recorder // nil = profiling off; counts slab bytes
 }
 
-func newRowArena(numVars int) *rowArena {
-	return &rowArena{numVars: numVars, slabRows: 64}
+func newRowArena(numVars int, rec *obs.Recorder) *rowArena {
+	return &rowArena{numVars: numVars, slabRows: 64, rec: rec}
 }
 
 func (a *rowArena) next() []value.V {
@@ -37,6 +40,7 @@ func (a *rowArena) next() []value.V {
 		}
 		a.slab = make([]value.V, a.slabRows*a.numVars)
 		a.off = 0
+		a.rec.Add(obs.CtrArenaBytes, int64(len(a.slab))*int64(unsafe.Sizeof(value.V{})))
 	}
 	return a.slab[a.off : a.off+a.numVars : a.off+a.numVars]
 }
@@ -57,8 +61,8 @@ type emitter struct {
 	out     [][]value.V
 }
 
-func newEmitter(st *step, filters []boolFn, numVars int) *emitter {
-	return &emitter{arena: newRowArena(numVars), scratch: make([]value.V, numVars), st: st, filters: filters}
+func newEmitter(st *step, filters []boolFn, numVars int, rec *obs.Recorder) *emitter {
+	return &emitter{arena: newRowArena(numVars, rec), scratch: make([]value.V, numVars), st: st, filters: filters}
 }
 
 // base installs the assignment all subsequent emits extend.
@@ -161,35 +165,45 @@ func concatChunks(outs [][][]value.V) [][]value.V {
 // atom. It picks between three physically different but row-for-row
 // identical strategies: probing a (cached) table-side index in parallel,
 // scanning the table when the step shares no variables, and building the
-// index on the current side when it is much smaller than the table.
-func joinStepExec(current [][]value.V, st *step, tbl *storage.Table, filters []boolFn, numVars, workers int) [][]value.V {
-	rows := tbl.Rows
+// index on the current side when it is much smaller than the table. All row
+// access goes through the run's snapshot; the table itself is touched only
+// for its version-checked join cache.
+func joinStepExec(current [][]value.V, st *step, snap tableSnap, filters []boolFn, numVars, workers int, rec *obs.Recorder) [][]value.V {
+	rows := snap.rows
 	if len(current) == 0 || len(rows) == 0 {
 		return nil
 	}
 	if len(st.sharedVars) == 0 {
-		return joinScan(current, st, rows, filters, numVars, workers)
+		return joinScan(current, st, rows, filters, numVars, workers, rec)
 	}
 
 	key := indexCacheKey(st)
-	if _, cached := tbl.JoinCacheGet(key); !cached {
+	cached, hit := snap.tbl.JoinCacheGetAt(key, snap.version)
+	if !hit {
 		// Smaller-side build: when the probe side is much smaller than the
 		// table and no shared index exists yet, hashing the full table is
 		// wasted work — index the assignments instead and stream the table
 		// past them once. The output is reordered back to probe-major below,
 		// so this is invisible downstream; don't pollute the cache with it.
 		if len(rows) >= 1024 && len(current)*8 < len(rows) {
-			return joinBuildCurrent(current, st, rows, filters, numVars)
+			return joinBuildCurrent(current, st, rows, filters, numVars, rec)
 		}
 	}
-	ix := tbl.JoinCache(key, func() any {
-		return buildIndex(rows, st.sharedCols, st.checkCols)
-	}).(*tableIndex)
+	var ix *tableIndex
+	if hit {
+		rec.Add(obs.CtrIndexCacheHit, 1)
+		ix = cached.(*tableIndex)
+	} else {
+		rec.Add(obs.CtrIndexCacheMiss, 1)
+		ix = snap.tbl.JoinCacheAt(key, snap.version, func() any {
+			return buildIndex(rows, st.sharedCols, st.checkCols)
+		}).(*tableIndex)
+	}
 
 	bounds := chunkBounds(len(current), workers)
 	outs := make([][][]value.V, len(bounds)-1)
 	dispatch(len(outs), workers, func(ci int) {
-		em := newEmitter(st, filters, numVars)
+		em := newEmitter(st, filters, numVars, rec)
 		if ix.intMode {
 			ikey := make([]int64, len(st.sharedVars))
 			for i := bounds[ci]; i < bounds[ci+1]; i++ {
@@ -250,7 +264,7 @@ func intProbeKey(ikey []int64, row []value.V, cols []int) bool {
 // joinScan handles steps with no shared variables (cross products, and the
 // first step of every plan): every assignment pairs with every table row
 // that passes the intra-row checks, in (assignment, row) order.
-func joinScan(current [][]value.V, st *step, rows []storage.Row, filters []boolFn, numVars, workers int) [][]value.V {
+func joinScan(current [][]value.V, st *step, rows []storage.Row, filters []boolFn, numVars, workers int, rec *obs.Recorder) [][]value.V {
 	// Precompute the rows passing checkCols once; ascending order.
 	pass := make([]int32, 0, len(rows))
 rowLoop:
@@ -272,7 +286,7 @@ rowLoop:
 		bounds := chunkBounds(len(pass), workers)
 		outs := make([][][]value.V, len(bounds)-1)
 		dispatch(len(outs), workers, func(ci int) {
-			em := newEmitter(st, filters, numVars)
+			em := newEmitter(st, filters, numVars, rec)
 			em.base(asg)
 			for i := bounds[ci]; i < bounds[ci+1]; i++ {
 				em.emit(rows[pass[i]])
@@ -285,7 +299,7 @@ rowLoop:
 	bounds := chunkBounds(len(current), workers)
 	outs := make([][][]value.V, len(bounds)-1)
 	dispatch(len(outs), workers, func(ci int) {
-		em := newEmitter(st, filters, numVars)
+		em := newEmitter(st, filters, numVars, rec)
 		for i := bounds[ci]; i < bounds[ci+1]; i++ {
 			em.base(current[i])
 			for _, ri := range pass {
@@ -300,7 +314,7 @@ rowLoop:
 // joinBuildCurrent indexes the (small) assignment side and streams the table
 // past it once. Matches are gathered per assignment in ascending row order
 // and emitted assignment-major, reproducing the probe-side order exactly.
-func joinBuildCurrent(current [][]value.V, st *step, rows []storage.Row, filters []boolFn, numVars int) [][]value.V {
+func joinBuildCurrent(current [][]value.V, st *step, rows []storage.Row, filters []boolFn, numVars int, rec *obs.Recorder) [][]value.V {
 	cix := buildIndex(current, st.sharedVars, nil)
 
 	type match struct{ asg, ri int32 }
@@ -349,7 +363,7 @@ rowLoop:
 		cursor[m.asg]++
 	}
 
-	em := newEmitter(st, filters, numVars)
+	em := newEmitter(st, filters, numVars, rec)
 	for ai := range current {
 		rs := byAsg[starts[ai]:starts[ai+1]]
 		if len(rs) == 0 {

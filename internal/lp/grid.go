@@ -328,6 +328,7 @@ func (g *GridSolver) solveTauWS(tau float64, opt Options, ws *workspace, warmX [
 		comp := &g.coarse[ci]
 		if tau >= comp.maxSum {
 			// Every row redundant: the whole block sits at its upper bounds.
+			sol.RedundantSkips++
 			for _, k := range comp.vars {
 				sol.X[k] = p.UB[k]
 			}
@@ -405,6 +406,8 @@ func (g *GridSolver) solveBlock(comp *gridComp, vars []int, rowIDs []int, tau fl
 		sol.Status = cs.status
 	}
 	sol.Iters += cs.iters
+	sol.Pivots += cs.pivots
+	sol.Components++
 	for j, k := range vars {
 		sol.X[k] = cs.x[j]
 	}
@@ -480,6 +483,7 @@ func (g *GridSolver) splitAndSolve(comp *gridComp, tau float64, opt Options, ws 
 	liveRows := ws.liveRows[:0]
 	for _, ri := range comp.rows {
 		if g.tauRow[ri] && g.rowSum[ri] <= tau {
+			sol.RedundantSkips++
 			continue // redundant at this (and every larger) τ
 		}
 		liveRows = append(liveRows, ri)

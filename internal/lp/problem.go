@@ -108,13 +108,22 @@ func (s Status) String() string {
 	}
 }
 
-// Solution is the result of Solve.
+// Solution is the result of Solve. The trailing counters are profiling
+// metadata: they describe the work performed, never the answer, and carry no
+// information beyond what X/Y already determine.
 type Solution struct {
-	Status    Status
-	Objective float64
-	X         []float64 // primal values, len NumVars
-	Y         []float64 // dual values per original row (≥ 0); presolved-away rows get 0
-	Iters     int       // total simplex iterations across components
+	Status     Status
+	Objective  float64
+	X          []float64 // primal values, len NumVars
+	Y          []float64 // dual values per original row (≥ 0); presolved-away rows get 0
+	Iters      int       // total simplex iterations across components
+	Pivots     int       // basis-changing pivots (excludes bound flips and pricing-only passes)
+	Components int       // independent blocks solved (knapsack or simplex)
+	// RedundantSkips counts τ-monotone redundancy eliminations taken by
+	// GridSolver: whole components fixed at their bounds plus individual rows
+	// dropped in the mixed regime. Always 0 from plain Solve, whose presolve
+	// re-derives redundancy from scratch instead of skipping by threshold.
+	RedundantSkips int
 }
 
 // DualObjective evaluates the bounded-variable dual objective

@@ -217,6 +217,7 @@ func simplexSolveWS(n, m int, c, ub []float64, rows []Row, opt Options, warm []b
 	y := growF(&ws.y, m)
 	wcol := growF(&ws.wcol, m)
 	iters := 0
+	pivots := 0
 	degenerate := 0
 	sinceRefactor := 0
 	yStale := true // recompute duals lazily: bound flips leave y unchanged
@@ -403,6 +404,7 @@ func simplexSolveWS(n, m int, c, ub []float64, rows []Row, opt Options, warm []b
 		}
 
 		// Pivot: entering takes basis slot `leave`.
+		pivots++
 		step := delta * float64(enterDir)
 		for r := 0; r < m; r++ {
 			xB[r] -= wcol[r] * step
@@ -495,7 +497,7 @@ func simplexSolveWS(n, m int, c, ub []float64, rows []Row, opt Options, warm []b
 			yOut[i] = 0
 		}
 	}
-	return &compSolution{status: status, x: x, y: yOut, iters: iters}, nil
+	return &compSolution{status: status, x: x, y: yOut, iters: iters, pivots: pivots}, nil
 }
 
 // gaussJordan reduces the left m×m block of mat to the identity, applying the

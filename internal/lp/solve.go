@@ -60,6 +60,8 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 			sol.Status = cs.status
 		}
 		sol.Iters += cs.iters
+		sol.Pivots += cs.pivots
+		sol.Components++
 		for j, k := range comp.vars {
 			sol.X[k] = cs.x[j]
 		}
@@ -306,6 +308,7 @@ type compSolution struct {
 	x      []float64 // per comp.vars
 	y      []float64 // per comp.rows
 	iters  int
+	pivots int
 }
 
 func solveComponent(w *work, comp component, opt Options, ws *workspace) (*compSolution, error) {

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"r2t"
 )
 
 // Request outcome labels for the r2td_queries_total counter. cache_hit
@@ -32,18 +35,38 @@ type metrics struct {
 	started time.Time
 	queries map[statusKey]int64
 	latency map[string]*latencySummary // per dataset, all outcomes
+	stages  map[stageKey]*stageAgg     // per (dataset, pipeline stage), fresh runs only
 	panics  int64                      // panics contained by the query path's recover
 }
 
 type statusKey struct{ dataset, status string }
+type stageKey struct{ dataset, stage string }
+
+// stageAgg accumulates one (dataset, stage) series: total wall time and the
+// number of timed intervals that produced it.
+type stageAgg struct {
+	seconds float64
+	count   int64
+}
 
 func newMetrics() *metrics {
 	return &metrics{
 		started: time.Now(),
 		queries: make(map[statusKey]int64),
 		latency: make(map[string]*latencySummary),
+		stages:  make(map[stageKey]*stageAgg),
 	}
 }
+
+// escapeLabel renders s as a Prometheus label value. The text exposition
+// format permits exactly three escapes — \\, \" and \n; fmt's %q emits Go
+// escapes (\t, \x00, \u2028, …) that exposition parsers reject, so a dataset
+// name containing a control character used to corrupt the whole scrape.
+func escapeLabel(s string) string {
+	return labelEscaper.Replace(s)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 // panicRecovered counts one panic contained by the query path.
 func (m *metrics) panicRecovered() {
@@ -63,6 +86,27 @@ func (m *metrics) observe(dataset, status string, d time.Duration) {
 		m.latency[dataset] = s
 	}
 	s.add(d)
+}
+
+// observeStages folds one fresh run's stage profile into the per-stage
+// aggregates. Only aggregates ever leave the process (DESIGN.md §11):
+// per-request profiles go to the operator request log, never to analysts.
+func (m *metrics) observeStages(dataset string, prof *r2t.Profile) {
+	if prof == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range prof.Stages {
+		k := stageKey{dataset, st.Stage}
+		a := m.stages[k]
+		if a == nil {
+			a = &stageAgg{}
+			m.stages[k] = a
+		}
+		a.seconds += st.Duration.Seconds()
+		a.count += st.Count
+	}
 }
 
 // latencySummary keeps exact count/sum/max plus a sliding window of the most
@@ -142,7 +186,7 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 	hits := make(map[string]int64)
 	releases := make(map[string]int64)
 	for _, k := range keys {
-		fmt.Fprintf(w, "r2td_queries_total{dataset=%q,status=%q} %d\n", k.dataset, k.status, m.queries[k])
+		fmt.Fprintf(w, "r2td_queries_total{dataset=\"%s\",status=\"%s\"} %d\n", escapeLabel(k.dataset), escapeLabel(k.status), m.queries[k])
 		switch k.status {
 		case statusCacheHit:
 			hits[k.dataset] += m.queries[k]
@@ -156,20 +200,38 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 	fmt.Fprintf(w, "# HELP r2td_cache_hit_ratio Fraction of answered queries served by free replay.\n# TYPE r2td_cache_hit_ratio gauge\n")
 	for _, name := range reg.Names() {
 		if answered := hits[name] + releases[name]; answered > 0 {
-			fmt.Fprintf(w, "r2td_cache_hit_ratio{dataset=%q} %g\n", name, float64(hits[name])/float64(answered))
+			fmt.Fprintf(w, "r2td_cache_hit_ratio{dataset=\"%s\"} %g\n", escapeLabel(name), float64(hits[name])/float64(answered))
 		}
 	}
 
 	fmt.Fprintf(w, "# HELP r2td_epsilon_total Configured ε budget per dataset.\n# TYPE r2td_epsilon_total gauge\n")
 	for _, name := range reg.Names() {
-		fmt.Fprintf(w, "r2td_epsilon_total{dataset=%q} %g\n", name, reg.Get(name).Budget.Total())
+		fmt.Fprintf(w, "r2td_epsilon_total{dataset=\"%s\"} %g\n", escapeLabel(name), reg.Get(name).Budget.Total())
 	}
 	fmt.Fprintf(w, "# HELP r2td_epsilon_spent Cumulative ε charged per dataset (survives restarts via the ledger).\n# TYPE r2td_epsilon_spent gauge\n")
 	fmt.Fprintf(w, "# HELP r2td_epsilon_remaining Unspent ε per dataset.\n# TYPE r2td_epsilon_remaining gauge\n")
 	for _, name := range reg.Names() {
 		spent, remaining := reg.Get(name).Budget.Balance()
-		fmt.Fprintf(w, "r2td_epsilon_spent{dataset=%q} %g\n", name, spent)
-		fmt.Fprintf(w, "r2td_epsilon_remaining{dataset=%q} %g\n", name, remaining)
+		fmt.Fprintf(w, "r2td_epsilon_spent{dataset=\"%s\"} %g\n", escapeLabel(name), spent)
+		fmt.Fprintf(w, "r2td_epsilon_remaining{dataset=\"%s\"} %g\n", escapeLabel(name), remaining)
+	}
+
+	fmt.Fprintf(w, "# HELP r2td_stage_seconds_total Cumulative wall time per pipeline stage, fresh mechanism runs only (aggregate operator-side diagnostic — DESIGN.md §11).\n# TYPE r2td_stage_seconds_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_stage_count_total Timed intervals behind r2td_stage_seconds_total.\n# TYPE r2td_stage_count_total counter\n")
+	skeys := make([]stageKey, 0, len(m.stages))
+	for k := range m.stages {
+		skeys = append(skeys, k)
+	}
+	sort.Slice(skeys, func(i, j int) bool {
+		if skeys[i].dataset != skeys[j].dataset {
+			return skeys[i].dataset < skeys[j].dataset
+		}
+		return skeys[i].stage < skeys[j].stage
+	})
+	for _, k := range skeys {
+		a := m.stages[k]
+		fmt.Fprintf(w, "r2td_stage_seconds_total{dataset=\"%s\",stage=\"%s\"} %g\n", escapeLabel(k.dataset), escapeLabel(k.stage), a.seconds)
+		fmt.Fprintf(w, "r2td_stage_count_total{dataset=\"%s\",stage=\"%s\"} %d\n", escapeLabel(k.dataset), escapeLabel(k.stage), a.count)
 	}
 
 	fmt.Fprintf(w, "# HELP r2td_request_seconds Request latency summary per dataset.\n# TYPE r2td_request_seconds summary\n")
@@ -181,11 +243,12 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 	for _, name := range datasets {
 		s := m.latency[name]
 		qv := s.quantiles(0.5, 0.95, 0.99)
-		fmt.Fprintf(w, "r2td_request_seconds{dataset=%q,quantile=\"0.5\"} %g\n", name, qv[0])
-		fmt.Fprintf(w, "r2td_request_seconds{dataset=%q,quantile=\"0.95\"} %g\n", name, qv[1])
-		fmt.Fprintf(w, "r2td_request_seconds{dataset=%q,quantile=\"0.99\"} %g\n", name, qv[2])
-		fmt.Fprintf(w, "r2td_request_seconds_sum{dataset=%q} %g\n", name, s.sum.Seconds())
-		fmt.Fprintf(w, "r2td_request_seconds_count{dataset=%q} %d\n", name, s.count)
-		fmt.Fprintf(w, "r2td_request_seconds_max{dataset=%q} %g\n", name, s.max.Seconds())
+		esc := escapeLabel(name)
+		fmt.Fprintf(w, "r2td_request_seconds{dataset=\"%s\",quantile=\"0.5\"} %g\n", esc, qv[0])
+		fmt.Fprintf(w, "r2td_request_seconds{dataset=\"%s\",quantile=\"0.95\"} %g\n", esc, qv[1])
+		fmt.Fprintf(w, "r2td_request_seconds{dataset=\"%s\",quantile=\"0.99\"} %g\n", esc, qv[2])
+		fmt.Fprintf(w, "r2td_request_seconds_sum{dataset=\"%s\"} %g\n", esc, s.sum.Seconds())
+		fmt.Fprintf(w, "r2td_request_seconds_count{dataset=\"%s\"} %d\n", esc, s.count)
+		fmt.Fprintf(w, "r2td_request_seconds_max{dataset=\"%s\"} %g\n", esc, s.max.Seconds())
 	}
 }

@@ -23,14 +23,14 @@ package server
 
 import (
 	"context"
-	crand "crypto/rand"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"r2t"
@@ -59,8 +59,13 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
 	// Seed makes noise deterministic for tests and demos (0 = a fresh
-	// crypto/rand seed per query). Never set it in production.
+	// dp.CryptoSeed per query). Never set it in production.
 	Seed int64
+	// RequestLog, when non-nil, receives one JSON line per finished request:
+	// outcome, latency, and the per-stage timing breakdown of fresh mechanism
+	// runs. The log is OPERATOR-SIDE ONLY — stage timings are data-dependent
+	// diagnostics (DESIGN.md §11) and must never be exposed to analysts.
+	RequestLog io.Writer
 }
 
 // Server is the r2td service. Create with New, expose via Handler, stop by
@@ -75,6 +80,9 @@ type Server struct {
 	timeout     time.Duration
 	maxBody     int64
 	noise       func() r2t.NoiseSource
+
+	logMu  sync.Mutex
+	reqLog io.Writer
 }
 
 // New opens and replays the ledger, loads every dataset with its surviving
@@ -113,27 +121,19 @@ func New(cfg Config) (*Server, error) {
 		execWorkers: cfg.ExecWorkers,
 		timeout:     timeout,
 		maxBody:     maxBody,
+		reqLog:      cfg.RequestLog,
 	}
 	if cfg.Seed != 0 {
 		shared := dp.NewLockedSource(dp.NewSource(cfg.Seed))
 		s.noise = func() r2t.NoiseSource { return shared }
 	} else {
-		s.noise = func() r2t.NoiseSource { return dp.NewSource(cryptoSeed()) }
+		// Per-query seeding must not rely on wall-clock nanoseconds, which
+		// collide under concurrency and are adversary-guessable; dp.CryptoSeed
+		// draws from the OS entropy pool and panics (contained by the query
+		// path's recover as a uniform 500) rather than degrade.
+		s.noise = func() r2t.NoiseSource { return dp.NewSource(dp.CryptoSeed()) }
 	}
 	return s, nil
-}
-
-// cryptoSeed draws a fresh PRNG seed from the OS entropy pool — per-query
-// seeding must not rely on wall-clock nanoseconds, which collide under
-// concurrency.
-func cryptoSeed() int64 {
-	var b [8]byte
-	if _, err := crand.Read(b[:]); err != nil {
-		// Entropy exhaustion is effectively impossible on modern kernels;
-		// fall back to time only to stay running.
-		return time.Now().UnixNano()
-	}
-	return int64(binary.LittleEndian.Uint64(b[:]))
 }
 
 // Close releases the ledger. Call after the HTTP server has drained.
@@ -260,6 +260,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		EarlyStop:   true,
 		Noise:       s.noise(),
 		ExecWorkers: s.execWorkers,
+		// Profile is always on server-side: the per-stage timings feed the
+		// aggregate r2td_stage_seconds_total metrics and the operator request
+		// log. They stay operator-side — the analyst response never carries
+		// them (DESIGN.md §11, mirroring §9d's uniform-error discipline).
+		Profile: true,
 		// Degrade stays off. Whether a race's LP solve fails (iteration
 		// exhaustion, a contained solver panic) depends on the private data,
 		// so a max over the surviving races — or any analyst-visible trace of
@@ -300,6 +305,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fingerprint(ds.Name, normalized, opt.Epsilon, opt.GSQ, beta, opt.Primary)
 
+	// Captured by the leader closure: the stage profile of a fresh run, for
+	// the operator log. Coalesced followers and cache hits leave it nil.
+	var prof *r2t.Profile
 	ans, cached, err := s.cache.do(ctx, key, func() (ca cachedAnswer, err error) {
 		// Contain panics across the whole leader closure, not just the
 		// mechanism: a panicking leader would leave coalesced followers
@@ -341,6 +349,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return cachedAnswer{}, err
 		}
+		prof = a.Profile
+		s.metrics.observeStages(ds.Name, a.Profile)
 		return cachedAnswer{
 			Estimate: a.Estimate,
 			Epsilon:  opt.Epsilon,
@@ -364,6 +374,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		st = statusCacheHit
 	}
 	s.metrics.observe(ds.Name, st, time.Since(start))
+	s.logRequest(requestLogEntry{
+		Dataset:   ds.Name,
+		Status:    st,
+		Code:      http.StatusOK,
+		Query:     normalized,
+		Epsilon:   charged,
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Stages:    stageMillis(prof),
+	})
 	writeJSON(w, http.StatusOK, queryResponse{
 		Dataset:          ds.Name,
 		Query:            normalized,
@@ -374,6 +394,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		EpsilonRemaining: remaining,
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// requestLogEntry is one line of the operator request log (Config.RequestLog).
+type requestLogEntry struct {
+	Time      string             `json:"time"`
+	Dataset   string             `json:"dataset"`
+	Status    string             `json:"status"`
+	Code      int                `json:"code"`
+	Query     string             `json:"query,omitempty"` // normalized SQL, when parsing got that far
+	Epsilon   float64            `json:"epsilon_charged,omitempty"`
+	Cached    bool               `json:"cached,omitempty"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	Stages    map[string]float64 `json:"stage_ms,omitempty"` // fresh runs only
+	Error     string             `json:"error,omitempty"`    // pre-uniformization cause
+}
+
+// stageMillis flattens a profile's stage timings for the request log.
+func stageMillis(prof *r2t.Profile) map[string]float64 {
+	if prof == nil || len(prof.Stages) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(prof.Stages))
+	for _, st := range prof.Stages {
+		out[st.Stage] = float64(st.Duration.Microseconds()) / 1000
+	}
+	return out
+}
+
+// logRequest appends one JSON line to the operator request log, if configured.
+// The log carries data-dependent diagnostics (stage timings, real failure
+// causes) and must stay operator-side, like stderr (DESIGN.md §11).
+func (s *Server) logRequest(e requestLogEntry) {
+	if s.reqLog == nil {
+		return
+	}
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.reqLog.Write(append(line, '\n'))
 }
 
 // classifyError maps an evaluation failure to a metrics status and HTTP code.
@@ -456,6 +519,13 @@ func (s *Server) fail(w http.ResponseWriter, dataset string, ds *Dataset, status
 		dataset = "_unknown"
 	}
 	s.metrics.observe(dataset, status, time.Since(start))
+	s.logRequest(requestLogEntry{
+		Dataset:   dataset,
+		Status:    status,
+		Code:      code,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Error:     err.Error(),
+	})
 	if code == http.StatusInternalServerError {
 		fmt.Fprintf(os.Stderr, "r2td: internal error (dataset %s, reported uniformly to the client): %v\n", dataset, err)
 		err = errInternal

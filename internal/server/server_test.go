@@ -354,6 +354,80 @@ func TestServerAdmissionControl(t *testing.T) {
 	}
 }
 
+// TestServerStageMetricsAndRequestLog: a fresh release populates the
+// per-stage latency series on /metrics, and every finished request — fresh,
+// cached, failed — lands as one parseable JSON line in the operator request
+// log, with stage timings only on the fresh run.
+func TestServerStageMetricsAndRequestLog(t *testing.T) {
+	ledgerPath := filepath.Join(t.TempDir(), "budget.ledger")
+	cfg := newGraphConfig(t, ledgerPath, 10)
+	var logBuf bytes.Buffer
+	cfg.RequestLog = &logBuf
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	c := &testClient{t: t, url: ts.URL}
+
+	const q = `{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge","epsilon":0.5,"gsq":16}`
+	if code, _, _ := c.query(q); code != http.StatusOK {
+		t.Fatalf("fresh query: HTTP %d", code)
+	}
+	if code, r, _ := c.query(q); code != http.StatusOK || !r.Cached {
+		t.Fatalf("cached query: HTTP %d", code)
+	}
+	if code, _, _ := c.query(`{"dataset":"graph","sql":"SELEKT","epsilon":0.1,"gsq":16}`); code != http.StatusBadRequest {
+		t.Fatalf("bad query: HTTP %d", code)
+	}
+
+	// /metrics carries the aggregated stage series for the fresh run.
+	code, body := c.get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	for _, stage := range []string{"parse", "plan", "exec", "lp-solve", "noise"} {
+		want := fmt.Sprintf(`r2td_stage_seconds_total{dataset="graph",stage="%s"}`, stage)
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s\n%s", want, body)
+		}
+		if !strings.Contains(body, fmt.Sprintf(`r2td_stage_count_total{dataset="graph",stage="%s"}`, stage)) {
+			t.Errorf("/metrics missing count series for stage %s", stage)
+		}
+	}
+
+	// The request log has one JSON line per request, stages on the fresh run.
+	lines := strings.Split(strings.TrimRight(logBuf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("request log has %d lines, want 3:\n%s", len(lines), logBuf.String())
+	}
+	type entry struct {
+		Dataset string             `json:"dataset"`
+		Status  string             `json:"status"`
+		Code    int                `json:"code"`
+		Cached  bool               `json:"cached"`
+		Stages  map[string]float64 `json:"stage_ms"`
+		Error   string             `json:"error"`
+	}
+	var es [3]entry
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &es[i]); err != nil {
+			t.Fatalf("log line %d not JSON: %v\n%s", i, err, line)
+		}
+	}
+	if es[0].Status != statusOK || len(es[0].Stages) == 0 {
+		t.Errorf("fresh-run log entry missing stages: %+v", es[0])
+	}
+	if es[1].Status != statusCacheHit || !es[1].Cached || len(es[1].Stages) != 0 {
+		t.Errorf("cache-hit log entry: %+v", es[1])
+	}
+	if es[2].Code != http.StatusBadRequest || es[2].Error == "" {
+		t.Errorf("failure log entry: %+v", es[2])
+	}
+}
+
 // TestServerDeadline: an unmeetable request deadline yields 504, and the
 // charge (made before the mechanism ran) stands — documented behavior, since
 // the noise was already drawn.

@@ -16,17 +16,29 @@ import (
 type Row []value.V
 
 // Table holds the rows of one relation plus lazily built hash indexes.
+//
+// Concurrency contract: Append and Snapshot are safe to call concurrently
+// (the executor snapshots every table before touching any rows, so a query
+// racing an Append sees either the old or the new prefix, never a torn
+// state). Direct access to Rows and the non-join-cache methods is
+// single-writer territory, as before.
 type Table struct {
 	Rel  *schema.Relation
 	Rows []Row
 
 	indexes map[string]map[value.V][]int
 
+	// mu guards Rows/version updates through Append, the snapshot read, and
+	// the join cache, so concurrent queries can share one index build and an
+	// Append can never tear a reader's view.
+	mu      sync.Mutex
+	version uint64 // bumped by every Append
+
 	// joinCache holds opaque build-side structures keyed by the executor
-	// (per shared-column set). It is guarded by mu so concurrent queries can
-	// share one index build, and cleared by Append so no query ever probes a
-	// stale index.
-	mu        sync.Mutex
+	// (per shared-column set), each tagged with the table version it was
+	// built from. Append clears it, and JoinCacheAt refuses to serve or
+	// store an entry for any other version, so no query ever probes — or
+	// poisons the cache with — a stale index.
 	joinCache map[string]any
 }
 
@@ -35,37 +47,61 @@ func NewTable(rel *schema.Relation) *Table {
 	return &Table{Rel: rel}
 }
 
-// Append adds rows, checking arity. Any index built earlier is invalidated.
+// Append adds rows, checking arity. Any index built earlier is invalidated,
+// and the table version advances so in-flight snapshot-holders cannot write
+// indexes built from the old rows back into the cache.
 func (t *Table) Append(rows ...Row) error {
 	for _, r := range rows {
 		if len(r) != len(t.Rel.Attrs) {
 			return fmt.Errorf("storage: %s expects %d columns, got %d", t.Rel.Name, len(t.Rel.Attrs), len(r))
 		}
 	}
+	t.mu.Lock()
 	t.Rows = append(t.Rows, rows...)
 	t.indexes = nil
-	t.mu.Lock()
 	t.joinCache = nil
+	t.version++
 	t.mu.Unlock()
 	return nil
 }
 
-// JoinCacheGet returns the cached join structure for key, if present.
-func (t *Table) JoinCacheGet(key string) (any, bool) {
+// Snapshot returns the current rows together with the table version they
+// belong to. The returned slice is a stable view: Append only ever extends
+// Rows (it never mutates the shared prefix), so a snapshot stays valid while
+// concurrent Appends land. Pass the version to JoinCacheAt when caching
+// anything derived from the snapshot.
+func (t *Table) Snapshot() ([]Row, uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.Rows, t.version
+}
+
+// JoinCacheGetAt returns the cached join structure for key, if present and
+// built from the given table version.
+func (t *Table) JoinCacheGetAt(key string, version uint64) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.version != version {
+		return nil, false
+	}
 	v, ok := t.joinCache[key]
 	return v, ok
 }
 
-// JoinCache returns the cached join structure for key, building it with
-// build on first use. The build runs under the table lock, so concurrent
-// queries needing the same index wait for one build instead of repeating it.
-// Cached values must be immutable once returned: readers use them without
-// synchronization.
-func (t *Table) JoinCache(key string, build func() any) any {
+// JoinCacheAt returns the join structure for key as seen at the given table
+// version, building it with build on first use. The build runs under the
+// table lock, so concurrent queries needing the same index wait for one build
+// instead of repeating it. If the table has moved past version (an Append
+// landed after the caller snapshotted), the structure is built against the
+// caller's stale snapshot and returned WITHOUT being cached — caching it
+// would poison future queries running at the new version. Cached values must
+// be immutable once returned: readers use them without synchronization.
+func (t *Table) JoinCacheAt(key string, version uint64, build func() any) any {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.version != version {
+		return build()
+	}
 	if v, ok := t.joinCache[key]; ok {
 		return v
 	}
@@ -78,7 +114,11 @@ func (t *Table) JoinCache(key string, build func() any) any {
 }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.Rows) }
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.Rows)
+}
 
 // Index returns (building on first use) a hash index from the canonical key
 // of column attr to the row positions holding it. Null values are not indexed.

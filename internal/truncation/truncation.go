@@ -21,6 +21,7 @@ import (
 
 	"r2t/internal/exec"
 	"r2t/internal/lp"
+	"r2t/internal/obs"
 	"r2t/internal/value"
 )
 
@@ -47,6 +48,7 @@ type LPTruncator struct {
 	answer   float64
 	tauStar  float64
 	solveOpt lp.Options
+	rec      *obs.Recorder // nil = profiling off; harvests per-solve counters
 
 	gridOnce sync.Once
 	grid     *lp.GridSolver
@@ -281,8 +283,16 @@ func (t *LPTruncator) Value(tau float64) (float64, error) {
 	return t.release(sol, tau)
 }
 
-// release guards the exactness contract shared by Value and Values.
+// release guards the exactness contract shared by Value and Values, and
+// harvests the solve's work counters into the recorder (pure observation:
+// lp.Solution counters describe effort, never the optimum).
 func (t *LPTruncator) release(sol *lp.Solution, tau float64) (float64, error) {
+	if t.rec != nil {
+		t.rec.Add(obs.CtrSimplexIters, int64(sol.Iters))
+		t.rec.Add(obs.CtrSimplexPivots, int64(sol.Pivots))
+		t.rec.Add(obs.CtrLPComponents, int64(sol.Components))
+		t.rec.Add(obs.CtrRedundantSkips, int64(sol.RedundantSkips))
+	}
 	if sol.Status != lp.Optimal {
 		// R2T's privacy proof is a property of the exact optimum; a partial
 		// solve must not be released.
@@ -349,6 +359,11 @@ func (t *LPTruncator) Values(taus []float64) ([]float64, error) {
 // SetSolveOptions overrides the LP solver options (used by the ablation
 // benchmarks; the defaults are correct for production use).
 func (t *LPTruncator) SetSolveOptions(opt lp.Options) { t.solveOpt = opt }
+
+// SetRecorder attaches a profiler; every subsequent solve folds its work
+// counters (iterations, pivots, components, redundancy skips) into rec. A nil
+// rec turns harvesting off. Must be set before concurrent Value callers start.
+func (t *LPTruncator) SetRecorder(rec *obs.Recorder) { t.rec = rec }
 
 // Bounder returns a dual bounder for the τ-LP, used by R2T's early stop. It
 // shares the grid skeleton's column sums; the bound sequence is identical to

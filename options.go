@@ -16,7 +16,8 @@ type Options struct {
 	// Beta is the failure probability of the utility guarantee (default 0.1).
 	// It does not affect privacy.
 	Beta float64
-	// Noise overrides the noise source (default: time-seeded).
+	// Noise overrides the noise source (default: a fresh source seeded from
+	// the system CSPRNG — see dp.CryptoSeed).
 	Noise NoiseSource
 	// EarlyStop enables the dual-bound race pruning of Algorithm 1.
 	EarlyStop bool
@@ -51,6 +52,13 @@ type Options struct {
 	// it off and fails such runs uniformly (DESIGN.md §9d). The default
 	// (off) fails the whole query on any race failure.
 	Degrade bool
+	// Profile collects a per-stage breakdown of where the evaluation spent
+	// its time (parse, plan, exec, truncation build, LP solving, noise) plus
+	// work counters, surfaced as Answer.Profile. Profiling is pure
+	// observation — the released estimate is bit-identical with it on or off
+	// — but the profile itself is a data-dependent, NON-PRIVATE diagnostic:
+	// treat it like Answer.TrueAnswer and never release it (DESIGN.md §11).
+	Profile bool
 }
 
 // Validate checks the parameter invariants the mechanism will enforce,

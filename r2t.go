@@ -34,6 +34,7 @@ import (
 	"r2t/internal/core"
 	"r2t/internal/dp"
 	"r2t/internal/exec"
+	"r2t/internal/obs"
 	"r2t/internal/plan"
 	"r2t/internal/schema"
 	"r2t/internal/sql"
@@ -114,6 +115,14 @@ func (db *DB) CheckIntegrity() error { return db.instance.CheckIntegrity() }
 // Race mirrors core.Race: diagnostics for one truncation level.
 type Race = core.Race
 
+// Profile is a per-stage breakdown of one evaluation (Options.Profile): wall
+// time per pipeline stage plus work counters. Like every Answer diagnostic,
+// it is data-dependent and non-private — never release it.
+type Profile = obs.Profile
+
+// StageTiming is one stage's share of a Profile.
+type StageTiming = obs.StageTiming
+
 // Answer is the outcome of one private query evaluation. Only Estimate is
 // ε-DP; the remaining fields are non-private diagnostics.
 type Answer struct {
@@ -128,13 +137,25 @@ type Answer struct {
 	// be published alongside the estimate (DESIGN.md §9d).
 	Degraded bool
 
-	TrueAnswer  float64 // exact query answer Q(I)
-	TauStar     float64 // DS_Q(I) for SJA, IS_Q(I) for SPJA — the error scale
-	WinnerTau   float64 // τ of the winning race
-	Races       []Race  // per-τ diagnostics
-	NumResults  int     // join results |J(I)|
-	Individuals int     // referenced primary-private tuples
-	Duration    time.Duration
+	TrueAnswer float64 // exact query answer Q(I)
+	// TauStar is DS_Q(I) for SJA and IS_Q(I) for SPJA — the error scale. For
+	// a signed split (AllowNegativeSum) it is the max over the two halves.
+	TauStar float64
+	// WinnerTau is the τ of the winning race; for a signed split, of the
+	// positive half. WinnerTauNeg is the negative half's winner (0 unless
+	// AllowNegativeSum split the query). Each Race carries a Half tag
+	// ("+"/"-") identifying which half it belongs to.
+	WinnerTau    float64
+	WinnerTauNeg float64
+	Races        []Race // per-τ diagnostics
+	NumResults   int    // join results |J(I)|
+	Individuals  int    // referenced primary-private tuples
+	// Duration is the end-to-end wall time of the evaluation, from parse to
+	// release (per group for group-by queries, where parse/plan/exec are
+	// shared and the R2T portion is the group's own).
+	Duration time.Duration
+	// Profile is the per-stage breakdown, set only with Options.Profile.
+	Profile *Profile
 }
 
 // ExportReport evaluates the rewritten reporting query (Section 9) and
@@ -174,51 +195,77 @@ func (db *DB) Query(sqlText string, opt Options) (*Answer, error) {
 // consumed its randomness; refunding ε for cancelled queries would let an
 // adversary rerun the mechanism for free by racing deadlines.
 func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*Answer, error) {
+	start := time.Now()
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	var rec *obs.Recorder
+	if opt.Profile {
+		rec = obs.NewRecorder()
+	}
+	stopParse := rec.Time(obs.StageParse)
 	parsed, err := sql.Parse(sqlText)
+	stopParse()
 	if err != nil {
 		return nil, err
 	}
-	return db.run(ctx, parsed, opt)
+	ans, err := db.run(ctx, parsed, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	ans.Duration = time.Since(start)
+	ans.Profile = rec.Snapshot()
+	return ans, nil
 }
 
 // execConfig maps the public executor knob onto the exec package.
-func execConfig(opt Options) exec.Config {
-	return exec.Config{Workers: opt.ExecWorkers}
+func execConfig(opt Options, rec *obs.Recorder) exec.Config {
+	return exec.Config{Workers: opt.ExecWorkers, Recorder: rec}
 }
 
-func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options) (*Answer, error) {
+func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options, rec *obs.Recorder) (*Answer, error) {
 	priv := schema.PrivateSpec{Primary: opt.Primary}
+	stopPlan := rec.Time(obs.StagePlan)
 	p, err := plan.Build(parsed, db.schema, priv)
+	stopPlan()
 	if err != nil {
 		return nil, err
 	}
 	if opt.AllowNegativeSum && parsed.Agg == sql.AggSum {
-		return db.runSigned(ctx, p, opt)
+		return db.runSigned(ctx, p, opt, rec)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := exec.RunConfig(p, db.instance, execConfig(opt))
+	res, err := exec.RunConfig(p, db.instance, execConfig(opt, rec))
 	if err != nil {
 		return nil, err
 	}
-	return db.privatize(ctx, res, opt)
+	return db.privatize(ctx, res, opt, rec)
 }
 
-// privatize runs the R2T mechanism over an evaluated query.
-func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options) (*Answer, error) {
-	var tr truncation.Truncator
+// newTruncator builds the query's truncation operator, timed as the
+// truncation-build stage and wired to the recorder for solver counters.
+func newTruncator(res *exec.Result, opt Options, rec *obs.Recorder) (truncation.Truncator, error) {
+	stopBuild := rec.Time(obs.StageTruncationBuild)
+	defer stopBuild()
 	if opt.Naive {
 		nt, err := truncation.NewNaive(res)
 		if err != nil {
 			return nil, fmt.Errorf("r2t: naive truncation requested but not applicable: %w", err)
 		}
-		tr = nt
-	} else {
-		tr = truncation.NewLP(res)
+		return nt, nil
+	}
+	lt := truncation.NewLP(res)
+	lt.SetRecorder(rec)
+	return lt, nil
+}
+
+// privatize runs the R2T mechanism over an evaluated query.
+func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options, rec *obs.Recorder) (*Answer, error) {
+	tr, err := newTruncator(res, opt, rec)
+	if err != nil {
+		return nil, err
 	}
 
 	out, err := core.Run(tr, core.Config{
@@ -230,6 +277,7 @@ func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options) (*An
 		Workers:   opt.Workers,
 		Interrupt: ctx.Done(),
 		Degrade:   opt.Degrade,
+		Recorder:  rec,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -254,20 +302,32 @@ func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options) (*An
 // it into non-negative halves (Q = Q⁺ − Q⁻), running R2T on each with half
 // the budget, and releasing the difference — ε-DP by basic composition and
 // post-processing.
-func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options) (*Answer, error) {
+func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options, rec *obs.Recorder) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pos, neg, err := exec.RunSplitConfig(p, db.instance, execConfig(opt))
+	pos, neg, err := exec.RunSplitConfig(p, db.instance, execConfig(opt, rec))
 	if err != nil {
 		return nil, err
 	}
-	return db.privatizeSigned(ctx, pos, neg, opt)
+	return db.privatizeSigned(ctx, pos, neg, opt, rec)
+}
+
+// taggedRaces copies races with their Half tag set, so a signed split's
+// concatenated diagnostics stay attributable to the half they came from.
+func taggedRaces(dst []Race, races []Race, half string) []Race {
+	for _, r := range races {
+		r.Half = half
+		dst = append(dst, r)
+	}
+	return dst
 }
 
 // privatizeSigned releases Q⁺ − Q⁻ from the two halves of a signed split,
-// each privatized with half the budget.
-func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Options) (*Answer, error) {
+// each privatized with half the budget. Diagnostics report both halves:
+// WinnerTau/WinnerTauNeg are the per-half winners, Races carries every race
+// tagged with its half, and TauStar is the max over the two halves.
+func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Options, rec *obs.Recorder) (*Answer, error) {
 	cfg := core.Config{
 		Epsilon:   opt.Epsilon / 2,
 		Beta:      opt.Beta,
@@ -277,15 +337,24 @@ func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Op
 		Workers:   opt.Workers,
 		Interrupt: ctx.Done(),
 		Degrade:   opt.Degrade,
+		Recorder:  rec,
 	}
-	outPos, err := core.Run(truncation.NewLP(pos), cfg)
+	trPos, err := newTruncator(pos, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	outPos, err := core.Run(trPos, cfg)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, err
 	}
-	outNeg, err := core.Run(truncation.NewLP(neg), cfg)
+	trNeg, err := newTruncator(neg, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	outNeg, err := core.Run(trNeg, cfg)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -296,16 +365,19 @@ func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Op
 	if ts := neg.MaxTupleSensitivity(); ts > tauStar {
 		tauStar = ts
 	}
+	races := taggedRaces(make([]Race, 0, len(outPos.Races)+len(outNeg.Races)), outPos.Races, "+")
+	races = taggedRaces(races, outNeg.Races, "-")
 	return &Answer{
-		Estimate:    outPos.Estimate - outNeg.Estimate,
-		Degraded:    outPos.Degraded || outNeg.Degraded,
-		TrueAnswer:  pos.TrueAnswer() - neg.TrueAnswer(),
-		TauStar:     tauStar,
-		WinnerTau:   outPos.WinnerTau,
-		Races:       append(append([]Race(nil), outPos.Races...), outNeg.Races...),
-		NumResults:  len(pos.Rows) + len(neg.Rows),
-		Individuals: pos.NumIndividuals() + neg.NumIndividuals(),
-		Duration:    outPos.Duration + outNeg.Duration,
+		Estimate:     outPos.Estimate - outNeg.Estimate,
+		Degraded:     outPos.Degraded || outNeg.Degraded,
+		TrueAnswer:   pos.TrueAnswer() - neg.TrueAnswer(),
+		TauStar:      tauStar,
+		WinnerTau:    outPos.WinnerTau,
+		WinnerTauNeg: outNeg.WinnerTau,
+		Races:        races,
+		NumResults:   len(pos.Rows) + len(neg.Rows),
+		Individuals:  pos.NumIndividuals() + neg.NumIndividuals(),
+		Duration:     outPos.Duration + outNeg.Duration,
 	}, nil
 }
 

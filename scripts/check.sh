@@ -17,7 +17,10 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./...
+# -shuffle=on randomizes test (and subtest-parent) execution order so
+# accidental inter-test coupling — a package-level cache warmed by an earlier
+# test, say — fails loudly instead of riding on source order.
+go test -race -shuffle=on ./...
 
 # Robustness gate, named explicitly so a failure is attributable at a glance
 # (these also ran inside the full suite above): the ledger crash-recovery
@@ -38,6 +41,14 @@ go test -race -run 'TestDegrade|TestPanic|TestAllRacesFailed|TestCoreRaceFaultSi
 # (DESIGN.md §10).
 go test -race -run 'TestExecEquivalence|TestExecWorkers|TestExecSmallSide|TestIndexCache|TestRunPartitioned' ./internal/exec/
 go test -race -run 'TestQueryExecWorkers|TestQueryGroupByExecWorkers|TestQueryGroupBySingleJoin|TestQueryGroupByDuplicate' .
+
+# Profiler gate, named explicitly (these also ran inside the full suite
+# above): a disabled recorder must stay allocation-free on every hot path —
+# profiling is always-on in r2td, so a nil-recorder regression is a tax on
+# every query — and turning profiling ON must leave the released estimate
+# bit-identical (profiling is pure observation, DESIGN.md §11).
+go test -race -run 'TestRecorderDisabledAllocFree|TestRecorderConcurrent' ./internal/obs/
+go test -race -run 'TestProfileBitIdenticalEstimate|TestProfileStagesSumWithinDuration|TestConcurrentAppendQuery' .
 
 # Benchmark-compile smoke: every benchmark builds and runs one iteration,
 # so BENCH_*.json regeneration can't silently rot.
