@@ -11,14 +11,19 @@
 // BENCH_EXEC.json covers the join executor (BenchmarkExecJoin /
 // BenchmarkGroupBy): the legacy map-based serial executor vs the indexed
 // slab-allocated one at one worker and at GOMAXPROCS, plus per-group joins vs
-// the single-join group-by. Results are compared row-for-row (ψ bits,
-// resolved provenance refs, projection groups) before any number is recorded.
+// the single-join group-by, plus the mixed-tenants join-sharing workloads (N
+// aggregate variants over one join core: per-tenant probe passes vs one
+// shared probe pass; must reach >= 1.5x). Results are compared row-for-row
+// (ψ bits, resolved provenance refs, projection groups) — and, for
+// mixed-tenants, released answer for released answer against seeded solo
+// queries — before any number is recorded.
 //
 //	go run ./cmd/benchjson            # writes BENCH_R2T.json and BENCH_EXEC.json
 //	go run ./cmd/benchjson -only exec -exec-o out.json -sf 0.1
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +31,7 @@ import (
 	"os"
 	"testing"
 
+	"r2t"
 	"r2t/internal/exec"
 	"r2t/internal/experiments"
 	"r2t/internal/obs"
@@ -205,6 +211,7 @@ type execResult struct {
 	Workload  string              `json:"workload"`
 	Rows      int                 `json:"join_rows"`
 	Groups    int                 `json:"groups,omitempty"`
+	Tenants   int                 `json:"tenants,omitempty"`
 	BitwiseEq bool                `json:"bitwise_equals_baseline"`
 	Modes     map[string]execMode `json:"modes"`
 	// Profile is one instrumented run's stage/counter breakdown (rows
@@ -340,5 +347,98 @@ func runExec(out string, sf float64) {
 		results = append(results, res)
 	}
 
-	writeDoc(out, "Join executor: legacy per-row-map serial joins (baseline) vs the indexed, slab-allocated executor at 1 worker (serial) and GOMAXPROCS workers (parallel); plus group-by as G predicated joins (per-group) vs one shared join partitioned by group value (single-join). All modes produce bit-identical rows, ψ values, and provenance refs (enforced above).", results)
+	shares, err := experiments.ShareWorkloads(sf)
+	if err != nil {
+		fatal(err)
+	}
+	for i := range shares {
+		w := &shares[i]
+
+		// Gate 1 (exec level): one shared probe pass must hand every tenant
+		// the bit-identical result of running its own probe pass.
+		unsharedRes, err := w.RunUnshared()
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		sharedRes, err := w.RunShared()
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		rows := 0
+		for t := range w.Plans {
+			if !experiments.SameResult(unsharedRes[t], sharedRes[t]) {
+				fatal(w.Name + ": shared aggregate view diverges from unshared probe pass — refusing to record")
+			}
+		}
+		if len(sharedRes) > 0 {
+			rows = len(sharedRes[0].Rows)
+		}
+		// Gate 2 (end to end): with seeded noise, the batched entry point's
+		// released answers must be bit-identical to issuing each tenant's
+		// query alone with sharing disabled.
+		if err := shareAnswerGate(w); err != nil {
+			fatal(w.Name, err)
+		}
+
+		res := execResult{Workload: w.Name, Rows: rows, Tenants: len(w.Plans), BitwiseEq: true, Modes: map[string]execMode{}}
+		unshared, err := measureExec(func() error { _, err := w.RunUnshared(); return err })
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		res.Modes["unshared"] = unshared
+		shared, err := measureExec(func() error { _, err := w.RunShared(); return err })
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		shared.Speedup = round2(float64(unshared.NsPerOp) / float64(shared.NsPerOp))
+		res.Modes["shared"] = shared
+		// The acceptance bar for cross-query join sharing: well below this,
+		// something regressed (the shared path re-probing, the core being
+		// copied per tenant) and the number must not be recorded.
+		if shared.Speedup < 1.5 {
+			fatal(fmt.Sprintf("%s: shared path is only %.2fx the unshared path (want >= 1.5x) — refusing to record", w.Name, shared.Speedup))
+		}
+
+		fmt.Fprintf(os.Stderr, "%-20s %d tenants  unshared %8dns  shared %8dns (%.2fx, allocs %d→%d)\n",
+			w.Name, len(w.Plans), unshared.NsPerOp, shared.NsPerOp, shared.Speedup,
+			unshared.AllocsPerOp, shared.AllocsPerOp)
+		results = append(results, res)
+	}
+
+	writeDoc(out, "Join executor: legacy per-row-map serial joins (baseline) vs the indexed, slab-allocated executor at 1 worker (serial) and GOMAXPROCS workers (parallel); group-by as G predicated joins (per-group) vs one shared join partitioned by group value (single-join); and mixed-tenants join sharing — N aggregate variants over one join core, each with its own probe pass (unshared) vs one probe pass fanned into N aggregate views (shared). All modes produce bit-identical rows, ψ values, and provenance refs, and the mixed-tenants workloads additionally gate on bit-identical seeded released answers end to end (enforced above).", results)
+}
+
+// shareAnswerGate checks the released-answer half of the join-sharing
+// equivalence gate: every tenant's QueryBatch answer must be bit-identical
+// (estimate, true answer, τ*) to a solo db.Query of the same seeded options
+// with sharing disabled.
+func shareAnswerGate(w *experiments.ShareWorkload) error {
+	db := r2t.NewDBWithInstance(w.Inst)
+	opts := func(i int, disable bool) r2t.Options {
+		return r2t.Options{
+			Epsilon: 0.5, GSQ: 1024, Primary: w.Primary, Beta: 0.1,
+			Noise: r2t.NewNoiseSource(int64(1000 + i)), EarlyStop: true,
+			DisableJoinShare: disable,
+		}
+	}
+	batch := make([]r2t.BatchQuery, len(w.SQLs))
+	for i, q := range w.SQLs {
+		batch[i] = r2t.BatchQuery{SQL: q, Opt: opts(i, false)}
+	}
+	got, err := db.QueryBatch(context.Background(), batch)
+	if err != nil {
+		return err
+	}
+	for i, q := range w.SQLs {
+		want, err := db.Query(q, opts(i, true))
+		if err != nil {
+			return err
+		}
+		if math.Float64bits(got[i].Estimate) != math.Float64bits(want.Estimate) ||
+			math.Float64bits(got[i].TrueAnswer) != math.Float64bits(want.TrueAnswer) ||
+			math.Float64bits(got[i].TauStar) != math.Float64bits(want.TauStar) {
+			return fmt.Errorf("tenant %d (%s): batched released answer diverges from solo unshared answer — refusing to record", i, q)
+		}
+	}
+	return nil
 }

@@ -126,6 +126,9 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM")
 		seed       = flag.Int64("seed", 0, "deterministic noise seed, TESTS ONLY (0 = cryptographically seeded per query)")
 		reqLog     = flag.String("request-log", "", "append one JSON line per request (outcome, latency, stage timings) to this OPERATOR-SIDE file; never expose it to analysts")
+		ansMax     = flag.Int("answer-cache-max", 0, "max recorded releases in the free-replay cache, LRU-evicted (0 = default 65536); evicted replays re-charge ε")
+		ansTTL     = flag.Duration("answer-cache-ttl", 0, "expire recorded releases after this age (0 = never); expired replays re-charge ε")
+		shareCap   = flag.Int("join-share-cap", 0, "join cores cached per dataset for cross-query sharing (0 = engine default, negative = disable sharing); answers are identical either way")
 	)
 	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2 (repeatable)")
 	flag.Parse()
@@ -142,6 +145,9 @@ func main() {
 		ExecWorkers:    *execWork,
 		RequestTimeout: *timeout,
 		Seed:           *seed,
+		AnswerCacheMax: *ansMax,
+		AnswerCacheTTL: *ansTTL,
+		JoinShareCap:   *shareCap,
 	}
 	var logFile *os.File
 	if *reqLog != "" {

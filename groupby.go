@@ -94,7 +94,11 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	parts, err := exec.RunPartitioned(p, db.instance, execConfig(opt, rec), groupVar, groups, signed)
+	c, err := db.coreFor(ctx, p, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := c.PartitionedResult(p, rec, groupVar, groups, signed)
 	if err != nil {
 		return nil, err
 	}

@@ -257,13 +257,9 @@ func RunPartitioned(p *plan.Plan, inst *storage.Instance, cfg Config, groupVar i
 	if groupVar < 0 || groupVar >= p.NumVars {
 		return nil, fmt.Errorf("exec: partition variable %d out of range", groupVar)
 	}
-	groupOf := make(map[value.V]int32, len(groups))
-	for i, g := range groups {
-		k := g.Key()
-		if _, dup := groupOf[k]; dup {
-			return nil, fmt.Errorf("exec: duplicate partition value %v", g)
-		}
-		groupOf[k] = int32(i)
+	groupOf, err := makeGroupOf(groups)
+	if err != nil {
+		return nil, err
 	}
 	full, rowPart, err := run(p, inst, runOpts{
 		allowNegative: allowNegative,
@@ -275,49 +271,7 @@ func RunPartitioned(p *plan.Plan, inst *storage.Instance, cfg Config, groupVar i
 	if err != nil {
 		return nil, err
 	}
-
-	parts := make([]*Result, len(groups))
-	for i := range parts {
-		parts[i] = &Result{Plan: p, Universe: full.Universe, IsProjection: full.IsProjection}
-	}
-	// For projections, map each row to its full-run projection group so the
-	// partitions can rebuild their own Groups in first-appearance order —
-	// exactly the order a per-group run's projKeys map would assign.
-	var rowProj []int32
-	var localGroup [][]int // per partition: full group id → local id + 1
-	if full.IsProjection {
-		rowProj = make([]int32, len(full.Rows))
-		for l, group := range full.Groups {
-			for _, k := range group {
-				rowProj[k] = int32(l)
-			}
-		}
-		localGroup = make([][]int, len(groups))
-		for i := range localGroup {
-			localGroup[i] = make([]int, len(full.Groups))
-		}
-	}
-	for k, row := range full.Rows {
-		pi := rowPart[k]
-		if pi < 0 {
-			continue
-		}
-		part := parts[pi]
-		idx := len(part.Rows)
-		part.Rows = append(part.Rows, row)
-		if full.IsProjection {
-			gl := rowProj[k]
-			l := localGroup[pi][gl]
-			if l == 0 {
-				part.Groups = append(part.Groups, nil)
-				part.GroupPsi = append(part.GroupPsi, full.GroupPsi[gl])
-				l = len(part.Groups)
-				localGroup[pi][gl] = l
-			}
-			part.Groups[l-1] = append(part.Groups[l-1], idx)
-		}
-	}
-	return parts, nil
+	return assemblePartitions(p, full, rowPart, len(groups)), nil
 }
 
 // runOpts selects executor variants that all produce bit-identical rows.
@@ -350,10 +304,24 @@ func (in *refInterner) id(r TupleRef) int32 {
 	return id
 }
 
-// run joins, then builds rows with ψ, interned provenance, projection groups
-// and (optionally) partition assignments. The second return value is the
-// per-row partition id (or nil when opt.groupVar < 0).
+// run joins (runCore), then builds rows with ψ, interned provenance,
+// projection groups and (optionally) partition assignments (buildFromCore).
+// The second return value is the per-row partition id (or nil when
+// opt.groupVar < 0).
 func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, error) {
+	c, err := runCore(p, inst, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buildFromCore(c, p, opt)
+}
+
+// runCore executes the probe pass: the join of the plan's atoms under its
+// residual filters, producing the finished variable assignments. Nothing
+// here reads the aggregate expression, the primary designation, or any
+// privacy parameter — the core is exactly the work that can be shared across
+// queries with equal JoinSignatures. The returned Core is immutable.
+func runCore(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Core, error) {
 	stopExec := opt.rec.Time(obs.StageExec)
 	defer stopExec()
 
@@ -366,15 +334,15 @@ func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, e
 	for i := range p.Atoms {
 		t := inst.Table(p.Atoms[i].Rel.Name)
 		if t == nil {
-			return nil, nil, fmt.Errorf("exec: no table for relation %q", p.Atoms[i].Rel.Name)
+			return nil, fmt.Errorf("exec: no table for relation %q", p.Atoms[i].Rel.Name)
 		}
 		rows, ver := t.Snapshot()
 		snaps[i] = tableSnap{tbl: t, rows: rows, version: ver}
 	}
 
-	// Compile filters and the aggregate expression. The baseline executor
-	// keeps its own frozen predicate compiler so its numbers reflect the
-	// pre-optimization engine end to end.
+	// Compile the residual filters. The baseline executor keeps its own
+	// frozen predicate compiler so its numbers reflect the pre-optimization
+	// engine end to end.
 	compilePred := compileBool
 	if opt.baseline {
 		compilePred = compileBoolBaseline
@@ -383,22 +351,14 @@ func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, e
 	for i, f := range p.Filters {
 		fn, err := compilePred(f.Expr, p)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		filters[i] = fn
-	}
-	var sumFn scalarFn
-	if p.SumExpr != nil {
-		fn, err := compileScalar(p.SumExpr, p)
-		if err != nil {
-			return nil, nil, err
-		}
-		sumFn = fn
 	}
 
 	steps, err := orderSteps(p, snaps)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// Attach each filter to the earliest step where all its variables bind.
@@ -428,7 +388,7 @@ func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, e
 	}
 	for fi := range assigned {
 		if !assigned[fi] {
-			return nil, nil, fmt.Errorf("exec: filter %d references unbound variables", fi)
+			return nil, fmt.Errorf("exec: filter %d references unbound variables", fi)
 		}
 	}
 
@@ -452,6 +412,34 @@ func run(p *plan.Plan, inst *storage.Instance, opt runOpts) (*Result, []int32, e
 			break
 		}
 	}
+
+	c := &Core{p: p, asgs: current, tables: make([]CoreTable, len(snaps))}
+	for i, s := range snaps {
+		c.tables[i] = CoreTable{Name: p.Atoms[i].Rel.Name, Version: s.version}
+	}
+	return c, nil
+}
+
+// buildFromCore evaluates one query's aggregate view over a finished probe
+// pass: ψ weights from the plan's SUM expression, interned provenance from
+// its primary designation, projection groups, and (optionally) partition
+// assignments. It only reads the core's assignments, so any number of
+// builds — for different aggregates, even concurrently — may share one core.
+// The second return value is the per-row partition id (or nil when
+// opt.groupVar < 0).
+func buildFromCore(c *Core, p *plan.Plan, opt runOpts) (*Result, []int32, error) {
+	stopExec := opt.rec.Time(obs.StageExec)
+	defer stopExec()
+
+	var sumFn scalarFn
+	if p.SumExpr != nil {
+		fn, err := compileScalar(p.SumExpr, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		sumFn = fn
+	}
+	current := c.asgs
 
 	// Build join rows with ψ and provenance.
 	res := &Result{Plan: p}

@@ -195,9 +195,11 @@ func joinStepExec(current [][]value.V, st *step, snap tableSnap, filters []boolF
 		ix = cached.(*tableIndex)
 	} else {
 		rec.Add(obs.CtrIndexCacheMiss, 1)
-		ix = snap.tbl.JoinCacheAt(key, snap.version, func() any {
+		v, evicted := snap.tbl.JoinCacheAt(key, snap.version, func() any {
 			return buildIndex(rows, st.sharedCols, st.checkCols)
-		}).(*tableIndex)
+		})
+		ix = v.(*tableIndex)
+		rec.Add(obs.CtrIndexCacheEvict, int64(evicted))
 	}
 
 	bounds := chunkBounds(len(current), workers)

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"r2t/internal/exec"
+	"r2t/internal/graph"
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/storage"
+	"r2t/internal/tpch"
+)
+
+// ShareWorkload is one "mixed tenants" join-sharing workload: many analysts
+// ("tenants") each asking a different aggregate over the same FROM/WHERE
+// join core. It backs the mixed-tenants entries of BENCH_EXEC.json, which
+// compare evaluating every tenant with its own probe pass (the pre-PR
+// behaviour) against one shared probe pass fanned out into per-tenant
+// aggregate views (exec.RunCore + Core.Result).
+type ShareWorkload struct {
+	Name    string
+	Inst    *storage.Instance
+	SQLs    []string // one aggregate variant per tenant, identical FROM/WHERE
+	Primary []string // primary private relations, for end-to-end gates
+	Plans   []*plan.Plan
+}
+
+// RunUnshared evaluates every tenant with its own full probe pass.
+func (w *ShareWorkload) RunUnshared() ([]*exec.Result, error) {
+	out := make([]*exec.Result, len(w.Plans))
+	for i, p := range w.Plans {
+		res, err := exec.RunConfig(p, w.Inst, exec.Config{})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// RunShared runs one probe pass for the whole workload and builds each
+// tenant's aggregate view from the shared core.
+func (w *ShareWorkload) RunShared() ([]*exec.Result, error) {
+	core, err := exec.RunCore(w.Plans[0], w.Inst, exec.Config{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*exec.Result, len(w.Plans))
+	for i, p := range w.Plans {
+		res, err := core.Result(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// shareGraphJoin is the triangle join core; every graph tenant appends its
+// own SELECT over this identical FROM/WHERE.
+const shareGraphJoin = ` FROM Edge e1, Edge e2, Edge e3
+	WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src
+	  AND e1.src < e2.src AND e2.src < e3.src`
+
+// shareTPCHJoin is the TPC-H Q3 join core (Customer⋈Orders⋈Lineitem with
+// Q3's filters), shared by the tpch tenants.
+const shareTPCHJoin = ` FROM Customer c, Orders o, Lineitem l
+	WHERE c.CK = o.CK AND o.OK = l.OK
+	  AND c.mktsegment = 'BUILDING' AND o.odate < 1800 AND l.sdate > 600`
+
+// ShareWorkloads builds the mixed-tenants workloads: a triangle-counting
+// core on the social graph and the TPC-H Q3 core, each under a pool of
+// aggregate variants (COUNT, several SUMs, COUNT DISTINCT) that all lower to
+// the same join signature. Each pool mixes plain and projection aggregates
+// so the shared build path is exercised end to end.
+func ShareWorkloads(tpchSF float64) ([]ShareWorkload, error) {
+	graphTenants := []string{
+		"SELECT COUNT(*)",
+		"SELECT SUM(e1.src)",
+		"SELECT SUM(e2.src)",
+		"SELECT SUM(e3.src + 1)",
+		"SELECT SUM(e1.src + e2.src)",
+		"SELECT SUM(e1.dst)",
+		"SELECT COUNT(DISTINCT e1.src)",
+		"SELECT COUNT(DISTINCT e2.src)",
+	}
+	tpchTenants := []string{
+		"SELECT COUNT(*)",
+		"SELECT SUM(l.qty)",
+		"SELECT SUM(l.price)",
+		"SELECT SUM(o.odate)",
+		"SELECT SUM(l.qty + 1)",
+		"SELECT COUNT(DISTINCT c.CK)",
+	}
+
+	social := graph.GenSocial(300, 1200, 64, 3)
+	out := make([]ShareWorkload, 0, 2)
+	w, err := buildShare("mixed-tenants-graph", graphToInstance(social), graphSQLSchema(),
+		graphTenants, shareGraphJoin, []string{"Node"})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, w)
+
+	w, err = buildShare("mixed-tenants-tpch", tpch.Generate(tpch.GenOptions{SF: tpchSF, Seed: 1}),
+		tpch.Schema(), tpchTenants, shareTPCHJoin, []string{"Customer"})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, w)
+	return out, nil
+}
+
+// buildShare compiles every tenant's SQL and checks that the whole pool
+// lowers to one join signature — the property that makes sharing legal.
+func buildShare(name string, inst *storage.Instance, s *schema.Schema, tenants []string, join string, primary []string) (ShareWorkload, error) {
+	w := ShareWorkload{Name: name, Inst: inst, Primary: primary}
+	var sig string
+	for _, sel := range tenants {
+		src := sel + join
+		p, err := compile(src, s, primary)
+		if err != nil {
+			return w, fmt.Errorf("%s: %q: %w", name, sel, err)
+		}
+		if len(w.Plans) == 0 {
+			sig = p.JoinSignature()
+		} else if got := p.JoinSignature(); got != sig {
+			return w, fmt.Errorf("%s: %q does not share the workload's join signature", name, sel)
+		}
+		w.SQLs = append(w.SQLs, src)
+		w.Plans = append(w.Plans, p)
+	}
+	return w, nil
+}

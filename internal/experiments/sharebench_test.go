@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestShareWorkloads is the exec-level half of the join-sharing equivalence
+// gate: for every mixed-tenants workload, one shared probe pass must yield
+// each tenant the bit-identical result (rows, ψ, provenance refs, projection
+// groups) of running its own probe pass. cmd/benchjson re-runs this gate —
+// plus the end-to-end released-answer comparison — before recording numbers.
+func TestShareWorkloads(t *testing.T) {
+	workloads, err := ShareWorkloads(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads) != 2 {
+		t.Fatalf("got %d workloads", len(workloads))
+	}
+	for _, w := range workloads {
+		if len(w.Plans) < 2 {
+			t.Fatalf("%s: want several tenants, got %d", w.Name, len(w.Plans))
+		}
+		unshared, err := w.RunUnshared()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := w.RunShared()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w.Plans {
+			if !SameResult(unshared[i], shared[i]) {
+				t.Errorf("%s tenant %d (%s): shared result diverges from unshared", w.Name, i, w.SQLs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"r2t/internal/sql"
+	"r2t/internal/value"
+)
+
+// JoinSignature renders the plan's join structure — the completed atom list
+// and the residual filters, with every column reference resolved to its dense
+// variable id — as a canonical string. Two plans with equal signatures (over
+// the same schema) drive the executor's probe pass identically: the join
+// result depends only on atoms, filters and the table snapshots, never on the
+// aggregate expression, the primary-relation designation, ε, GSQ or β (the
+// aggregate is evaluated in a separate pass over the finished assignments).
+// That makes the signature the sharing key for the cross-query join-core
+// cache: distinct aggregations over the same FROM/WHERE collide on purpose.
+//
+// The rendering is collision-free for what it encodes: atoms carry the
+// relation name (aliases are omitted — they cannot affect execution), filter
+// columns appear as $<var>, and literals are kind-tagged (floats by their
+// IEEE-754 bits) so 1 ≠ 1.0 ≠ '1'. It is deliberately conservative the other
+// way: filters are rendered in plan order, so reordered-but-equal WHERE
+// clauses hash apart. A false negative costs one redundant join; a false
+// positive would silently share the wrong rows, so none are possible.
+func (p *Plan) JoinSignature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1|vars=%d|", p.NumVars)
+	for _, a := range p.Atoms {
+		b.WriteString(a.Rel.Name)
+		b.WriteByte('(')
+		for j, v := range a.Vars {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(v))
+		}
+		b.WriteString(");")
+	}
+	b.WriteByte('|')
+	for _, f := range p.Filters {
+		p.sigExpr(&b, f.Expr)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// sigExpr renders one residual expression canonically for JoinSignature.
+func (p *Plan) sigExpr(b *strings.Builder, e sql.Expr) {
+	switch t := e.(type) {
+	case sql.Col:
+		if v := p.ColVar(t.Ref); v >= 0 {
+			fmt.Fprintf(b, "$%d", v)
+		} else {
+			// A column the plan could not resolve never survives Build; the
+			// fallback keeps the signature total rather than panicking.
+			fmt.Fprintf(b, "?%s", t.Ref)
+		}
+	case sql.Lit:
+		sigLit(b, t.Val)
+	case sql.Binary:
+		b.WriteByte('(')
+		p.sigExpr(b, t.L)
+		b.WriteByte(' ')
+		b.WriteString(t.Op)
+		b.WriteByte(' ')
+		p.sigExpr(b, t.R)
+		b.WriteByte(')')
+	case sql.Not:
+		b.WriteString("NOT(")
+		p.sigExpr(b, t.E)
+		b.WriteByte(')')
+	case sql.In:
+		p.sigExpr(b, t.E)
+		b.WriteString(" IN[")
+		for i, v := range t.List {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			sigLit(b, v)
+		}
+		b.WriteByte(']')
+	case sql.Between:
+		b.WriteString("BETWEEN(")
+		p.sigExpr(b, t.E)
+		b.WriteByte(',')
+		p.sigExpr(b, t.Lo)
+		b.WriteByte(',')
+		p.sigExpr(b, t.Hi)
+		b.WriteByte(')')
+	case sql.Like:
+		b.WriteString("LIKE(")
+		p.sigExpr(b, t.E)
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(t.Pattern))
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "!%T", e)
+	}
+}
+
+// sigLit renders a literal with an explicit kind tag so values of different
+// kinds can never collide (floats use their exact bit pattern: 1.0 and the
+// smallest double above it are distinct filters and must hash apart).
+func sigLit(b *strings.Builder, v value.V) {
+	switch v.K {
+	case value.Null:
+		b.WriteString("n:")
+	case value.Int:
+		fmt.Fprintf(b, "i:%d", v.I)
+	case value.Float:
+		fmt.Fprintf(b, "f:%016x", math.Float64bits(v.F))
+	case value.String:
+		b.WriteString("s:")
+		b.WriteString(strconv.Quote(v.S))
+	default:
+		fmt.Fprintf(b, "k%d:?", int(v.K))
+	}
+}

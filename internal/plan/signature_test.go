@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// Aggregate choice, primary designation and aliasing must not change the
+// signature: those are exactly the dimensions the join-core cache shares
+// across. Different join structure or different filter constants must.
+func TestJoinSignatureSharesAcrossAggregates(t *testing.T) {
+	s := graphSchema()
+	priv := nodePriv()
+	base := "FROM Edge e1, Edge e2 WHERE e1.dst = e2.src AND e1.src < 100"
+	sigs := map[string]string{}
+	for _, sel := range []string{
+		"SELECT COUNT(*) ",
+		"SELECT SUM(e1.src) ",
+		"SELECT SUM(e1.src + e2.dst) ",
+		"SELECT COUNT(DISTINCT e1.src) ",
+	} {
+		p := build(t, sel+base, s, priv)
+		sigs[sel] = p.JoinSignature()
+	}
+	want := sigs["SELECT COUNT(*) "]
+	for sel, got := range sigs {
+		if got != want {
+			t.Errorf("%s: signature %q differs from COUNT(*)'s %q", sel, got, want)
+		}
+	}
+
+	// Aliases don't execute; renaming must not change the signature.
+	p := build(t, "SELECT COUNT(*) FROM Edge x, Edge y WHERE x.dst = y.src AND x.src < 100", s, priv)
+	if got := p.JoinSignature(); got != want {
+		t.Errorf("alias rename changed signature: %q vs %q", got, want)
+	}
+}
+
+func TestJoinSignatureDistinguishesStructure(t *testing.T) {
+	s := graphSchema()
+	priv := nodePriv()
+	sigs := []string{
+		build(t, "SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src", s, priv).JoinSignature(),
+		build(t, "SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.src = e2.src", s, priv).JoinSignature(),
+		build(t, "SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src AND e1.src < 100", s, priv).JoinSignature(),
+		build(t, "SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src AND e1.src < 101", s, priv).JoinSignature(),
+		build(t, "SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src AND e1.src < 100.0", s, priv).JoinSignature(),
+		build(t, "SELECT COUNT(*) FROM Edge", s, priv).JoinSignature(),
+	}
+	seen := map[string]int{}
+	for i, sig := range sigs {
+		if j, dup := seen[sig]; dup {
+			t.Errorf("plans %d and %d share signature %q but differ structurally", j, i, sig)
+		}
+		seen[sig] = i
+	}
+}
+
+func TestJoinSignatureCoversFilterForms(t *testing.T) {
+	s := graphSchema()
+	priv := nodePriv()
+	// Every residual-expression node form renders without the !%T fallback.
+	p := build(t, "SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src "+
+		"AND e1.src IN (1, 2, 3) AND e2.dst BETWEEN 0 AND 50 AND NOT (e1.src > e2.dst OR e1.src = 7)",
+		s, priv)
+	sig := p.JoinSignature()
+	if strings.Contains(sig, "!") || strings.Contains(sig, "?") {
+		t.Fatalf("signature hit a fallback arm: %q", sig)
+	}
+}

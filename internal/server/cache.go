@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
@@ -65,23 +66,87 @@ type flight struct {
 	err  error
 }
 
-// answerCache is the free-replay cache. Entries are never evicted: dropping
-// one would make the next identical query re-run the mechanism and burn ε
-// again — correct but wasteful — so memory is deliberately traded for
-// budget. The cache only ever holds released (already public) estimates, so
-// it adds no privacy exposure; it is rebuilt empty on restart (re-answering
-// then re-charges, still safe, just not free — the ledger, not the cache,
-// is the source of truth for spend).
-type answerCache struct {
-	mu       sync.Mutex
-	answers  map[string]cachedAnswer
-	inflight map[string]*flight
+// DefaultAnswerCacheMax bounds the free-replay cache when Config leaves
+// AnswerCacheMax at zero. At ~100 bytes per recorded release the default is
+// a few MiB — big enough that eviction is rare, small enough that a hostile
+// query stream cannot grow the process without bound.
+const DefaultAnswerCacheMax = 65536
+
+// cacheSlot is one LRU element: the fingerprint plus the recorded release.
+type cacheSlot struct {
+	key string
+	ans cachedAnswer
 }
 
-func newAnswerCache() *answerCache {
+// answerCache is the free-replay cache, bounded by an entry cap (LRU) and an
+// optional TTL. Eviction is safe but never free: dropping an entry makes the
+// next identical query re-run the mechanism and charge ε again — correct
+// (each release pays for itself; the ledger, not the cache, is the source of
+// truth for spend) but wasteful, which is why the counter behind
+// r2td_answer_cache_evictions_total exists: a climbing rate means replays
+// that could have been free are burning budget. The cache only ever holds
+// released (already public) estimates, so neither keeping nor dropping an
+// entry has any privacy effect; it is rebuilt empty on restart.
+type answerCache struct {
+	mu       sync.Mutex
+	max      int           // entry cap (>0; constructor applies the default)
+	ttl      time.Duration // 0 = entries never expire
+	answers  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*flight
+	evicted  uint64 // capacity evictions + TTL expiries
+}
+
+// newAnswerCache builds the cache. max <= 0 selects DefaultAnswerCacheMax;
+// ttl <= 0 disables expiry.
+func newAnswerCache(max int, ttl time.Duration) *answerCache {
+	if max <= 0 {
+		max = DefaultAnswerCacheMax
+	}
+	if ttl < 0 {
+		ttl = 0
+	}
 	return &answerCache{
-		answers:  make(map[string]cachedAnswer),
+		max:      max,
+		ttl:      ttl,
+		answers:  make(map[string]*list.Element),
+		lru:      list.New(),
 		inflight: make(map[string]*flight),
+	}
+}
+
+// lookupLocked returns the recorded release for key if present and fresh,
+// expiring it (counted as an eviction) if the TTL has passed.
+func (c *answerCache) lookupLocked(key string) (cachedAnswer, bool) {
+	e, ok := c.answers[key]
+	if !ok {
+		return cachedAnswer{}, false
+	}
+	slot := e.Value.(*cacheSlot)
+	if c.ttl > 0 && time.Since(slot.ans.At) > c.ttl {
+		c.lru.Remove(e)
+		delete(c.answers, key)
+		c.evicted++
+		return cachedAnswer{}, false
+	}
+	c.lru.MoveToFront(e)
+	return slot.ans, true
+}
+
+// storeLocked records a release and evicts least-recently-used entries past
+// the cap.
+func (c *answerCache) storeLocked(key string, ans cachedAnswer) {
+	if e, ok := c.answers[key]; ok {
+		e.Value.(*cacheSlot).ans = ans
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.answers[key] = c.lru.PushFront(&cacheSlot{key: key, ans: ans})
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.answers, back.Value.(*cacheSlot).key)
+		c.evicted++
 	}
 }
 
@@ -94,7 +159,7 @@ func newAnswerCache() *answerCache {
 // followers receive the same error, and the next request leads afresh.
 func (c *answerCache) do(ctx context.Context, key string, fn func() (cachedAnswer, error)) (ans cachedAnswer, cached bool, err error) {
 	c.mu.Lock()
-	if a, ok := c.answers[key]; ok {
+	if a, ok := c.lookupLocked(key); ok {
 		c.mu.Unlock()
 		return a, true, nil
 	}
@@ -116,7 +181,7 @@ func (c *answerCache) do(ctx context.Context, key string, fn func() (cachedAnswe
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if err == nil {
-		c.answers[key] = ans
+		c.storeLocked(key, ans)
 	}
 	c.mu.Unlock()
 	close(fl.done)
@@ -128,4 +193,12 @@ func (c *answerCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.answers)
+}
+
+// evictions returns the number of releases dropped (capacity or TTL) since
+// startup. Each one means a potential free replay will re-charge ε.
+func (c *answerCache) evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestFingerprint(t *testing.T) {
@@ -44,7 +45,7 @@ func TestFingerprint(t *testing.T) {
 }
 
 func TestCacheCoalescing(t *testing.T) {
-	c := newAnswerCache()
+	c := newAnswerCache(0, 0)
 	var runs int32
 	release := make(chan struct{})
 	const clients = 32
@@ -90,7 +91,7 @@ func TestCacheCoalescing(t *testing.T) {
 }
 
 func TestCacheLeaderFailureNotCached(t *testing.T) {
-	c := newAnswerCache()
+	c := newAnswerCache(0, 0)
 	boom := errors.New("boom")
 	if _, _, err := c.do(context.Background(), "k", func() (cachedAnswer, error) {
 		return cachedAnswer{}, boom
@@ -109,8 +110,68 @@ func TestCacheLeaderFailureNotCached(t *testing.T) {
 	}
 }
 
+// put records one release synchronously.
+func put(t *testing.T, c *answerCache, key string, ans cachedAnswer) {
+	t.Helper()
+	if _, _, err := c.do(context.Background(), key, func() (cachedAnswer, error) {
+		return ans, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnswerCacheEviction(t *testing.T) {
+	c := newAnswerCache(2, 0)
+	put(t, c, "a", cachedAnswer{Estimate: 1})
+	put(t, c, "b", cachedAnswer{Estimate: 2})
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	if _, cached, _ := c.do(context.Background(), "a", nil); !cached {
+		t.Fatal("a missed before eviction")
+	}
+	put(t, c, "c", cachedAnswer{Estimate: 3})
+	if c.size() != 2 {
+		t.Fatalf("size = %d, want 2", c.size())
+	}
+	if got := c.evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if _, cached, _ := c.do(context.Background(), "a", nil); !cached {
+		t.Fatal("recently used entry was evicted")
+	}
+	// The evicted key re-runs the mechanism (and would re-charge ε).
+	reran := false
+	if _, cached, err := c.do(context.Background(), "b", func() (cachedAnswer, error) {
+		reran = true
+		return cachedAnswer{Estimate: 2}, nil
+	}); err != nil || cached || !reran {
+		t.Fatalf("evicted key: cached=%v reran=%v err=%v", cached, reran, err)
+	}
+}
+
+func TestAnswerCacheTTL(t *testing.T) {
+	c := newAnswerCache(0, time.Minute)
+	put(t, c, "old", cachedAnswer{Estimate: 1, At: time.Now().Add(-time.Hour)})
+	put(t, c, "new", cachedAnswer{Estimate: 2, At: time.Now()})
+	if _, cached, _ := c.do(context.Background(), "new", nil); !cached {
+		t.Fatal("fresh entry expired")
+	}
+	reran := false
+	if _, cached, err := c.do(context.Background(), "old", func() (cachedAnswer, error) {
+		reran = true
+		return cachedAnswer{Estimate: 1, At: time.Now()}, nil
+	}); err != nil || cached || !reran {
+		t.Fatalf("expired key: cached=%v reran=%v err=%v", cached, reran, err)
+	}
+	if got := c.evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if c.size() != 2 {
+		t.Fatalf("size = %d, want 2 (old re-recorded)", c.size())
+	}
+}
+
 func TestCacheFollowerContextCancel(t *testing.T) {
-	c := newAnswerCache()
+	c := newAnswerCache(0, 0)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	go func() {

@@ -197,11 +197,50 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 
 	fmt.Fprintf(w, "# HELP r2td_cache_answers Recorded releases in the free-replay cache.\n# TYPE r2td_cache_answers gauge\n")
 	fmt.Fprintf(w, "r2td_cache_answers %d\n", cache.size())
+	fmt.Fprintf(w, "# HELP r2td_answer_cache_evictions_total Recorded releases dropped from the free-replay cache (LRU capacity or TTL expiry); each drop means a future identical query re-runs the mechanism and charges ε again.\n# TYPE r2td_answer_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "r2td_answer_cache_evictions_total %d\n", cache.evictions())
 	fmt.Fprintf(w, "# HELP r2td_cache_hit_ratio Fraction of answered queries served by free replay.\n# TYPE r2td_cache_hit_ratio gauge\n")
 	for _, name := range reg.Names() {
 		if answered := hits[name] + releases[name]; answered > 0 {
 			fmt.Fprintf(w, "r2td_cache_hit_ratio{dataset=\"%s\"} %g\n", escapeLabel(name), float64(hits[name])/float64(answered))
 		}
+	}
+
+	// Engine-side cache gauges, read live from each dataset's DB at scrape
+	// time (like the budget gauges). The join-core cache shares probe passes
+	// across queries (DESIGN.md §12); the index cache shares build-side hash
+	// indexes across probe passes. Both are pre-noise, engine-internal
+	// structures — the counters reveal only query-stream shape, not data.
+	fmt.Fprintf(w, "# HELP r2td_join_core_cache_hits_total Probe passes served from the shared join-core cache.\n# TYPE r2td_join_core_cache_hits_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_join_core_cache_misses_total Probe passes run fresh (cold, stale, or sharing disabled).\n# TYPE r2td_join_core_cache_misses_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_join_core_cache_coalesced_total Queries that waited on another query's in-flight probe pass instead of running their own.\n# TYPE r2td_join_core_cache_coalesced_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_join_core_cache_evictions_total Join cores dropped by the LRU cap.\n# TYPE r2td_join_core_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_join_core_cache_stale_total Cached join cores discarded because a table version moved.\n# TYPE r2td_join_core_cache_stale_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_join_core_cache_entries Join cores currently cached.\n# TYPE r2td_join_core_cache_entries gauge\n")
+	for _, name := range reg.Names() {
+		st := reg.Get(name).DB.JoinShareStats()
+		esc := escapeLabel(name)
+		fmt.Fprintf(w, "r2td_join_core_cache_hits_total{dataset=\"%s\"} %d\n", esc, st.Hits)
+		fmt.Fprintf(w, "r2td_join_core_cache_misses_total{dataset=\"%s\"} %d\n", esc, st.Misses)
+		fmt.Fprintf(w, "r2td_join_core_cache_coalesced_total{dataset=\"%s\"} %d\n", esc, st.Coalesced)
+		fmt.Fprintf(w, "r2td_join_core_cache_evictions_total{dataset=\"%s\"} %d\n", esc, st.Evictions)
+		fmt.Fprintf(w, "r2td_join_core_cache_stale_total{dataset=\"%s\"} %d\n", esc, st.Stale)
+		fmt.Fprintf(w, "r2td_join_core_cache_entries{dataset=\"%s\"} %d\n", esc, st.Entries)
+	}
+
+	fmt.Fprintf(w, "# HELP r2td_index_cache_hits_total Build-side index lookups served from the per-table index cache.\n# TYPE r2td_index_cache_hits_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_index_cache_misses_total Build-side indexes built fresh.\n# TYPE r2td_index_cache_misses_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_index_cache_evictions_total Indexes dropped by the per-table LRU cap.\n# TYPE r2td_index_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_index_cache_invalidations_total Indexes dropped because their table was appended to.\n# TYPE r2td_index_cache_invalidations_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_index_cache_entries Build-side indexes currently cached.\n# TYPE r2td_index_cache_entries gauge\n")
+	for _, name := range reg.Names() {
+		st := reg.Get(name).DB.Instance().JoinCacheStats()
+		esc := escapeLabel(name)
+		fmt.Fprintf(w, "r2td_index_cache_hits_total{dataset=\"%s\"} %d\n", esc, st.Hits)
+		fmt.Fprintf(w, "r2td_index_cache_misses_total{dataset=\"%s\"} %d\n", esc, st.Misses)
+		fmt.Fprintf(w, "r2td_index_cache_evictions_total{dataset=\"%s\"} %d\n", esc, st.Evictions)
+		fmt.Fprintf(w, "r2td_index_cache_invalidations_total{dataset=\"%s\"} %d\n", esc, st.Invalidations)
+		fmt.Fprintf(w, "r2td_index_cache_entries{dataset=\"%s\"} %d\n", esc, st.Entries)
 	}
 
 	fmt.Fprintf(w, "# HELP r2td_epsilon_total Configured ε budget per dataset.\n# TYPE r2td_epsilon_total gauge\n")

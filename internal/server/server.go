@@ -61,6 +61,20 @@ type Config struct {
 	// Seed makes noise deterministic for tests and demos (0 = a fresh
 	// dp.CryptoSeed per query). Never set it in production.
 	Seed int64
+	// AnswerCacheMax bounds the free-replay answer cache (default 65536
+	// entries, LRU-evicted). Eviction is ε-safe but not free: a re-asked
+	// evicted query re-runs the mechanism and charges again, surfaced by
+	// r2td_answer_cache_evictions_total.
+	AnswerCacheMax int
+	// AnswerCacheTTL expires recorded releases after this age (default 0 =
+	// never). Expiry has the same re-charge cost as LRU eviction.
+	AnswerCacheTTL time.Duration
+	// JoinShareCap sizes each dataset's join-core cache (cross-query join
+	// sharing, DESIGN.md §12): 0 keeps the engine default, a positive value
+	// sets the per-DB core cap, and a negative value disables sharing so
+	// every query runs its own probe pass. Sharing never changes a released
+	// answer; this knob trades memory for probe-pass work.
+	JoinShareCap int
 	// RequestLog, when non-nil, receives one JSON line per finished request:
 	// outcome, latency, and the per-stage timing breakdown of fresh mechanism
 	// runs. The log is OPERATOR-SIDE ONLY — stage timings are data-dependent
@@ -100,6 +114,13 @@ func New(cfg Config) (*Server, error) {
 		ledger.Close()
 		return nil, err
 	}
+	if cfg.JoinShareCap != 0 {
+		// Negative disables sharing entirely (SetJoinShareCap maps n <= 0 to
+		// "no cache"); applied at load time, before any query can run.
+		for _, name := range reg.Names() {
+			reg.Get(name).DB.SetJoinShareCap(cfg.JoinShareCap)
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -115,7 +136,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		reg:         reg,
 		ledger:      ledger,
-		cache:       newAnswerCache(),
+		cache:       newAnswerCache(cfg.AnswerCacheMax, cfg.AnswerCacheTTL),
 		metrics:     newMetrics(),
 		sem:         make(chan struct{}, workers),
 		execWorkers: cfg.ExecWorkers,

@@ -449,3 +449,68 @@ func TestServerDeadline(t *testing.T) {
 		t.Fatalf("deadline query: HTTP %d", code)
 	}
 }
+
+// TestServerJoinShare drives three distinct releases (different aggregates
+// and ε, so three fingerprints and three fresh mechanism runs) over one join
+// structure: with sharing on they must run exactly one probe pass, with
+// sharing disabled via Config.JoinShareCap they must still release the
+// identical estimates — join sharing is invisible in every analyst-facing
+// byte, it only removes redundant executor work (DESIGN.md §12).
+func TestServerJoinShare(t *testing.T) {
+	queries := []string{
+		`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src","epsilon":0.5,"gsq":64}`,
+		`{"dataset":"graph","sql":"SELECT SUM(e1.src) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src","epsilon":0.5,"gsq":64}`,
+		`{"dataset":"graph","sql":"SELECT COUNT(*) FROM Edge e1, Edge e2 WHERE e1.dst = e2.src","epsilon":0.25,"gsq":64}`,
+	}
+	run := func(cap int) ([]float64, string) {
+		cfg := newGraphConfig(t, filepath.Join(t.TempDir(), "budget.ledger"), 10)
+		cfg.JoinShareCap = cap
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+		c := &testClient{t: t, url: ts.URL}
+		ests := make([]float64, 0, len(queries))
+		for _, q := range queries {
+			code, ok, fail := c.query(q)
+			if code != http.StatusOK {
+				t.Fatalf("HTTP %d: %s", code, fail.Error)
+			}
+			if ok.Cached {
+				t.Fatalf("distinct release answered from the replay cache: %s", q)
+			}
+			ests = append(ests, ok.Estimate)
+		}
+		_, metricsBody := c.get("/metrics")
+		return ests, metricsBody
+	}
+
+	shared, sharedMetrics := run(0)
+	unshared, unsharedMetrics := run(-1)
+	for i := range shared {
+		if shared[i] != unshared[i] {
+			t.Errorf("query %d: shared estimate %v differs from unshared %v", i, shared[i], unshared[i])
+		}
+	}
+	for _, want := range []string{
+		`r2td_join_core_cache_misses_total{dataset="graph"} 1`,
+		`r2td_join_core_cache_hits_total{dataset="graph"} 2`,
+		`r2td_join_core_cache_entries{dataset="graph"} 1`,
+	} {
+		if !strings.Contains(sharedMetrics, want) {
+			t.Errorf("shared /metrics missing %q", want)
+		}
+	}
+	for _, want := range []string{
+		`r2td_join_core_cache_misses_total{dataset="graph"} 0`,
+		`r2td_join_core_cache_hits_total{dataset="graph"} 0`,
+		`r2td_answer_cache_evictions_total 0`,
+	} {
+		if !strings.Contains(unsharedMetrics, want) {
+			t.Errorf("unshared /metrics missing %q", want)
+		}
+	}
+}

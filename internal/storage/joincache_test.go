@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"r2t/internal/schema"
+	"r2t/internal/value"
+)
+
+func cacheTable(t *testing.T) *Table {
+	t.Helper()
+	rel := &schema.Relation{Name: "T", Attrs: []string{"a"}, PK: "a"}
+	schema.MustNew(rel)
+	tbl := NewTable(rel)
+	if err := tbl.Append(Row{value.IntV(1)}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func fill(t *testing.T, tbl *Table, ver uint64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v, _ := tbl.JoinCacheAt(fmt.Sprintf("k%d", i), ver, func() any { return i })
+		if v != i {
+			t.Fatalf("build for k%d returned %v", i, v)
+		}
+	}
+}
+
+func TestJoinCacheLRUEviction(t *testing.T) {
+	tbl := cacheTable(t)
+	_, ver := tbl.Snapshot()
+	tbl.SetJoinCacheCap(3)
+	fill(t, tbl, ver, 3) // k0 k1 k2; LRU order back→front: k0 k1 k2
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok := tbl.JoinCacheGetAt("k0", ver); !ok {
+		t.Fatal("k0 should be cached")
+	}
+	rebuilt := false
+	if v, _ := tbl.JoinCacheAt("k3", ver, func() any { rebuilt = true; return 3 }); v != 3 || !rebuilt {
+		t.Fatalf("k3 should build fresh (v=%v rebuilt=%v)", v, rebuilt)
+	}
+	if _, ok := tbl.JoinCacheGetAt("k1", ver); ok {
+		t.Error("k1 should have been evicted as least recently used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := tbl.JoinCacheGetAt(k, ver); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	s := tbl.JoinCacheStats()
+	if s.Evictions != 1 || s.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction, 3 entries", s)
+	}
+	if s.Misses != 4 { // four fresh builds
+		t.Errorf("misses = %d, want 4", s.Misses)
+	}
+}
+
+func TestJoinCacheCapLoweredEvictsNow(t *testing.T) {
+	tbl := cacheTable(t)
+	_, ver := tbl.Snapshot()
+	fill(t, tbl, ver, 5)
+	tbl.SetJoinCacheCap(2)
+	s := tbl.JoinCacheStats()
+	if s.Entries != 2 || s.Evictions != 3 {
+		t.Fatalf("stats after cap lowering = %+v, want 2 entries, 3 evictions", s)
+	}
+}
+
+func TestJoinCacheDisabled(t *testing.T) {
+	tbl := cacheTable(t)
+	_, ver := tbl.Snapshot()
+	tbl.SetJoinCacheCap(-1)
+	builds := 0
+	for i := 0; i < 2; i++ {
+		tbl.JoinCacheAt("k", ver, func() any { builds++; return builds })
+	}
+	if builds != 2 {
+		t.Fatalf("disabled cache should rebuild every time, got %d builds", builds)
+	}
+	if s := tbl.JoinCacheStats(); s.Entries != 0 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 0 entries, 2 misses", s)
+	}
+}
+
+func TestJoinCacheInvalidationCounted(t *testing.T) {
+	tbl := cacheTable(t)
+	_, ver := tbl.Snapshot()
+	fill(t, tbl, ver, 2)
+	if err := tbl.Append(Row{value.IntV(2)}); err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.JoinCacheStats()
+	if s.Invalidations != 2 || s.Entries != 0 {
+		t.Fatalf("stats after Append = %+v, want 2 invalidations, 0 entries", s)
+	}
+	// Stale-version build is served but never stored.
+	tbl.JoinCacheAt("k0", ver, func() any { return "stale" })
+	if _, ok := tbl.JoinCacheGetAt("k0", tbl.Version()); ok {
+		t.Error("stale build must not be cached under the new version")
+	}
+}
+
+func TestInstanceJoinCacheStatsAggregate(t *testing.T) {
+	inst := seeded(t)
+	_, ver := inst.Table("Orders").Snapshot()
+	inst.Table("Orders").JoinCacheAt("k", ver, func() any { return 1 })
+	inst.Table("Orders").JoinCacheGetAt("k", ver)
+	_, lver := inst.Table("Lineitem").Snapshot()
+	inst.Table("Lineitem").JoinCacheAt("k", lver, func() any { return 1 })
+	s := inst.JoinCacheStats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("aggregate stats = %+v, want 1 hit, 2 misses, 2 entries", s)
+	}
+	inst.SetJoinCacheCap(-1)
+	if s := inst.JoinCacheStats(); s.Entries != 0 {
+		t.Fatalf("disabling should clear entries, got %+v", s)
+	}
+}

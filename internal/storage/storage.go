@@ -5,6 +5,7 @@
 package storage
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -38,8 +39,47 @@ type Table struct {
 	// (per shared-column set), each tagged with the table version it was
 	// built from. Append clears it, and JoinCacheAt refuses to serve or
 	// store an entry for any other version, so no query ever probes — or
-	// poisons the cache with — a stale index.
-	joinCache map[string]any
+	// poisons the cache with — a stale index. The cache is LRU-bounded at
+	// joinCap entries (DefaultJoinCacheCap when unset): a workload cycling
+	// through many distinct join keys evicts the coldest index instead of
+	// growing without limit.
+	joinCache map[string]*list.Element
+	joinLRU   *list.List // front = most recently used; values are *joinEntry
+	joinCap   int        // 0 = DefaultJoinCacheCap, negative = caching off
+	joinStats CacheStats
+}
+
+// joinEntry is one LRU-tracked join-cache slot.
+type joinEntry struct {
+	key string
+	val any
+}
+
+// DefaultJoinCacheCap bounds a table's build-side index cache when no
+// explicit cap is set. Sixteen distinct (shared-column-set, check-column-set)
+// keys per table is far beyond any workload in the repo; the cap exists so an
+// adversarial or pathological stream of distinct join shapes cannot grow the
+// daemon without bound.
+const DefaultJoinCacheCap = 16
+
+// CacheStats reports one cache's traffic. Hits+Misses counts logical
+// lookups; Evictions counts capacity-driven drops; Invalidations counts
+// entries cleared because an Append advanced the table version.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+}
+
+// Add accumulates other into s (for instance-level aggregation).
+func (s *CacheStats) Add(other CacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Invalidations += other.Invalidations
+	s.Entries += other.Entries
 }
 
 // NewTable returns an empty table for rel.
@@ -59,10 +99,21 @@ func (t *Table) Append(rows ...Row) error {
 	t.mu.Lock()
 	t.Rows = append(t.Rows, rows...)
 	t.indexes = nil
+	t.joinStats.Invalidations += uint64(len(t.joinCache))
 	t.joinCache = nil
+	t.joinLRU = nil
 	t.version++
 	t.mu.Unlock()
 	return nil
+}
+
+// Version returns the current table version without exposing the rows. It is
+// the cheap read the join-core cache uses to validate an entry before
+// deciding whether a probe pass can be skipped.
+func (t *Table) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
 }
 
 // Snapshot returns the current rows together with the table version they
@@ -76,16 +127,65 @@ func (t *Table) Snapshot() ([]Row, uint64) {
 	return t.Rows, t.version
 }
 
+// SetJoinCacheCap bounds the table's build-side index cache to at most n
+// entries, evicting least-recently-used entries immediately if the cache is
+// already over the new cap. n == 0 restores DefaultJoinCacheCap; n < 0
+// disables caching (every lookup misses and nothing is stored).
+func (t *Table) SetJoinCacheCap(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.joinCap = n
+	t.evictOverCapLocked()
+}
+
+// effectiveJoinCap resolves the configured cap; callers hold t.mu.
+func (t *Table) effectiveJoinCap() int {
+	if t.joinCap == 0 {
+		return DefaultJoinCacheCap
+	}
+	return t.joinCap
+}
+
+// evictOverCapLocked drops LRU entries until the cache fits the cap.
+func (t *Table) evictOverCapLocked() {
+	cap := t.effectiveJoinCap()
+	if cap < 0 {
+		cap = 0
+	}
+	for t.joinLRU != nil && t.joinLRU.Len() > cap {
+		back := t.joinLRU.Back()
+		t.joinLRU.Remove(back)
+		delete(t.joinCache, back.Value.(*joinEntry).key)
+		t.joinStats.Evictions++
+	}
+}
+
+// JoinCacheStats returns a snapshot of the table's join-cache traffic.
+func (t *Table) JoinCacheStats() CacheStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.joinStats
+	s.Entries = len(t.joinCache)
+	return s
+}
+
 // JoinCacheGetAt returns the cached join structure for key, if present and
-// built from the given table version.
+// built from the given table version. A hit refreshes the entry's LRU
+// position; a miss is not counted here (the caller follows up with
+// JoinCacheAt, which counts the build).
 func (t *Table) JoinCacheGetAt(key string, version uint64) (any, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.version != version {
 		return nil, false
 	}
-	v, ok := t.joinCache[key]
-	return v, ok
+	e, ok := t.joinCache[key]
+	if !ok {
+		return nil, false
+	}
+	t.joinStats.Hits++
+	t.joinLRU.MoveToFront(e)
+	return e.Value.(*joinEntry).val, true
 }
 
 // JoinCacheAt returns the join structure for key as seen at the given table
@@ -96,21 +196,34 @@ func (t *Table) JoinCacheGetAt(key string, version uint64) (any, bool) {
 // caller's stale snapshot and returned WITHOUT being cached — caching it
 // would poison future queries running at the new version. Cached values must
 // be immutable once returned: readers use them without synchronization.
-func (t *Table) JoinCacheAt(key string, version uint64, build func() any) any {
+//
+// Storing may push the cache over its LRU cap; the second return value is
+// the number of entries evicted to make room (for the caller's profiler).
+func (t *Table) JoinCacheAt(key string, version uint64, build func() any) (any, int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.version != version {
-		return build()
+		t.joinStats.Misses++
+		return build(), 0
 	}
-	if v, ok := t.joinCache[key]; ok {
-		return v
+	if e, ok := t.joinCache[key]; ok {
+		t.joinStats.Hits++
+		t.joinLRU.MoveToFront(e)
+		return e.Value.(*joinEntry).val, 0
 	}
+	t.joinStats.Misses++
 	v := build()
-	if t.joinCache == nil {
-		t.joinCache = make(map[string]any)
+	if t.effectiveJoinCap() < 1 {
+		return v, 0
 	}
-	t.joinCache[key] = v
-	return v
+	if t.joinCache == nil {
+		t.joinCache = make(map[string]*list.Element)
+		t.joinLRU = list.New()
+	}
+	t.joinCache[key] = t.joinLRU.PushFront(&joinEntry{key: key, val: v})
+	before := t.joinStats.Evictions
+	t.evictOverCapLocked()
+	return v, int(t.joinStats.Evictions - before)
 }
 
 // Len returns the number of rows.
@@ -163,6 +276,24 @@ func NewInstance(s *schema.Schema) *Instance {
 
 // Table returns the table for relation name, or nil if unknown.
 func (inst *Instance) Table(name string) *Table { return inst.tables[name] }
+
+// JoinCacheStats aggregates the build-side index-cache traffic across every
+// table of the instance.
+func (inst *Instance) JoinCacheStats() CacheStats {
+	var s CacheStats
+	for _, name := range inst.Schema.Names() {
+		s.Add(inst.tables[name].JoinCacheStats())
+	}
+	return s
+}
+
+// SetJoinCacheCap applies one build-side index-cache cap to every table
+// (see Table.SetJoinCacheCap for the n semantics).
+func (inst *Instance) SetJoinCacheCap(n int) {
+	for _, t := range inst.tables {
+		t.SetJoinCacheCap(n)
+	}
+}
 
 // Insert appends rows to the named relation.
 func (inst *Instance) Insert(relation string, rows ...Row) error {

@@ -52,6 +52,13 @@ type Options struct {
 	// it off and fails such runs uniformly (DESIGN.md §9d). The default
 	// (off) fails the whole query on any race failure.
 	Degrade bool
+	// DisableJoinShare opts this evaluation out of the DB's join-core cache:
+	// the probe pass runs privately instead of being served from (or
+	// published to) the shared cache. Sharing never changes a released
+	// answer — the equivalence gates enforce bit-identity — so this knob
+	// exists for those gates and for isolating perf measurements, not for
+	// privacy (the cached core never leaves the engine, DESIGN.md §12).
+	DisableJoinShare bool
 	// Profile collects a per-stage breakdown of where the evaluation spent
 	// its time (parse, plan, exec, truncation build, LP solving, noise) plus
 	// work counters, surfaced as Answer.Profile. Profiling is pure

@@ -81,16 +81,50 @@ func NewNoiseSource(seed int64) NoiseSource { return dp.NewSource(seed) }
 type DB struct {
 	schema   *Schema
 	instance *Instance
+
+	// cores shares join probe passes across queries whose FROM/WHERE
+	// structure matches (nil = sharing off). Sharing is invisible in every
+	// released value: a core is version-checked against the tables, each
+	// request still runs its own truncation/LP/noise with its own ε, and
+	// DESIGN.md §12 argues why the pre-noise core never needs budget.
+	cores *exec.CoreCache
 }
+
+// DefaultJoinShareCap bounds the DB's join-core cache: the number of
+// distinct join structures whose probe results are retained for sharing.
+// Cores hold materialized join output, so the cap is deliberately modest;
+// raise it with SetJoinShareCap for workloads with many hot join shapes.
+const DefaultJoinShareCap = 32
 
 // NewDB creates an empty database over s.
 func NewDB(s *Schema) *DB {
-	return &DB{schema: s, instance: storage.NewInstance(s)}
+	return &DB{schema: s, instance: storage.NewInstance(s), cores: exec.NewCoreCache(DefaultJoinShareCap)}
 }
 
 // NewDBWithInstance wraps an existing instance (e.g. from a generator).
 func NewDBWithInstance(inst *Instance) *DB {
-	return &DB{schema: inst.Schema, instance: inst}
+	return &DB{schema: inst.Schema, instance: inst, cores: exec.NewCoreCache(DefaultJoinShareCap)}
+}
+
+// JoinShareStats reports the join-core cache's traffic (see
+// exec.CoreCacheStats). Hits and Coalesced are probe passes skipped.
+type JoinShareStats = exec.CoreCacheStats
+
+// JoinShareStats returns the DB's join-core cache counters (zero when
+// sharing is disabled).
+func (db *DB) JoinShareStats() JoinShareStats { return db.cores.Stats() }
+
+// SetJoinShareCap replaces the join-core cache with one bounded to n cores
+// (n ≤ 0 disables sharing entirely). Call it at setup time, before the DB
+// serves queries: the swap is not synchronized with in-flight evaluations —
+// they finish against the cache they started with, but their cores are then
+// unreachable through the new one.
+func (db *DB) SetJoinShareCap(n int) {
+	if n <= 0 {
+		db.cores = nil
+		return
+	}
+	db.cores = exec.NewCoreCache(n)
 }
 
 // Schema returns the database schema.
@@ -223,6 +257,27 @@ func execConfig(opt Options, rec *obs.Recorder) exec.Config {
 	return exec.Config{Workers: opt.ExecWorkers, Recorder: rec}
 }
 
+// coreFor obtains the query's join core, sharing a cached or in-flight probe
+// pass when sharing is on (and counting the outcome into rec). The core is
+// identical to what a dedicated exec run would have produced, so every path
+// through it stays bit-compatible with the unshared engine.
+func (db *DB) coreFor(ctx context.Context, p *plan.Plan, opt Options, rec *obs.Recorder) (*exec.Core, error) {
+	if db.cores == nil || opt.DisableJoinShare {
+		rec.Add(obs.CtrJoinCoreMiss, 1)
+		return exec.RunCore(p, db.instance, execConfig(opt, rec))
+	}
+	c, hit, err := db.cores.Get(ctx, p, db.instance, execConfig(opt, rec))
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		rec.Add(obs.CtrJoinCoreHit, 1)
+	} else {
+		rec.Add(obs.CtrJoinCoreMiss, 1)
+	}
+	return c, nil
+}
+
 func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options, rec *obs.Recorder) (*Answer, error) {
 	priv := schema.PrivateSpec{Primary: opt.Primary}
 	stopPlan := rec.Time(obs.StagePlan)
@@ -237,7 +292,11 @@ func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options, rec *obs.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := exec.RunConfig(p, db.instance, execConfig(opt, rec))
+	c, err := db.coreFor(ctx, p, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Result(p, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +365,11 @@ func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options, rec *obs
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pos, neg, err := exec.RunSplitConfig(p, db.instance, execConfig(opt, rec))
+	c, err := db.coreFor(ctx, p, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	pos, neg, err := c.SplitResult(p, rec)
 	if err != nil {
 		return nil, err
 	}

@@ -42,6 +42,19 @@ go test -race -run 'TestDegrade|TestPanic|TestAllRacesFailed|TestCoreRaceFaultSi
 go test -race -run 'TestExecEquivalence|TestExecWorkers|TestExecSmallSide|TestIndexCache|TestRunPartitioned' ./internal/exec/
 go test -race -run 'TestQueryExecWorkers|TestQueryGroupByExecWorkers|TestQueryGroupBySingleJoin|TestQueryGroupByDuplicate' .
 
+# Join-sharing equivalence gate, named explicitly (these also ran inside the
+# full suite above): the shared join core must hand every aggregate the
+# bit-identical result of its own probe pass (exec level and released-answer
+# level), concurrent mixed-aggregate queries must coalesce to at most one
+# probe pass per (core, version) even interleaved with Append, and the r2td
+# server must release identical estimates with sharing on or off — all under
+# the race detector (DESIGN.md §12).
+go test -race -run 'TestCoreBuildEquivalence|TestCoreSplitResultEquivalence|TestCorePartitionedResultEquivalence|TestCoreRejectsMismatchedPlan|TestCoreCache' ./internal/exec/
+go test -race -run 'TestJoinSignature' ./internal/plan/
+go test -race -run 'TestShareWorkloads' ./internal/experiments/
+go test -race -run 'TestJoinShare|TestQueryBatch' .
+go test -race -run 'TestServerJoinShare|TestAnswerCache' ./internal/server/
+
 # Profiler gate, named explicitly (these also ran inside the full suite
 # above): a disabled recorder must stay allocation-free on every hot path —
 # profiling is always-on in r2td, so a nil-recorder regression is a tax on
