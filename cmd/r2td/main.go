@@ -18,6 +18,16 @@
 //	  "epsilon": 0.4, "gsq": 1024
 //	}'
 //
+// With -data-dir (or a per-dataset dir= key) datasets become durable:
+// tables are backed by fsynced, checksummed write-ahead logs replayed on
+// startup, and POST /v1/append accepts integrity-checked row batches that
+// survive crashes — see DESIGN.md §13:
+//
+//	r2td -data-dir /var/lib/r2td -ledger r2td.ledger -dataset "name=graph,..."
+//	curl -s localhost:8080/v1/append -d '{
+//	  "dataset": "graph", "relation": "Edge", "rows": [["7", "9"]]
+//	}'
+//
 // Repeating the exact query is served from the answer cache and charges no
 // additional ε (re-releasing a published DP answer is post-processing).
 // SIGTERM/SIGINT drain in-flight queries before exit; the ledger guarantees
@@ -40,6 +50,7 @@ import (
 	_ "net/http/pprof" // pprof handlers on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -101,8 +112,10 @@ func parseDatasetFlag(v string) (server.DatasetConfig, error) {
 					cfg.Primary = append(cfg.Primary, p)
 				}
 			}
+		case "dir":
+			cfg.DurableDir = val
 		default:
-			return cfg, fmt.Errorf("dataset field %q: unknown key (want name/schema/data/eps/primary)", key)
+			return cfg, fmt.Errorf("dataset field %q: unknown key (want name/schema/data/eps/primary/dir)", key)
 		}
 	}
 	if cfg.Name == "" || cfg.SchemaPath == "" {
@@ -129,13 +142,21 @@ func main() {
 		ansMax     = flag.Int("answer-cache-max", 0, "max recorded releases in the free-replay cache, LRU-evicted (0 = default 65536); evicted replays re-charge ε")
 		ansTTL     = flag.Duration("answer-cache-ttl", 0, "expire recorded releases after this age (0 = never); expired replays re-charge ε")
 		shareCap   = flag.Int("join-share-cap", 0, "join cores cached per dataset for cross-query sharing (0 = engine default, negative = disable sharing); answers are identical either way")
+		dataDir    = flag.String("data-dir", "", "make every dataset durable under DIR/<name>/ (WAL-backed tables, /v1/append enabled, crash recovery on startup); per-dataset dir= overrides")
 	)
-	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2 (repeatable)")
+	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2,dir=WALDIR (repeatable; dir= makes the dataset durable)")
 	flag.Parse()
 	if len(datasets) == 0 {
 		fmt.Fprintln(os.Stderr, "r2td: at least one -dataset is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *dataDir != "" {
+		for i := range datasets {
+			if datasets[i].DurableDir == "" {
+				datasets[i].DurableDir = filepath.Join(*dataDir, datasets[i].Name)
+			}
+		}
 	}
 
 	cfg := server.Config{

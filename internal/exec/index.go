@@ -5,19 +5,49 @@ import (
 	"fmt"
 	"strings"
 
+	"r2t/internal/storage"
 	"r2t/internal/value"
 )
 
-// tableIndex is a build-side hash index: rows grouped by the canonical byte
-// encoding (appendValueKey) of a column tuple. Groups live in an
-// open-addressed slot table; each group's row ids sit in one shared CSR
-// array, filled in ascending row order so probing a group yields matches in
-// exactly the order the legacy map[string][]int build produced them.
+// tableIndex is a build-side hash index over a prefix of a table's rows. It
+// is a sequence of immutable parts, each covering a contiguous, ascending row
+// range: parts[0] covers [0, parts[0].n), the next part the following rows,
+// and so on. Probing consults the parts in order, so matches come out in
+// ascending row id — exactly the order a single monolithic index (and before
+// it, the legacy map[string][]int build) produced them.
 //
-// An index is immutable after build and safe for concurrent lookups, which
-// is what lets storage.Table.JoinCache share it across queries and the
-// parallel probe share it across workers.
+// The part structure is what makes Append cheap: extending the index to cover
+// newly appended rows builds a part over just the delta (O(delta), never
+// O(table)) and shares every existing part untouched. A tableIndex is
+// immutable after construction and safe for concurrent lookups, which is what
+// lets storage.Table.JoinCache share it across queries, the parallel probe
+// share it across workers, and ExtendedTo publish successors while old
+// snapshot-holders keep probing their version.
 type tableIndex struct {
+	parts     []*indexPart
+	nRows     int      // rows covered == end of the last part's range
+	cols      []int    // key columns, retained so ExtendedTo can index deltas
+	checkCols [][2]int // intra-row equality checks, ditto
+}
+
+// Compaction bounds for ExtendedTo. maxIndexParts caps how many parts a
+// probe has to consult: when an append would exceed it, every part after the
+// base is re-merged into one delta part (cost O(total delta), still never
+// O(table)). rebuildFactor triggers a full single-part rebuild once the
+// accumulated delta rivals the base itself — at that point O(delta) and
+// O(table) are the same thing, and starting a fresh geometric cycle keeps the
+// amortized per-row extension cost constant.
+const (
+	maxIndexParts = 4
+	rebuildFactor = 1 // rebuild when deltaRows >= rebuildFactor * baseRows
+)
+
+// indexPart is one immutable index segment: rows grouped by the canonical
+// byte encoding (appendValueKey) of a column tuple. Groups live in an
+// open-addressed slot table; each group's row ids sit in one shared CSR
+// array, filled in ascending row order. Row ids are global (the part's base
+// offset is folded in at build time), so probing needs no per-part fixup.
+type indexPart struct {
 	keys   []byte     // concatenated group keys (byte mode)
 	groups []idxGroup // one per distinct key
 	slots  []int32    // open addressing: group id + 1; 0 = empty
@@ -25,10 +55,14 @@ type tableIndex struct {
 	starts []int32 // CSR offsets, len(groups)+1
 	rowIDs []int32
 
+	n int // rows this part covers
+
 	// Integer fast path: when every key column's canonical value
 	// (value.V.Key) is Int in every indexed row — the dominant case, since
 	// joins run on integer ids — keys are stored and probed as raw int64
-	// tuples, skipping the byte encoding and byte-wise FNV entirely.
+	// tuples, skipping the byte encoding and byte-wise FNV entirely. The
+	// mode is per part: a delta whose rows break the invariant falls back
+	// to byte mode without disturbing earlier parts.
 	intMode  bool
 	nIntCols int
 	intKeys  []int64 // group keys, nIntCols each, when intMode
@@ -36,13 +70,67 @@ type tableIndex struct {
 
 type idxGroup struct {
 	hash     uint64
-	off, end uint32 // key bytes in tableIndex.keys
+	off, end uint32 // key bytes in indexPart.keys
 }
 
-// buildIndex indexes rowset on cols, first dropping rows that fail the
-// checkCols equalities (repeated variables), mirroring the legacy build
-// loop. The generic row type admits both storage.Row and raw assignments.
+// tableIndex is what storage.Table.Append extends in place of invalidating.
+var _ storage.ExtendableIndex = (*tableIndex)(nil)
+
+// buildIndex indexes rowset on cols as a single-part tableIndex, first
+// dropping rows that fail the checkCols equalities (repeated variables). The
+// generic row type admits both storage.Row and raw assignments.
 func buildIndex[R ~[]value.V](rowset []R, cols []int, checkCols [][2]int) *tableIndex {
+	return &tableIndex{
+		parts:     []*indexPart{buildIndexPart(rowset, cols, checkCols, 0)},
+		nRows:     len(rowset),
+		cols:      append([]int(nil), cols...),
+		checkCols: append([][2]int(nil), checkCols...),
+	}
+}
+
+// ExtendedTo returns an index covering all of rows, given that the receiver
+// covers the prefix rows[:ix.nRows] — the incremental maintenance hook
+// storage.Table.Append calls (through storage.ExtendableIndex) instead of
+// invalidating cached indexes wholesale. The receiver is never mutated: the
+// successor shares its parts, so snapshot-holders still probing the old
+// version are undisturbed. rebuilt reports whether compaction forced a full
+// O(table) rebuild rather than an O(delta) extension.
+func (ix *tableIndex) ExtendedTo(rows []storage.Row) (next any, rebuilt, ok bool) {
+	if len(rows) < ix.nRows {
+		// The table shrank?! Tables are append-only; refuse and let the
+		// caller drop the entry rather than serve a wrong index.
+		return nil, false, false
+	}
+	delta := rows[ix.nRows:]
+	if len(delta) == 0 {
+		// Pure re-tag: nothing to index, the entry stays valid as-is.
+		return ix, false, true
+	}
+	base := ix.parts[0].n
+	deltaRows := ix.nRows - base + len(delta)
+	if deltaRows >= rebuildFactor*base {
+		return buildIndex(rows, ix.cols, ix.checkCols), true, true
+	}
+	var parts []*indexPart
+	if len(ix.parts) >= maxIndexParts {
+		// Collapse everything after the base into one merged delta part.
+		parts = []*indexPart{ix.parts[0], buildIndexPart(rows[base:], ix.cols, ix.checkCols, base)}
+	} else {
+		parts = make([]*indexPart, len(ix.parts), len(ix.parts)+1)
+		copy(parts, ix.parts)
+		parts = append(parts, buildIndexPart(delta, ix.cols, ix.checkCols, ix.nRows))
+	}
+	return &tableIndex{
+		parts:     parts,
+		nRows:     len(rows),
+		cols:      ix.cols,
+		checkCols: ix.checkCols,
+	}, false, true
+}
+
+// buildIndexPart indexes rowset on cols into one part whose row ids are
+// offset by base (rowset is the table's rows[base:]).
+func buildIndexPart[R ~[]value.V](rowset []R, cols []int, checkCols [][2]int, base int) *indexPart {
 	n := len(rowset)
 	// Distinct keys ≤ n, so 2× slots keeps the load factor ≤ 0.5 with no
 	// regrowth during the build.
@@ -50,9 +138,10 @@ func buildIndex[R ~[]value.V](rowset []R, cols []int, checkCols [][2]int) *table
 	for capSlots < 2*n {
 		capSlots <<= 1
 	}
-	ix := &tableIndex{
+	ix := &indexPart{
 		slots: make([]int32, capSlots),
 		mask:  uint64(capSlots - 1),
+		n:     n,
 	}
 	ix.intMode = true
 	ix.nIntCols = len(cols)
@@ -106,14 +195,14 @@ rowLoop:
 	cursor := append([]int32(nil), ix.starts[:len(ix.groups)]...)
 	for ri, g := range gidOf {
 		if g >= 0 {
-			ix.rowIDs[cursor[g]] = int32(ri)
+			ix.rowIDs[cursor[g]] = int32(base + ri)
 			cursor[g]++
 		}
 	}
 	return ix
 }
 
-func (ix *tableIndex) findOrInsert(key []byte) int32 {
+func (ix *indexPart) findOrInsert(key []byte) int32 {
 	h := hashBytes(key)
 	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
 		s := ix.slots[slot]
@@ -132,7 +221,7 @@ func (ix *tableIndex) findOrInsert(key []byte) int32 {
 	}
 }
 
-func (ix *tableIndex) intKeyEq(gid int32, key []int64) bool {
+func (ix *indexPart) intKeyEq(gid int32, key []int64) bool {
 	g := ix.intKeys[int(gid)*ix.nIntCols:]
 	for j, k := range key {
 		if g[j] != k {
@@ -142,7 +231,7 @@ func (ix *tableIndex) intKeyEq(gid int32, key []int64) bool {
 	return true
 }
 
-func (ix *tableIndex) findOrInsertInt(key []int64) int32 {
+func (ix *indexPart) findOrInsertInt(key []int64) int32 {
 	h := hashIntKey(key)
 	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
 		s := ix.slots[slot]
@@ -159,8 +248,8 @@ func (ix *tableIndex) findOrInsertInt(key []int64) int32 {
 	}
 }
 
-// lookupInt is lookup for intMode indexes.
-func (ix *tableIndex) lookupInt(key []int64) []int32 {
+// lookupInt is lookup for intMode parts.
+func (ix *indexPart) lookupInt(key []int64) []int32 {
 	h := hashIntKey(key)
 	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
 		s := ix.slots[slot]
@@ -174,8 +263,8 @@ func (ix *tableIndex) lookupInt(key []int64) []int32 {
 }
 
 // lookup returns the row ids whose key equals key, in ascending order, or
-// nil. The returned slice aliases the index and must not be modified.
-func (ix *tableIndex) lookup(key []byte) []int32 {
+// nil. The returned slice aliases the part and must not be modified.
+func (ix *indexPart) lookup(key []byte) []int32 {
 	h := hashBytes(key)
 	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
 		s := ix.slots[slot]

@@ -193,6 +193,9 @@ func joinStepExec(current [][]value.V, st *step, snap tableSnap, filters []boolF
 	if hit {
 		rec.Add(obs.CtrIndexCacheHit, 1)
 		ix = cached.(*tableIndex)
+		if len(ix.parts) > 1 {
+			rec.Add(obs.CtrIndexExtendedHit, 1)
+		}
 	} else {
 		rec.Add(obs.CtrIndexCacheMiss, 1)
 		v, evicted := snap.tbl.JoinCacheAt(key, snap.version, func() any {
@@ -206,17 +209,41 @@ func joinStepExec(current [][]value.V, st *step, snap tableSnap, filters []boolF
 	outs := make([][][]value.V, len(bounds)-1)
 	dispatch(len(outs), workers, func(ci int) {
 		em := newEmitter(st, filters, numVars, rec)
-		if ix.intMode {
-			ikey := make([]int64, len(st.sharedVars))
+		if len(ix.parts) == 1 {
+			// Fast path for the common single-part index (fresh builds, and
+			// extended indexes after compaction): one lookup per assignment,
+			// key encoded once in the part's own mode.
+			part := ix.parts[0]
+			if part.intMode {
+				ikey := make([]int64, len(st.sharedVars))
+				for i := bounds[ci]; i < bounds[ci+1]; i++ {
+					asg := current[i]
+					// Non-Int canonical probe values can't equal any indexed
+					// key, so they match nothing — exactly what the generic
+					// encoding would conclude.
+					if !intProbeKey(ikey, asg, st.sharedVars) {
+						continue
+					}
+					matches := part.lookupInt(ikey)
+					if len(matches) == 0 {
+						continue
+					}
+					em.base(asg)
+					for _, ri := range matches {
+						em.emit(rows[ri])
+					}
+				}
+				outs[ci] = em.out
+				return
+			}
+			var buf []byte
 			for i := bounds[ci]; i < bounds[ci+1]; i++ {
 				asg := current[i]
-				// Non-Int canonical probe values can't equal any indexed
-				// key, so they match nothing — exactly what the generic
-				// encoding would conclude.
-				if !intProbeKey(ikey, asg, st.sharedVars) {
-					continue
+				buf = buf[:0]
+				for _, v := range st.sharedVars {
+					buf = appendValueKey(buf, asg[v])
 				}
-				matches := ix.lookupInt(ikey)
+				matches := part.lookup(buf)
 				if len(matches) == 0 {
 					continue
 				}
@@ -228,20 +255,46 @@ func joinStepExec(current [][]value.V, st *step, snap tableSnap, filters []boolF
 			outs[ci] = em.out
 			return
 		}
+		// Multi-part path (an index extended across Appends): consult the
+		// parts in row-range order, so matches still come out in ascending
+		// row id — the same order one monolithic index would yield. Parts
+		// choose their key mode independently (a delta can demote to byte
+		// mode without disturbing the int-mode base), so both encodings of
+		// the probe key are prepared lazily per assignment.
+		ikey := make([]int64, len(st.sharedVars))
 		var buf []byte
 		for i := bounds[ci]; i < bounds[ci+1]; i++ {
 			asg := current[i]
-			buf = buf[:0]
-			for _, v := range st.sharedVars {
-				buf = appendValueKey(buf, asg[v])
-			}
-			matches := ix.lookup(buf)
-			if len(matches) == 0 {
-				continue
-			}
-			em.base(asg)
-			for _, ri := range matches {
-				em.emit(rows[ri])
+			intOK := intProbeKey(ikey, asg, st.sharedVars)
+			bufBuilt := false
+			based := false
+			for _, part := range ix.parts {
+				var matches []int32
+				if part.intMode {
+					if !intOK {
+						continue
+					}
+					matches = part.lookupInt(ikey)
+				} else {
+					if !bufBuilt {
+						buf = buf[:0]
+						for _, v := range st.sharedVars {
+							buf = appendValueKey(buf, asg[v])
+						}
+						bufBuilt = true
+					}
+					matches = part.lookup(buf)
+				}
+				if len(matches) == 0 {
+					continue
+				}
+				if !based {
+					em.base(asg)
+					based = true
+				}
+				for _, ri := range matches {
+					em.emit(rows[ri])
+				}
 			}
 		}
 		outs[ci] = em.out
@@ -317,7 +370,7 @@ rowLoop:
 // past it once. Matches are gathered per assignment in ascending row order
 // and emitted assignment-major, reproducing the probe-side order exactly.
 func joinBuildCurrent(current [][]value.V, st *step, rows []storage.Row, filters []boolFn, numVars int, rec *obs.Recorder) [][]value.V {
-	cix := buildIndex(current, st.sharedVars, nil)
+	cix := buildIndexPart(current, st.sharedVars, nil, 0)
 
 	type match struct{ asg, ri int32 }
 	var pairs []match

@@ -20,6 +20,11 @@
 //	ledger.write     r2td ledger appends — honors Short for torn writes
 //	ledger.sync      r2td ledger fsync                (internal/server)
 //	ledger.truncate  r2td ledger torn-tail repair     (internal/server)
+//	segstore.open      table WAL file open              (internal/segstore)
+//	segstore.read      table WAL replay reads           (internal/segstore)
+//	segstore.write     table WAL appends — honors Short for torn writes
+//	segstore.sync      table WAL fsync                  (internal/segstore)
+//	segstore.truncate  table WAL torn-tail repair       (internal/segstore)
 //	lp.solve         every exact LP solve             (internal/lp)
 //	core.race        the start of each R2T race       (internal/core)
 //	dp.laplace       every Laplace noise draw         (internal/dp) — panic payloads only

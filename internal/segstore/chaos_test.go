@@ -1,0 +1,156 @@
+package segstore_test
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"r2t"
+	"r2t/internal/fault"
+	"r2t/internal/schema"
+	"r2t/internal/segstore"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+func chaosSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Relation{Name: "R", Attrs: []string{"ID", "w"}, PK: "ID"},
+	)
+}
+
+// TestChaosCrashRecovery is the segstore analog of the PR 3 ledger chaos
+// test: 30 epochs of appends with injected torn writes, write errors, fsync
+// errors, and panics, each epoch ending in a simulated crash — the WAL is
+// truncated at a random point at or after the last known-durable offset,
+// modeling a kernel that drops or tears any un-fsynced tail — followed by
+// recovery. After every recovery:
+//
+//   - the recovered table is exactly a prefix of the attempted append
+//     sequence, with admitted ≤ recovered ≤ attempted (an append whose
+//     error surfaced after its bytes landed may legitimately reappear);
+//   - a seeded DP query over the recovered instance is bitwise-identical to
+//     the same query over a never-crashed instance holding the same rows.
+func TestChaosCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "R.wal")
+	rng := rand.New(rand.NewSource(20260808))
+	s := chaosSchema()
+
+	var attempted []storage.Row // committed prefix + this epoch's attempts, in order
+	admitted := 0               // prefix of attempted known durable
+	nextID := int64(0)
+
+	for epoch := 0; epoch < 30; epoch++ {
+		inst := storage.NewInstance(s)
+		st, err := segstore.Open(dir, inst)
+		if err != nil {
+			t.Fatalf("epoch %d: open: %v", epoch, err)
+		}
+
+		// Invariants over the recovered state.
+		rows, _ := inst.Table("R").Snapshot()
+		if len(rows) < admitted || len(rows) > len(attempted) {
+			t.Fatalf("epoch %d: recovered %d rows, want within [%d, %d]",
+				epoch, len(rows), admitted, len(attempted))
+		}
+		for i, row := range rows {
+			if !value.Equal(row[0], attempted[i][0]) || !value.Equal(row[1], attempted[i][1]) {
+				t.Fatalf("epoch %d: recovered row %d = %v, not the attempted prefix (%v)",
+					epoch, i, row, attempted[i])
+			}
+		}
+		// Rows recovered beyond the old admitted mark were re-fsynced by the
+		// torn-tail repair: they are the new committed prefix, and everything
+		// past them is gone for good (the store fails closed, never retries).
+		attempted = attempted[:len(rows):len(rows)]
+		admitted = len(rows)
+
+		// Bitwise query equivalence against a never-crashed twin.
+		clean := storage.NewInstance(s)
+		for _, row := range rows {
+			clean.MustInsert("R", append(storage.Row(nil), row...))
+		}
+		opt := r2t.Options{Epsilon: 1, GSQ: 8, Primary: []string{"R"}, Noise: r2t.NewNoiseSource(7)}
+		optClean := opt
+		optClean.Noise = r2t.NewNoiseSource(7)
+		got, err := r2t.NewDBWithInstance(inst).Query(`SELECT COUNT(*) FROM R`, opt)
+		if err != nil {
+			t.Fatalf("epoch %d: query over recovered instance: %v", epoch, err)
+		}
+		want, err := r2t.NewDBWithInstance(clean).Query(`SELECT COUNT(*) FROM R`, optClean)
+		if err != nil {
+			t.Fatalf("epoch %d: query over clean instance: %v", epoch, err)
+		}
+		if math.Float64bits(got.Estimate) != math.Float64bits(want.Estimate) ||
+			got.TrueAnswer != want.TrueAnswer {
+			t.Fatalf("epoch %d: recovered answer (%v, %v) != clean answer (%v, %v)",
+				epoch, got.Estimate, got.TrueAnswer, want.Estimate, want.TrueAnswer)
+		}
+
+		durable := statSize(t, walPath) // everything on disk right now is fsynced
+
+		// This epoch's fault: torn write, write error, fsync error, a panic
+		// mid-append, or nothing.
+		var disarm func()
+		hit := rng.Intn(4) + 1
+		switch epoch % 5 {
+		case 0:
+			disarm = fault.Enable("segstore.write", fault.Rule{OnHit: hit, Short: rng.Intn(20) + 1})
+		case 1:
+			disarm = fault.Enable("segstore.write", fault.Rule{OnHit: hit})
+		case 2:
+			disarm = fault.Enable("segstore.sync", fault.Rule{OnHit: hit})
+		case 3:
+			disarm = fault.Enable("segstore.write", fault.Rule{OnHit: hit, Panic: "chaos: die mid-append"})
+		default:
+			disarm = func() {}
+		}
+
+		// A burst of appends; the first failure ends it (the store fails
+		// closed), and an injected panic is the "process" dying on the spot.
+		func() {
+			defer func() { recover() }()
+			for b := 0; b < 6; b++ {
+				n := rng.Intn(3) + 1
+				batch := make([]storage.Row, n)
+				for i := range batch {
+					batch[i] = storage.Row{value.IntV(nextID), value.IntV(nextID % 5)}
+					nextID++
+				}
+				attempted = append(attempted, batch...)
+				if st.Insert("R", batch...) != nil {
+					return
+				}
+				admitted += n
+				durable = statSize(t, walPath) // fsync acknowledged
+			}
+		}()
+		disarm()
+		st.Close()
+
+		// Crash: any bytes past the last acknowledged fsync may vanish.
+		size := statSize(t, walPath)
+		if size < durable {
+			t.Fatalf("epoch %d: WAL shrank below the durable offset (%d < %d)", epoch, size, durable)
+		}
+		cut := durable + rng.Int63n(size-durable+1)
+		if err := os.Truncate(walPath, cut); err != nil {
+			t.Fatalf("epoch %d: truncate: %v", epoch, err)
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("chaos run admitted no rows at all — faults drowned the workload")
+	}
+}
+
+func statSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,127 @@
+package segstore_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"r2t"
+	"r2t/internal/schema"
+	"r2t/internal/segstore"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+// TestConcurrentAppendQuery runs durable appends, single queries, and
+// QueryBatch concurrently (meaningful under -race): every reader must see a
+// consistent snapshot — counts only ever grow along each goroutine's
+// timeline, COUNT and SUM agree within one evaluation — while the writer's
+// fsyncs never block them, and the extended-index path keeps the build-side
+// cache warm throughout the burst.
+func TestConcurrentAppendQuery(t *testing.T) {
+	s := schema.MustNew(
+		&schema.Relation{Name: "R", Attrs: []string{"ID"}, PK: "ID"},
+		&schema.Relation{Name: "S", Attrs: []string{"ID", "r", "w"}, PK: "ID",
+			FKs: []schema.FK{{Attr: "r", Ref: "R"}}},
+	)
+	inst := storage.NewInstance(s)
+	for i := int64(0); i < 20; i++ {
+		inst.MustInsert("R", storage.Row{value.IntV(i)})
+	}
+	for i := int64(0); i < 50; i++ {
+		inst.MustInsert("S", storage.Row{value.IntV(i), value.IntV(i % 20), value.IntV(1)})
+	}
+	st, err := segstore.Open(t.TempDir(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	db := r2t.NewDBWithInstance(inst)
+
+	const (
+		appends = 60
+		readers = 4
+	)
+	join := `SELECT COUNT(*) FROM R r1, S WHERE S.r = r1.ID`
+	joinSum := `SELECT SUM(S.w) FROM R r1, S WHERE S.r = r1.ID`
+	opt := func() r2t.Options {
+		return r2t.Options{Epsilon: 1, GSQ: 16, Primary: []string{"R"}, Noise: r2t.NewNoiseSource(11)}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < appends; i++ {
+			id := 1000 + i
+			if err := st.Insert("S", storage.Row{value.IntV(id), value.IntV(id % 20), value.IntV(1)}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := float64(-1)
+			for i := 0; i < 25; i++ {
+				if r%2 == 0 {
+					ans, err := db.Query(join, opt())
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if ans.TrueAnswer < last {
+						t.Errorf("reader %d: count went backwards: %g after %g", r, ans.TrueAnswer, last)
+						return
+					}
+					last = ans.TrueAnswer
+					continue
+				}
+				// Both items share one join core; w ≡ 1 makes the two
+				// aggregates equal on any consistent snapshot, so a mismatch
+				// means the batch saw a torn view.
+				answers, err := db.QueryBatch(context.Background(),
+					[]r2t.BatchQuery{{SQL: join, Opt: opt()}, {SQL: joinSum, Opt: opt()}})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if answers[0].TrueAnswer != answers[1].TrueAnswer {
+					t.Errorf("reader %d: COUNT %g != SUM %g within one batch",
+						r, answers[0].TrueAnswer, answers[1].TrueAnswer)
+					return
+				}
+				if answers[0].TrueAnswer < last {
+					t.Errorf("reader %d: count went backwards: %g after %g", r, answers[0].TrueAnswer, last)
+					return
+				}
+				last = answers[0].TrueAnswer
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The writer ran 60 appends while readers kept the cache hot: the
+	// incremental path must have extended indexes rather than invalidating.
+	cs := inst.Table("S").JoinCacheStats()
+	if cs.Extensions == 0 {
+		t.Fatalf("no index extensions across the append burst: %+v", cs)
+	}
+	final, err := db.Query(join, opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := final.TrueAnswer, float64(50+appends); got != want {
+		t.Fatalf("final count %g, want %g", got, want)
+	}
+}

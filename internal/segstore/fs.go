@@ -1,0 +1,88 @@
+package segstore
+
+import (
+	"io"
+	"os"
+
+	"r2t/internal/fault"
+)
+
+// walFile is the filesystem seam a table WAL reads and writes through —
+// exactly the slice of *os.File the store needs, mirroring the ledger seam
+// in internal/server/fs.go, so tests and chaos runs can interpose on every
+// operation whose failure the store must survive: reads during replay,
+// record appends, fsync, and torn-tail repair.
+type walFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// openWALFile opens a WAL's backing file wrapped in the fault seam. The
+// wrapper is always present — its per-call cost is one atomic load when no
+// fault is armed — so chaos runs via R2T_FAULTS need no special build.
+func openWALFile(path string) (walFile, error) {
+	if err := fault.Check("segstore.open"); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f}, nil
+}
+
+// faultFile delegates to an *os.File, consulting the segstore.* failpoints
+// first. Write additionally honors the Short payload: the first Short bytes
+// reach the real file before the injected error, modeling a write torn by a
+// crash or a full disk — the on-disk state a chaos test then replays.
+type faultFile struct {
+	f *os.File
+}
+
+func (w *faultFile) Read(p []byte) (int, error) {
+	if err := fault.Check("segstore.read"); err != nil {
+		return 0, err
+	}
+	return w.f.Read(p)
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if r, ok := fault.Fire("segstore.write"); ok {
+		if r.Panic != nil {
+			panic(r.Panic)
+		}
+		if r.Short > 0 && r.Short < len(p) {
+			n, err := w.f.Write(p[:r.Short])
+			if err != nil {
+				return n, err
+			}
+			return n, r.Err
+		}
+		return 0, r.Err
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return w.f.Seek(offset, whence)
+}
+
+func (w *faultFile) Sync() error {
+	if err := fault.Check("segstore.sync"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	if err := fault.Check("segstore.truncate"); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

@@ -1,0 +1,434 @@
+package segstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"r2t/internal/storage"
+)
+
+// ErrPoisoned is wrapped by every append attempted after a WAL write or
+// fsync of unknown durability failed. Like the budget ledger (PR 3), the
+// store fails closed: once the log and memory may disagree, no further
+// writes are accepted until the process restarts and replays the log.
+var ErrPoisoned = errors.New("segstore: store poisoned by earlier write failure")
+
+// ErrClosed is wrapped by appends attempted after Close.
+var ErrClosed = errors.New("segstore: store closed")
+
+// Segment describes one sealed, immutable run of a table's rows: the rows of
+// a single WAL record, covering global row ids [StartRow, StartRow+Rows).
+// Segments are sealed the moment their record is durable and never change —
+// the on-disk shadow of the in-memory append-only Rows prefix that
+// storage.Table.Snapshot readers and extended join-index parts rely on.
+type Segment struct {
+	Off      int64 // record frame offset in the WAL file
+	Bytes    int   // frame + payload size
+	StartRow int   // first global row id covered
+	Rows     int
+}
+
+// Stats is a snapshot of the store's traffic since Open.
+type Stats struct {
+	Appends       uint64 // WAL record appends (live, post-replay)
+	AppendedRows  uint64
+	Fsyncs        uint64
+	FsyncSeconds  float64
+	ReplayedRecs  uint64 // records recovered by Open
+	ReplayedRows  uint64
+	TornBytes     uint64 // tail bytes discarded by replay repair
+	Bootstrapped  int    // tables seeded from in-memory rows (no prior WAL)
+	Recovered     int    // tables recovered from an existing WAL
+	Segments      int    // sealed segments across all tables
+	SegmentRows   uint64 // rows covered by those segments
+	SegmentBytes  uint64
+	PoisonedSince bool // a write of unknown durability has poisoned the store
+}
+
+// Store owns one WAL per relation of an instance and installs itself as each
+// table's write-ahead AppendSink, making the instance durable: every Append
+// is fsynced to the relation's log before it becomes visible, and Open
+// replays the logs back through the ordinary Append path on restart.
+type Store struct {
+	dir  string
+	inst *storage.Instance
+	wals map[string]*tableWAL
+
+	// wmu serializes Insert across relations: the incremental FK check reads
+	// referenced tables' indexes, which a concurrent writer could be
+	// extending.
+	wmu sync.Mutex
+
+	failed atomic.Pointer[error]
+
+	appends      atomic.Uint64
+	appendedRows atomic.Uint64
+	fsyncs       atomic.Uint64
+	fsyncNanos   atomic.Uint64
+	replayedRecs uint64
+	replayedRows uint64
+	tornBytes    uint64
+	bootstrapped int
+	recovered    int
+}
+
+// tableWAL is one relation's append-only log; it implements
+// storage.AppendSink. The table's own appendMu serializes sink calls, so mu
+// only mediates between an appender and Stats/Segments readers.
+type tableWAL struct {
+	store *Store
+	name  string
+	ncols int
+	f     walFile
+
+	mu    sync.Mutex
+	size  int64 // current end offset == next record's Off
+	nRows int
+	segs  []Segment
+
+	buf []byte // encode buffer, reused across appends
+}
+
+// Open makes inst durable under dir (created if missing). Per relation: an
+// existing `<name>.wal` is replayed into the table — which must be empty;
+// refusing to merge a log into independently loaded rows keeps recovery
+// unambiguous — repairing a torn tail by truncation; a relation with no WAL
+// yet is bootstrapped, writing its current rows (e.g. just loaded from CSV)
+// to a temporary file that is fsynced and atomically renamed into place, so
+// a crash mid-bootstrap leaves no half-written log to be mistaken for a
+// durable one. Every table then gets its WAL installed as AppendSink.
+//
+// On error the store is closed and inst may hold partially replayed tables;
+// callers should discard it.
+func Open(dir string, inst *storage.Instance) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, inst: inst, wals: make(map[string]*tableWAL)}
+	for _, name := range inst.Schema.Names() {
+		t := inst.Table(name)
+		w := &tableWAL{store: s, name: name, ncols: len(t.Rel.Attrs)}
+		path := filepath.Join(dir, name+".wal")
+		_, statErr := os.Stat(path)
+		var err error
+		switch {
+		case statErr == nil:
+			if t.Len() > 0 {
+				err = fmt.Errorf("segstore: %s: refusing to replay %s into a table already holding %d rows", name, path, t.Len())
+			} else {
+				err = w.replay(path, t)
+				s.recovered++
+			}
+		case errors.Is(statErr, os.ErrNotExist):
+			err = w.bootstrap(path, t)
+			s.bootstrapped++
+		default:
+			err = statErr
+		}
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.wals[name] = w
+		t.SetAppendSink(w)
+	}
+	return s, nil
+}
+
+// replay recovers the durable prefix of path into t: intact records are
+// appended through the ordinary (sink-less, at this point) Append path, and
+// the first torn or corrupt record — under the crash model, only the
+// un-fsynced tail can be damaged — ends the log, which is truncated back to
+// the last intact record so future appends extend a clean file.
+func (w *tableWAL) replay(path string, t *storage.Table) error {
+	f, err := openWALFile(path)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	br := bufio.NewReader(f)
+	hdr, err := readHeader(br, w.name, w.ncols)
+	if err != nil {
+		return err
+	}
+	off := int64(hdr)
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // clean end, or a frame torn mid-header
+			}
+			return fmt.Errorf("segstore: %s: replay: %w", w.name, err)
+		}
+		plen := int(binary.LittleEndian.Uint32(frame[:4]))
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		if plen < 4 || plen > maxWALRecord {
+			break // torn or corrupt length field
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // payload torn
+			}
+			return fmt.Errorf("segstore: %s: replay: %w", w.name, err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // corrupt
+		}
+		rows, err := decodePayload(payload, w.ncols)
+		if err != nil {
+			break // structurally invalid despite CRC: treat as end of log
+		}
+		if err := t.Append(rows...); err != nil {
+			return fmt.Errorf("segstore: %s: replay: %w", w.name, err)
+		}
+		w.segs = append(w.segs, Segment{Off: off, Bytes: 8 + plen, StartRow: w.nRows, Rows: len(rows)})
+		w.nRows += len(rows)
+		off += int64(8 + plen)
+		w.store.replayedRecs++
+		w.store.replayedRows += uint64(len(rows))
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if size > off {
+		w.store.tornBytes += uint64(size - off)
+		if err := f.Truncate(off); err != nil {
+			return fmt.Errorf("segstore: %s: torn-tail repair: %w", w.name, err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("segstore: %s: torn-tail repair: %w", w.name, err)
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = off
+	return nil
+}
+
+// readHeader consumes and validates the WAL header from br, returning its
+// size in bytes.
+func readHeader(br *bufio.Reader, name string, ncols int) (int, error) {
+	fixed := make([]byte, len(walMagic)+4)
+	if _, err := io.ReadFull(br, fixed); err != nil {
+		return 0, fmt.Errorf("segstore: %s: WAL header: %w", name, err)
+	}
+	if string(fixed[:len(walMagic)]) != walMagic {
+		return 0, fmt.Errorf("segstore: %s: bad WAL magic %q", name, fixed[:len(walMagic)])
+	}
+	nameLen := int(binary.LittleEndian.Uint32(fixed[len(walMagic):]))
+	if nameLen > 1<<16 {
+		return 0, fmt.Errorf("segstore: %s: implausible WAL name length %d", name, nameLen)
+	}
+	rest := make([]byte, nameLen+4)
+	if _, err := io.ReadFull(br, rest); err != nil {
+		return 0, fmt.Errorf("segstore: %s: WAL header: %w", name, err)
+	}
+	if got := string(rest[:nameLen]); got != name {
+		return 0, fmt.Errorf("segstore: WAL names relation %q, want %q", got, name)
+	}
+	if got := int(binary.LittleEndian.Uint32(rest[nameLen:])); got != ncols {
+		return 0, fmt.Errorf("segstore: %s: WAL has %d columns, want %d", name, got, ncols)
+	}
+	return len(fixed) + len(rest), nil
+}
+
+// bootstrap seeds a fresh WAL at path with t's current rows, via a
+// temporary file fsynced before an atomic rename — a crash at any point
+// leaves either no WAL (next Open bootstraps again) or a complete one.
+func (w *tableWAL) bootstrap(path string, t *storage.Table) error {
+	tmp := path + ".tmp"
+	f, err := openWALFile(tmp)
+	if err != nil {
+		return err
+	}
+	// A stale tmp from a crashed bootstrap may linger; start it clean.
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return err
+	}
+	rows, _ := t.Snapshot()
+	buf := appendHeader(nil, w.name, w.ncols)
+	for start := 0; start < len(rows); start += maxWALBatchRows {
+		end := min(start+maxWALBatchRows, len(rows))
+		off := int64(len(buf))
+		buf = appendRecord(buf, rows[start:end])
+		w.segs = append(w.segs, Segment{Off: off, Bytes: len(buf) - int(off), StartRow: start, Rows: end - start})
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: %s: bootstrap: %w", w.name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: %s: bootstrap: %w", w.name, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	wf, err := openWALFile(path)
+	if err != nil {
+		return err
+	}
+	size, err := wf.Seek(0, io.SeekEnd)
+	if err != nil {
+		wf.Close()
+		return err
+	}
+	w.f = wf
+	w.size = size
+	w.nRows = len(rows)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// AppendRows is the storage.AppendSink hook: frame, write, and fsync the
+// batch before storage.Table.Append makes it visible in memory. The caller
+// (the table) holds its appendMu, so calls are serialized per table. Any
+// write or fsync failure leaves durability unknown and poisons the whole
+// store.
+func (w *tableWAL) AppendRows(rows []storage.Row) error {
+	s := w.store
+	if errp := s.failed.Load(); errp != nil {
+		return fmt.Errorf("segstore: %s: append rejected: %w", w.name, *errp)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = w.buf[:0]
+	staged := make([]Segment, 0, 1)
+	for start := 0; start < len(rows); start += maxWALBatchRows {
+		end := min(start+maxWALBatchRows, len(rows))
+		off := w.size + int64(len(w.buf))
+		w.buf = appendRecord(w.buf, rows[start:end])
+		staged = append(staged, Segment{Off: off, Bytes: int(w.size + int64(len(w.buf)) - off), StartRow: w.nRows + start, Rows: end - start})
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		s.poison(err)
+		return fmt.Errorf("segstore: %s: WAL append: %w (%w)", w.name, err, ErrPoisoned)
+	}
+	begin := time.Now()
+	if err := w.f.Sync(); err != nil {
+		s.poison(err)
+		return fmt.Errorf("segstore: %s: WAL fsync: %w (%w)", w.name, err, ErrPoisoned)
+	}
+	s.fsyncs.Add(1)
+	s.fsyncNanos.Add(uint64(time.Since(begin)))
+	w.size += int64(len(w.buf))
+	w.nRows += len(rows)
+	w.segs = append(w.segs, staged...)
+	s.appends.Add(uint64(len(staged)))
+	s.appendedRows.Add(uint64(len(rows)))
+	return nil
+}
+
+// poison records the first unrecoverable write failure; later appends fail
+// with it until restart.
+func (s *Store) poison(err error) {
+	e := fmt.Errorf("%w: %w", ErrPoisoned, err)
+	s.failed.CompareAndSwap(nil, &e)
+}
+
+// Poisoned returns the failure that poisoned the store, or nil.
+func (s *Store) Poisoned() error {
+	if errp := s.failed.Load(); errp != nil {
+		if !errors.Is(*errp, ErrClosed) {
+			return *errp
+		}
+	}
+	return nil
+}
+
+// Insert is the store's checked write path: one store-wide writer lock, the
+// instance's incremental PK/FK validation, then the durable append through
+// the table's sink.
+func (s *Store) Insert(relation string, rows ...storage.Row) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if errp := s.failed.Load(); errp != nil {
+		return fmt.Errorf("segstore: insert rejected: %w", *errp)
+	}
+	return s.inst.InsertChecked(relation, rows...)
+}
+
+// Segments returns a copy of the sealed segments of one relation's log.
+func (s *Store) Segments(relation string) []Segment {
+	w := s.wals[relation]
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Segment(nil), w.segs...)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Appends:      s.appends.Load(),
+		AppendedRows: s.appendedRows.Load(),
+		Fsyncs:       s.fsyncs.Load(),
+		FsyncSeconds: float64(s.fsyncNanos.Load()) / 1e9,
+		ReplayedRecs: s.replayedRecs,
+		ReplayedRows: s.replayedRows,
+		TornBytes:    s.tornBytes,
+		Bootstrapped: s.bootstrapped,
+		Recovered:    s.recovered,
+	}
+	st.PoisonedSince = s.Poisoned() != nil
+	for _, w := range s.wals {
+		w.mu.Lock()
+		st.Segments += len(w.segs)
+		for _, seg := range w.segs {
+			st.SegmentRows += uint64(seg.Rows)
+			st.SegmentBytes += uint64(seg.Bytes)
+		}
+		w.mu.Unlock()
+	}
+	return st
+}
+
+// Close detaches nothing — tables keep their sinks so late writes fail
+// closed rather than silently losing durability — but closes every WAL file
+// and refuses subsequent appends.
+func (s *Store) Close() error {
+	e := error(ErrClosed)
+	s.failed.CompareAndSwap(nil, &e)
+	var first error
+	for _, w := range s.wals {
+		if w.f != nil {
+			if err := w.f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

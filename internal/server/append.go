@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"r2t/internal/segstore"
+	"r2t/internal/storage"
+	"r2t/internal/value"
+)
+
+// appendRequest is the operator-facing write API. Rows arrive as strings in
+// schema attribute order and are parsed with value.Parse, exactly like CSV
+// fields, so a row that loads from a CSV file appends identically over HTTP.
+type appendRequest struct {
+	Dataset  string     `json:"dataset"`
+	Relation string     `json:"relation"`
+	Rows     [][]string `json:"rows"`
+}
+
+type appendResponse struct {
+	Dataset  string `json:"dataset"`
+	Relation string `json:"relation"`
+	Appended int    `json:"appended"`
+	// TotalRows is the relation's row count after the append — the analyst
+	// query surface already exposes data through the DP mechanism only, and
+	// this endpoint is operator-side (writes imply ownership of the data).
+	TotalRows int `json:"total_rows"`
+}
+
+// handleAppend serves POST /v1/append: parse, integrity-check, WAL, apply.
+// The append is durable (fsynced) before the response is written; a 200
+// means a restart will replay the rows. Only datasets configured with a
+// durable directory accept writes — everything else is 409, not 500, so a
+// misdirected writer learns the dataset is read-only rather than retrying.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req appendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failAppend(w, "", start, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ds := s.reg.Get(req.Dataset)
+	if ds == nil {
+		s.failAppend(w, req.Dataset, start, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
+		return
+	}
+	if ds.Store == nil {
+		s.failAppend(w, ds.Name, start, http.StatusConflict,
+			fmt.Errorf("dataset %q is read-only (no durable directory configured)", ds.Name))
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.failAppend(w, ds.Name, start, http.StatusBadRequest, errors.New("no rows to append"))
+		return
+	}
+	rows := make([]storage.Row, len(req.Rows))
+	for i, fields := range req.Rows {
+		row := make(storage.Row, len(fields))
+		for c, f := range fields {
+			row[c] = value.Parse(f)
+		}
+		rows[i] = row
+	}
+	if err := ds.Store.Insert(req.Relation, rows...); err != nil {
+		code := http.StatusBadRequest // arity, unknown relation, PK/FK violation
+		if errors.Is(err, segstore.ErrPoisoned) || errors.Is(err, segstore.ErrClosed) {
+			// Fail-closed: durability is unknown, so no further write may be
+			// admitted until the operator restarts (which replays the intact
+			// prefix and repairs any torn tail).
+			code = http.StatusServiceUnavailable
+		}
+		s.failAppend(w, ds.Name, start, code, err)
+		return
+	}
+	snap, _ := ds.DB.Instance().Table(req.Relation).Snapshot()
+	s.logRequest(requestLogEntry{
+		Dataset:   ds.Name,
+		Status:    statusAppend,
+		Code:      http.StatusOK,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+	writeJSON(w, http.StatusOK, appendResponse{
+		Dataset:   ds.Name,
+		Relation:  req.Relation,
+		Appended:  len(rows),
+		TotalRows: len(snap),
+	})
+}
+
+// failAppend mirrors fail for the write path. Append errors are
+// operator-facing and data-independent (schema violations name key values the
+// writer itself supplied), so unlike the query path they are returned verbatim.
+func (s *Server) failAppend(w http.ResponseWriter, dataset string, start time.Time, code int, err error) {
+	if dataset == "" {
+		dataset = "_unknown"
+	}
+	status := statusInvalid
+	switch code {
+	case http.StatusNotFound:
+		status = statusNotFound
+	case http.StatusConflict:
+		status = statusReadOnly
+	case http.StatusServiceUnavailable:
+		status = statusUnavailable
+		w.Header().Set("Retry-After", "60")
+	}
+	// Appends deliberately stay out of r2td_queries_total (that counter is the
+	// DP release stream); the segstore WAL counters are the write-path metrics,
+	// and failures land in the operator request log below.
+	s.logRequest(requestLogEntry{
+		Dataset:   dataset,
+		Status:    status,
+		Code:      code,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Error:     err.Error(),
+	})
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

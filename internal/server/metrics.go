@@ -24,6 +24,12 @@ const (
 	statusTimeout     = "timeout"          // 504: deadline expired
 	statusError       = "error"            // 500: mechanism failure after admission
 	statusUnavailable = "unavailable"      // 503: ledger poisoned, charges cannot land
+
+	// Write-path (/v1/append) outcomes. These appear only in the operator
+	// request log, never in r2td_queries_total: the query counter tracks the
+	// DP release stream, and the segstore WAL counters track writes.
+	statusAppend   = "append"
+	statusReadOnly = "read_only" // 409: append to a dataset with no durable dir
 )
 
 // metrics is the process-wide counter set behind /metrics, exported in the
@@ -231,7 +237,9 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 	fmt.Fprintf(w, "# HELP r2td_index_cache_hits_total Build-side index lookups served from the per-table index cache.\n# TYPE r2td_index_cache_hits_total counter\n")
 	fmt.Fprintf(w, "# HELP r2td_index_cache_misses_total Build-side indexes built fresh.\n# TYPE r2td_index_cache_misses_total counter\n")
 	fmt.Fprintf(w, "# HELP r2td_index_cache_evictions_total Indexes dropped by the per-table LRU cap.\n# TYPE r2td_index_cache_evictions_total counter\n")
-	fmt.Fprintf(w, "# HELP r2td_index_cache_invalidations_total Indexes dropped because their table was appended to.\n# TYPE r2td_index_cache_invalidations_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_index_cache_invalidations_total Indexes dropped on append because they could not be extended in place.\n# TYPE r2td_index_cache_invalidations_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_index_cache_extensions_total Indexes extended in place with only the appended delta rows (O(delta), cache entry survives the write).\n# TYPE r2td_index_cache_extensions_total counter\n")
+	fmt.Fprintf(w, "# HELP r2td_index_cache_rebuilds_total Extensions that chose a full rebuild because the accumulated delta reached the base size.\n# TYPE r2td_index_cache_rebuilds_total counter\n")
 	fmt.Fprintf(w, "# HELP r2td_index_cache_entries Build-side indexes currently cached.\n# TYPE r2td_index_cache_entries gauge\n")
 	for _, name := range reg.Names() {
 		st := reg.Get(name).DB.Instance().JoinCacheStats()
@@ -240,7 +248,49 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 		fmt.Fprintf(w, "r2td_index_cache_misses_total{dataset=\"%s\"} %d\n", esc, st.Misses)
 		fmt.Fprintf(w, "r2td_index_cache_evictions_total{dataset=\"%s\"} %d\n", esc, st.Evictions)
 		fmt.Fprintf(w, "r2td_index_cache_invalidations_total{dataset=\"%s\"} %d\n", esc, st.Invalidations)
+		fmt.Fprintf(w, "r2td_index_cache_extensions_total{dataset=\"%s\"} %d\n", esc, st.Extensions)
+		fmt.Fprintf(w, "r2td_index_cache_rebuilds_total{dataset=\"%s\"} %d\n", esc, st.Rebuilds)
 		fmt.Fprintf(w, "r2td_index_cache_entries{dataset=\"%s\"} %d\n", esc, st.Entries)
+	}
+
+	// Durable-store gauges and counters, read live from each WAL-backed
+	// dataset's segstore at scrape time. Absent entirely for in-memory
+	// datasets, so the exposition doubles as a durability inventory.
+	durable := make([]string, 0, len(reg.datasets))
+	for _, name := range reg.Names() {
+		if reg.Get(name).Store != nil {
+			durable = append(durable, name)
+		}
+	}
+	if len(durable) > 0 {
+		fmt.Fprintf(w, "# HELP r2td_wal_appends_total Durable append batches fsynced to table WALs.\n# TYPE r2td_wal_appends_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_wal_appended_rows_total Rows made durable through table WALs since startup.\n# TYPE r2td_wal_appended_rows_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_wal_fsyncs_total fsync calls on table WALs.\n# TYPE r2td_wal_fsyncs_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_wal_fsync_seconds_total Cumulative wall time in table-WAL fsyncs.\n# TYPE r2td_wal_fsync_seconds_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_wal_replay_records_total WAL records replayed at startup.\n# TYPE r2td_wal_replay_records_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_wal_replay_rows_total Rows recovered from table WALs at startup.\n# TYPE r2td_wal_replay_rows_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_wal_torn_bytes_total Torn-tail bytes truncated during replay (a crash mid-append, repaired).\n# TYPE r2td_wal_torn_bytes_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_segstore_segments Sealed immutable segments across a dataset's WALs.\n# TYPE r2td_segstore_segments gauge\n")
+		fmt.Fprintf(w, "# HELP r2td_segstore_segment_rows Rows held in sealed segments.\n# TYPE r2td_segstore_segment_rows gauge\n")
+		fmt.Fprintf(w, "# HELP r2td_segstore_poisoned Whether the dataset's store is fail-closed after a write of unknown durability (1 = rejecting all appends until restart).\n# TYPE r2td_segstore_poisoned gauge\n")
+		for _, name := range durable {
+			st := reg.Get(name).Store.Stats()
+			esc := escapeLabel(name)
+			fmt.Fprintf(w, "r2td_wal_appends_total{dataset=\"%s\"} %d\n", esc, st.Appends)
+			fmt.Fprintf(w, "r2td_wal_appended_rows_total{dataset=\"%s\"} %d\n", esc, st.AppendedRows)
+			fmt.Fprintf(w, "r2td_wal_fsyncs_total{dataset=\"%s\"} %d\n", esc, st.Fsyncs)
+			fmt.Fprintf(w, "r2td_wal_fsync_seconds_total{dataset=\"%s\"} %g\n", esc, st.FsyncSeconds)
+			fmt.Fprintf(w, "r2td_wal_replay_records_total{dataset=\"%s\"} %d\n", esc, st.ReplayedRecs)
+			fmt.Fprintf(w, "r2td_wal_replay_rows_total{dataset=\"%s\"} %d\n", esc, st.ReplayedRows)
+			fmt.Fprintf(w, "r2td_wal_torn_bytes_total{dataset=\"%s\"} %d\n", esc, st.TornBytes)
+			fmt.Fprintf(w, "r2td_segstore_segments{dataset=\"%s\"} %d\n", esc, st.Segments)
+			fmt.Fprintf(w, "r2td_segstore_segment_rows{dataset=\"%s\"} %d\n", esc, st.SegmentRows)
+			p := 0
+			if st.PoisonedSince {
+				p = 1
+			}
+			fmt.Fprintf(w, "r2td_segstore_poisoned{dataset=\"%s\"} %d\n", esc, p)
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP r2td_epsilon_total Configured ε budget per dataset.\n# TYPE r2td_epsilon_total gauge\n")

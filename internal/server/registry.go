@@ -8,6 +8,7 @@ import (
 
 	"r2t"
 	"r2t/internal/schemadesc"
+	"r2t/internal/segstore"
 )
 
 // DatasetConfig describes one dataset to host: a schema description file
@@ -20,17 +21,27 @@ type DatasetConfig struct {
 	DataDir    string
 	Epsilon    float64  // total ε budget for this dataset's lifetime
 	Primary    []string // default primary private relations
+
+	// DurableDir, when set, makes the dataset durable through a segstore
+	// under that directory: relations with an existing WAL are recovered
+	// from it (their CSV, if any, is ignored — the log is the truth),
+	// relations without one are bootstrapped from their CSV, and /v1/append
+	// writes are accepted and fsynced to the WAL before they are visible.
+	// Empty keeps the dataset in-memory and read-only, as before.
+	DurableDir string
 }
 
-// Dataset is one loaded dataset with its live budget. The DB is immutable
-// after loading (the server exposes no write path), so it is safe for
-// concurrent queries.
+// Dataset is one loaded dataset with its live budget. Without a Store the
+// DB is immutable after loading, so it is safe for concurrent queries; with
+// one, writes go through Store.Insert (WAL-then-memory) and readers stay
+// lock-free on the snapshot contract.
 type Dataset struct {
 	Name      string
 	DB        *r2t.DB
 	Budget    *r2t.Budget
 	Primary   []string
-	Relations int // loaded relations, surfaced by /v1/datasets
+	Relations int             // loaded relations, surfaced by /v1/datasets
+	Store     *segstore.Store // nil for in-memory (read-only) datasets
 }
 
 // Registry maps dataset names to loaded datasets. It is built once at
@@ -56,6 +67,7 @@ func LoadDatasets(cfgs []DatasetConfig, spent map[string]float64) (*Registry, er
 		}
 		ds, err := loadDataset(cfg, spent[cfg.Name])
 		if err != nil {
+			reg.Close() // release stores of datasets already opened
 			return nil, fmt.Errorf("r2td: dataset %q: %w", cfg.Name, err)
 		}
 		reg.datasets[cfg.Name] = ds
@@ -71,6 +83,15 @@ func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
 	db := r2t.NewDB(s)
 	loaded := 0
 	for _, name := range s.Names() {
+		if cfg.DurableDir != "" {
+			if _, err := os.Stat(filepath.Join(cfg.DurableDir, name+".wal")); err == nil {
+				// The WAL is the authoritative copy; segstore.Open replays it
+				// below (and refuses to open over a CSV-populated table, so
+				// the CSV must be skipped here, not merged).
+				loaded++
+				continue
+			}
+		}
 		path := filepath.Join(cfg.DataDir, name+".csv")
 		if _, err := os.Stat(path); err != nil {
 			continue // relations without a file stay empty
@@ -80,20 +101,39 @@ func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
 		}
 		loaded++
 	}
+	var store *segstore.Store
+	if cfg.DurableDir != "" {
+		var err error
+		store, err = segstore.Open(cfg.DurableDir, db.Instance())
+		if err != nil {
+			return nil, fmt.Errorf("opening segstore in %s: %w", cfg.DurableDir, err)
+		}
+	}
+	// Integrity runs after replay: a WAL recovered to a prefix must still be
+	// referentially sound (InsertChecked ordering guarantees it, this verifies).
 	if err := db.CheckIntegrity(); err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
 	for _, p := range cfg.Primary {
 		rel := s.Relation(p)
-		if rel == nil {
-			return nil, fmt.Errorf("default primary relation %q not in schema", p)
-		}
-		if rel.PK == "" {
+		if rel == nil || rel.PK == "" {
+			if store != nil {
+				store.Close()
+			}
+			if rel == nil {
+				return nil, fmt.Errorf("default primary relation %q not in schema", p)
+			}
 			return nil, fmt.Errorf("default primary relation %q has no primary key", p)
 		}
 	}
 	budget, err := r2t.NewBudgetWithSpent(cfg.Epsilon, alreadySpent)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
 	return &Dataset{
@@ -102,7 +142,17 @@ func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
 		Budget:    budget,
 		Primary:   append([]string(nil), cfg.Primary...),
 		Relations: loaded,
+		Store:     store,
 	}, nil
+}
+
+// Close releases every dataset's durable store (no-op for in-memory ones).
+func (r *Registry) Close() {
+	for _, ds := range r.datasets {
+		if ds.Store != nil {
+			ds.Store.Close()
+		}
+	}
 }
 
 // Get returns the named dataset, or nil.

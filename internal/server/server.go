@@ -157,12 +157,19 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close releases the ledger. Call after the HTTP server has drained.
-func (s *Server) Close() error { return s.ledger.Close() }
+// Close releases the ledger and every dataset's durable store. Call after
+// the HTTP server has drained: closing a store poisons further appends
+// (ErrClosed) but already-fsynced data is simply replayed on next start.
+func (s *Server) Close() error {
+	err := s.ledger.Close()
+	s.reg.Close()
+	return err
+}
 
 // Handler returns the HTTP API:
 //
 //	POST /v1/query     evaluate one DP query
+//	POST /v1/append    durably append rows to a WAL-backed dataset
 //	GET  /v1/datasets  hosted datasets with live budget balances
 //	GET  /metrics      Prometheus text exposition
 //	GET  /healthz      liveness probe (process is up)
@@ -170,6 +177,7 @@ func (s *Server) Close() error { return s.ledger.Close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/append", s.handleAppend)
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

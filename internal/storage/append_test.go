@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"r2t/internal/schema"
+	"r2t/internal/value"
+)
+
+func pairSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Relation{Name: "R", Attrs: []string{"ID"}, PK: "ID"},
+		&schema.Relation{Name: "S", Attrs: []string{"ID", "r"}, PK: "ID",
+			FKs: []schema.FK{{Attr: "r", Ref: "R"}}},
+	)
+}
+
+// fakeIndex is a minimal ExtendableIndex: it remembers how many rows it
+// covers and how it got there, so tests can pin the extend-vs-drop protocol.
+type fakeIndex struct {
+	covered int
+	refuse  bool
+}
+
+func (f *fakeIndex) ExtendedTo(rows []Row) (any, bool, bool) {
+	if f.refuse || len(rows) < f.covered {
+		return nil, false, false
+	}
+	return &fakeIndex{covered: len(rows)}, false, true
+}
+
+// TestAppendExtendsExtendableEntries: a cache entry that can follow an
+// Append is re-tagged to the new version (served at it, refused at the old
+// one) and counted as an extension, not an invalidation.
+func TestAppendExtendsExtendableEntries(t *testing.T) {
+	tbl := NewTable(pairSchema().Relation("R"))
+	if err := tbl.Append(Row{value.IntV(1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, v0 := tbl.Snapshot()
+	tbl.JoinCacheAt("k", v0, func() any { return &fakeIndex{covered: 1} })
+
+	if err := tbl.Append(Row{value.IntV(2)}, Row{value.IntV(3)}); err != nil {
+		t.Fatal(err)
+	}
+	_, v1 := tbl.Snapshot()
+	if v1 != v0+1 {
+		t.Fatalf("version %d after one append from %d", v1, v0)
+	}
+	// Version-tag monotonicity: the extended entry belongs to v1 only. A
+	// reader still holding the v0 snapshot must miss, even though the entry
+	// descends from the index it cached.
+	if _, ok := tbl.JoinCacheGetAt("k", v0); ok {
+		t.Fatal("extended entry served for a stale version")
+	}
+	got, ok := tbl.JoinCacheGetAt("k", v1)
+	if !ok {
+		t.Fatal("extended entry missing at the new version")
+	}
+	if fi := got.(*fakeIndex); fi.covered != 3 {
+		t.Fatalf("entry covers %d rows, want 3", fi.covered)
+	}
+	s := tbl.JoinCacheStats()
+	if s.Extensions != 1 || s.Invalidations != 0 {
+		t.Fatalf("stats %+v, want 1 extension and 0 invalidations", s)
+	}
+}
+
+// TestAppendDropsNonExtendable: entries that refuse to extend — or are not
+// ExtendableIndex at all — are invalidated exactly as before.
+func TestAppendDropsNonExtendable(t *testing.T) {
+	tbl := NewTable(pairSchema().Relation("R"))
+	_, v0 := tbl.Snapshot()
+	tbl.JoinCacheAt("refusing", v0, func() any { return &fakeIndex{refuse: true} })
+	tbl.JoinCacheAt("opaque", v0, func() any { return 42 })
+	if err := tbl.Append(Row{value.IntV(1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, v1 := tbl.Snapshot()
+	for _, key := range []string{"refusing", "opaque"} {
+		if _, ok := tbl.JoinCacheGetAt(key, v1); ok {
+			t.Fatalf("%s entry survived the append", key)
+		}
+	}
+	s := tbl.JoinCacheStats()
+	if s.Invalidations != 2 || s.Extensions != 0 {
+		t.Fatalf("stats %+v, want 2 invalidations and 0 extensions", s)
+	}
+}
+
+// recordingSink captures the write-ahead protocol.
+type recordingSink struct {
+	batches [][]Row
+	err     error
+}
+
+func (s *recordingSink) AppendRows(rows []Row) error {
+	if s.err != nil {
+		return s.err
+	}
+	cp := make([]Row, len(rows))
+	copy(cp, rows)
+	s.batches = append(s.batches, cp)
+	return nil
+}
+
+// TestAppendSinkWriteAhead: the sink sees every row before it is visible in
+// memory, and a sink failure aborts the Append with rows, version, and cache
+// untouched — memory never runs ahead of the log.
+func TestAppendSinkWriteAhead(t *testing.T) {
+	tbl := NewTable(pairSchema().Relation("R"))
+	sink := &recordingSink{}
+	tbl.SetAppendSink(sink)
+	if err := tbl.Append(Row{value.IntV(1)}, Row{value.IntV(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.batches) != 1 || len(sink.batches[0]) != 2 {
+		t.Fatalf("sink saw %v, want one batch of 2", sink.batches)
+	}
+	rows, v := tbl.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows in memory, want 2", len(rows))
+	}
+
+	sink.err = errors.New("disk gone")
+	if err := tbl.Append(Row{value.IntV(3)}); err == nil {
+		t.Fatal("Append succeeded past a failing sink")
+	}
+	rows2, v2 := tbl.Snapshot()
+	if len(rows2) != 2 || v2 != v {
+		t.Fatalf("failed append changed state: %d rows, version %d→%d", len(rows2), v, v2)
+	}
+}
+
+// TestAppendExtendsAttrIndexes: a warm attribute index is extended in place
+// (the old reference sees the new positions) rather than rebuilt or dropped.
+func TestAppendExtendsAttrIndexes(t *testing.T) {
+	tbl := NewTable(pairSchema().Relation("R"))
+	if err := tbl.Append(Row{value.IntV(1)}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := tbl.Index("ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append(Row{value.IntV(2)}, Row{value.NullV()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx[value.IntV(2).Key()]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("warm index not extended: positions for 2 are %v, want [1]", got)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("index has %d keys, want 2 (nulls are not indexed)", len(idx))
+	}
+}
+
+func TestInsertChecked(t *testing.T) {
+	s := pairSchema()
+	inst := NewInstance(s)
+	inst.MustInsert("R", Row{value.IntV(1)}, Row{value.IntV(2)})
+
+	if err := inst.InsertChecked("S", Row{value.IntV(10), value.IntV(1)}); err != nil {
+		t.Fatalf("valid insert rejected: %v", err)
+	}
+	// Duplicate PK against existing rows, and within one batch.
+	if err := inst.InsertChecked("S", Row{value.IntV(10), value.IntV(1)}); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+	if err := inst.InsertChecked("S",
+		Row{value.IntV(11), value.IntV(1)}, Row{value.IntV(11), value.IntV(2)}); err == nil {
+		t.Fatal("intra-batch duplicate PK accepted")
+	}
+	if err := inst.InsertChecked("S", Row{value.NullV(), value.IntV(1)}); err == nil {
+		t.Fatal("null PK accepted")
+	}
+	if err := inst.InsertChecked("S", Row{value.IntV(12), value.IntV(99)}); err == nil {
+		t.Fatal("dangling FK accepted")
+	}
+	// A failed batch must append nothing.
+	if n := inst.Table("S").Len(); n != 1 {
+		t.Fatalf("S has %d rows after rejected inserts, want 1", n)
+	}
+	// Null FK is allowed, as in CheckIntegrity.
+	if err := inst.InsertChecked("S", Row{value.IntV(13), value.NullV()}); err != nil {
+		t.Fatalf("null FK rejected: %v", err)
+	}
+	if err := inst.CheckIntegrity(); err != nil {
+		t.Fatalf("instance inconsistent after checked inserts: %v", err)
+	}
+}

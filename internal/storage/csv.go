@@ -9,9 +9,19 @@ import (
 	"r2t/internal/value"
 )
 
-// ReadCSV loads rows for relation name from r. The first record must be a
-// header matching the relation's attributes (order-sensitive). Fields are
-// parsed with value.Parse (int, then float, then string; empty → null).
+// csvBatchRows is how many parsed rows ReadCSV accumulates before handing
+// them to one Append. Batching keeps loading streaming (memory high-water is
+// the batch, not the file) while amortizing the per-Append cost — lock
+// round-trip, version bump, index maintenance, and, for a durable table, one
+// WAL record and fsync per batch instead of per row.
+const csvBatchRows = 1024
+
+// ReadCSV loads rows for relation name from r, streaming: records are parsed
+// as they are read and appended in csvBatchRows-sized batches, so loading a
+// large file never materializes it (or a second copy of the table) in memory.
+// The first record must be a header matching the relation's attributes
+// (order-sensitive). Fields are parsed with value.Parse (int, then float,
+// then string; empty → null).
 func (inst *Instance) ReadCSV(relation string, r io.Reader) error {
 	t := inst.tables[relation]
 	if t == nil {
@@ -19,6 +29,7 @@ func (inst *Instance) ReadCSV(relation string, r io.Reader) error {
 	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(t.Rel.Attrs)
+	cr.ReuseRecord = true // rows copy the fields out; skip the per-record slice
 	header, err := cr.Read()
 	if err != nil {
 		return fmt.Errorf("storage: reading %s header: %w", relation, err)
@@ -28,6 +39,7 @@ func (inst *Instance) ReadCSV(relation string, r io.Reader) error {
 			return fmt.Errorf("storage: %s header column %d is %q, want %q", relation, i, h, t.Rel.Attrs[i])
 		}
 	}
+	batch := make([]Row, 0, csvBatchRows)
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -40,9 +52,16 @@ func (inst *Instance) ReadCSV(relation string, r io.Reader) error {
 		for i, f := range rec {
 			row[i] = value.Parse(f)
 		}
-		if err := t.Append(row); err != nil {
-			return err
+		batch = append(batch, row)
+		if len(batch) == csvBatchRows {
+			if err := t.Append(batch...); err != nil {
+				return err
+			}
+			batch = batch[:0]
 		}
+	}
+	if len(batch) > 0 {
+		return t.Append(batch...)
 	}
 	return nil
 }

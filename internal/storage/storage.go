@@ -16,6 +16,32 @@ import (
 // Row is one tuple, in the relation's column order.
 type Row []value.V
 
+// ExtendableIndex is implemented by cached build-side join structures
+// (internal/exec's tableIndex) that can follow the table through an Append:
+// instead of being invalidated wholesale, the entry is asked to extend itself
+// over the delta rows and is re-tagged with the new table version. The
+// receiver must never be mutated — concurrent queries still probing a prior
+// snapshot hold it — so implementations return an immutable successor that
+// shares the receiver's internals.
+type ExtendableIndex interface {
+	// ExtendedTo returns a successor structure covering all of rows, given
+	// that the receiver covers a prefix of them. rebuilt reports that the
+	// successor was rebuilt from scratch (O(table), the amortization
+	// backstop) rather than extended by the delta. ok == false means the
+	// receiver cannot follow (e.g. rows is not an extension of what it
+	// indexed); the caller drops the cache entry.
+	ExtendedTo(rows []Row) (next any, rebuilt, ok bool)
+}
+
+// AppendSink is the write-ahead durability hook: when set on a table, every
+// Append hands the rows to the sink — which must make them durable or fail —
+// before they become visible in memory. An error from the sink aborts the
+// Append with the table unchanged, so the in-memory state never runs ahead
+// of the durable log (the WAL invariant internal/segstore relies on).
+type AppendSink interface {
+	AppendRows(rows []Row) error
+}
+
 // Table holds the rows of one relation plus lazily built hash indexes.
 //
 // Concurrency contract: Append and Snapshot are safe to call concurrently
@@ -29,6 +55,14 @@ type Table struct {
 
 	indexes map[string]map[value.V][]int
 
+	// appendMu serializes writers (Append, InsertChecked) and is held across
+	// the sink write AND the in-memory apply, so WAL order equals memory
+	// order. It is separate from mu so an fsyncing sink never blocks readers:
+	// Snapshot and the join cache only need mu, which writers hold just for
+	// the short memory apply.
+	appendMu sync.Mutex
+	sink     AppendSink
+
 	// mu guards Rows/version updates through Append, the snapshot read, and
 	// the join cache, so concurrent queries can share one index build and an
 	// Append can never tear a reader's view.
@@ -36,13 +70,15 @@ type Table struct {
 	version uint64 // bumped by every Append
 
 	// joinCache holds opaque build-side structures keyed by the executor
-	// (per shared-column set), each tagged with the table version it was
-	// built from. Append clears it, and JoinCacheAt refuses to serve or
-	// store an entry for any other version, so no query ever probes — or
-	// poisons the cache with — a stale index. The cache is LRU-bounded at
-	// joinCap entries (DefaultJoinCacheCap when unset): a workload cycling
-	// through many distinct join keys evicts the coldest index instead of
-	// growing without limit.
+	// (per shared-column set), each implicitly tagged with the current table
+	// version. On Append, entries implementing ExtendableIndex are extended
+	// in place over the delta rows (so they stay valid at the new version —
+	// O(delta), the incremental-maintenance fast path); anything else is
+	// dropped. JoinCacheAt refuses to serve or store an entry for any other
+	// version, so no query ever probes — or poisons the cache with — a stale
+	// index. The cache is LRU-bounded at joinCap entries (DefaultJoinCacheCap
+	// when unset): a workload cycling through many distinct join keys evicts
+	// the coldest index instead of growing without limit.
 	joinCache map[string]*list.Element
 	joinLRU   *list.List // front = most recently used; values are *joinEntry
 	joinCap   int        // 0 = DefaultJoinCacheCap, negative = caching off
@@ -64,12 +100,17 @@ const DefaultJoinCacheCap = 16
 
 // CacheStats reports one cache's traffic. Hits+Misses counts logical
 // lookups; Evictions counts capacity-driven drops; Invalidations counts
-// entries cleared because an Append advanced the table version.
+// entries dropped because an Append advanced the table version and the entry
+// could not follow; Extensions counts entries that survived an Append by
+// extending over the delta rows, of which Rebuilds were full O(table)
+// rebuilds (the compaction backstop) rather than O(delta) extensions.
 type CacheStats struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
+	Extensions    uint64 `json:"extensions"`
+	Rebuilds      uint64 `json:"rebuilds"`
 	Entries       int    `json:"entries"`
 }
 
@@ -79,6 +120,8 @@ func (s *CacheStats) Add(other CacheStats) {
 	s.Misses += other.Misses
 	s.Evictions += other.Evictions
 	s.Invalidations += other.Invalidations
+	s.Extensions += other.Extensions
+	s.Rebuilds += other.Rebuilds
 	s.Entries += other.Entries
 }
 
@@ -87,24 +130,98 @@ func NewTable(rel *schema.Relation) *Table {
 	return &Table{Rel: rel}
 }
 
-// Append adds rows, checking arity. Any index built earlier is invalidated,
-// and the table version advances so in-flight snapshot-holders cannot write
-// indexes built from the old rows back into the cache.
-func (t *Table) Append(rows ...Row) error {
+// SetAppendSink installs (or, with nil, removes) the write-ahead durability
+// sink consulted by every subsequent Append. Call it during loading, before
+// the table is shared with concurrent writers.
+func (t *Table) SetAppendSink(s AppendSink) {
+	t.appendMu.Lock()
+	t.sink = s
+	t.appendMu.Unlock()
+}
+
+// checkArity validates every row's column count against the relation.
+func (t *Table) checkArity(rows []Row) error {
 	for _, r := range rows {
 		if len(r) != len(t.Rel.Attrs) {
 			return fmt.Errorf("storage: %s expects %d columns, got %d", t.Rel.Name, len(t.Rel.Attrs), len(r))
 		}
 	}
+	return nil
+}
+
+// Append adds rows, checking arity. If an AppendSink is installed the rows
+// are made durable first; a sink error aborts with the table unchanged. The
+// table version advances so in-flight snapshot-holders cannot write indexes
+// built from the old rows back into the cache; cached join indexes that can
+// extend themselves over the delta (ExtendableIndex) survive into the new
+// version, the rest are invalidated, and any warm attribute indexes are
+// extended in place — the per-append maintenance cost is O(len(rows)), not
+// O(table).
+func (t *Table) Append(rows ...Row) error {
+	if err := t.checkArity(rows); err != nil {
+		return err
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	return t.appendHeld(rows)
+}
+
+// appendHeld is the sink write plus memory apply; callers hold t.appendMu.
+func (t *Table) appendHeld(rows []Row) error {
+	if t.sink != nil {
+		if err := t.sink.AppendRows(rows); err != nil {
+			return err
+		}
+	}
 	t.mu.Lock()
+	base := len(t.Rows)
 	t.Rows = append(t.Rows, rows...)
-	t.indexes = nil
-	t.joinStats.Invalidations += uint64(len(t.joinCache))
-	t.joinCache = nil
-	t.joinLRU = nil
+	t.extendAttrIndexesLocked(base, rows)
+	t.extendJoinCacheLocked()
 	t.version++
 	t.mu.Unlock()
 	return nil
+}
+
+// extendAttrIndexesLocked folds the delta rows (starting at global position
+// base) into every already-built attribute index; callers hold t.mu.
+func (t *Table) extendAttrIndexesLocked(base int, rows []Row) {
+	for attr, idx := range t.indexes {
+		col := t.Rel.AttrIndex(attr)
+		for i, row := range rows {
+			v := row[col]
+			if v.IsNull() {
+				continue
+			}
+			k := v.Key()
+			idx[k] = append(idx[k], base+i)
+		}
+	}
+}
+
+// extendJoinCacheLocked carries the join cache across an Append: entries
+// implementing ExtendableIndex are replaced by their extended successors (and
+// so remain servable at the version bump that follows), everything else is
+// dropped and counted as an invalidation. Callers hold t.mu; the swap is safe
+// because entry values are only ever read under the same lock.
+func (t *Table) extendJoinCacheLocked() {
+	for key, e := range t.joinCache {
+		ent := e.Value.(*joinEntry)
+		ix, extendable := ent.val.(ExtendableIndex)
+		if extendable {
+			if next, rebuilt, ok := ix.ExtendedTo(t.Rows); ok && next != nil {
+				ent.val = next
+				t.joinStats.Extensions++
+				if rebuilt {
+					t.joinStats.Rebuilds++
+				}
+				continue
+			}
+		}
+		t.joinLRU.Remove(e)
+		delete(t.joinCache, key)
+		t.joinStats.Invalidations++
+	}
 }
 
 // Version returns the current table version without exposing the rows. It is
@@ -309,6 +426,67 @@ func (inst *Instance) MustInsert(relation string, rows ...Row) {
 	if err := inst.Insert(relation, rows...); err != nil {
 		panic(err)
 	}
+}
+
+// InsertChecked appends rows to relation after verifying — incrementally,
+// against the delta only — that the result still satisfies the schema's
+// PK/FK constraints: no null or duplicate primary keys (within the batch or
+// against the existing rows) and every non-null foreign key resolving to an
+// existing referent. The check uses the tables' warm attribute
+// indexes, so its cost is O(len(rows)), not a CheckIntegrity-style O(table)
+// rescan. On any violation nothing is appended.
+//
+// Writers must be externally serialized across relations (the r2td write
+// path holds one writer lock per dataset): the FK check reads referenced
+// tables' indexes, which a concurrent writer to those tables could be
+// extending.
+func (inst *Instance) InsertChecked(relation string, rows ...Row) error {
+	t := inst.tables[relation]
+	if t == nil {
+		return fmt.Errorf("storage: unknown relation %q", relation)
+	}
+	rel := t.Rel
+	if err := t.checkArity(rows); err != nil {
+		return err
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	if rel.PK != "" {
+		col := rel.AttrIndex(rel.PK)
+		idx, err := t.Index(rel.PK)
+		if err != nil {
+			return err
+		}
+		batchPK := make(map[value.V]bool, len(rows))
+		for _, row := range rows {
+			v := row[col]
+			if v.IsNull() {
+				return fmt.Errorf("storage: %s insert has null primary key", relation)
+			}
+			k := v.Key()
+			if len(idx[k]) > 0 || batchPK[k] {
+				return fmt.Errorf("storage: %s insert has duplicate primary key %v", relation, v)
+			}
+			batchPK[k] = true
+		}
+	}
+	for _, fk := range rel.FKs {
+		col := rel.AttrIndex(fk.Attr)
+		refIdx, err := inst.tables[fk.Ref].Index(inst.Schema.Relation(fk.Ref).PK)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			v := row[col]
+			if v.IsNull() {
+				continue
+			}
+			if len(refIdx[v.Key()]) == 0 {
+				return fmt.Errorf("storage: %s insert FK %s=%v has no referent in %s", relation, fk.Attr, v, fk.Ref)
+			}
+		}
+	}
+	return t.appendHeld(rows)
 }
 
 // TotalRows returns the number of tuples across all relations.

@@ -63,6 +63,20 @@ go test -race -run 'TestServerJoinShare|TestAnswerCache' ./internal/server/
 go test -race -run 'TestRecorderDisabledAllocFree|TestRecorderConcurrent' ./internal/obs/
 go test -race -run 'TestProfileBitIdenticalEstimate|TestProfileStagesSumWithinDuration|TestConcurrentAppendQuery' .
 
+# Durable-storage gate, named explicitly (these also ran inside the full
+# suite above): WAL record/header round-trip and corruption rejection, the
+# segstore bootstrap/replay/torn-tail/poisoning scenarios, the 30-epoch
+# crash-recovery chaos test (recovered tables are an exact prefix and serve
+# bitwise-identical answers to a never-crashed twin), concurrent durable
+# appends against Query/QueryBatch, the incremental index-extension
+# equivalence suite (extended == freshly built, version-tag monotonicity),
+# and the r2td restart-from-torn-WAL acceptance test — all under the race
+# detector (DESIGN.md §13).
+go test -race ./internal/segstore/
+go test -race -run 'TestAppend|TestInsertChecked|TestCSV' ./internal/storage/
+go test -race -run 'TestIndexExtend|TestExtendedIndexServedOnQueries' ./internal/exec/
+go test -race -run 'TestServerDurableAppendRecovery' ./internal/server/
+
 # Benchmark-compile smoke: every benchmark builds and runs one iteration,
 # so BENCH_*.json regeneration can't silently rot.
 go test -run=NONE -bench=. -benchtime=1x ./...
