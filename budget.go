@@ -81,6 +81,22 @@ func (b *Budget) SpendWith(eps float64, commit func() error) error {
 	return nil
 }
 
+// AddSpent records eps of spend that was admitted elsewhere — the streaming
+// counterpart of NewBudgetWithSpent's replay, used by r2td replicas applying
+// their primary's ledger. Unlike Spend it never fails on exhaustion: the
+// charge was already admitted by the authoritative node, so the replica's
+// view must reflect it even past the local total (the budget then simply
+// reads exhausted, exactly like an over-replayed ledger at startup).
+func (b *Budget) AddSpent(eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("r2t: cannot add non-positive replicated spend %g", eps)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent += eps
+	return nil
+}
+
 // Total returns the configured total ε.
 func (b *Budget) Total() float64 {
 	b.mu.Lock()

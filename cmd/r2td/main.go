@@ -39,6 +39,19 @@
 // stays alive but not ready. The R2T_FAULTS environment variable arms the
 // fault-injection framework (internal/fault) for chaos testing; an armed
 // binary warns on startup and must never serve production traffic.
+//
+// Replication (DESIGN.md §14): a primary with -repl-listen streams its
+// ε-ledger and durable row batches to replicas; a replica started with
+// -role=replica -primary-addr pulls that stream, serves reads and free
+// replays, and redirects charges to the primary with a 409 + X-R2T-Primary.
+// Failover is operator-driven: POST /v1/promote on a caught-up replica claims
+// the next fencing epoch and turns it into the primary; the old primary, if
+// it ever comes back, is fenced by the epoch and refuses charges.
+//
+//	r2td -addr :8080 -repl-listen :7070 -sync-replicas 1 -node a ...   # primary
+//	r2td -addr :8081 -role replica -primary-addr host-a:7070 \
+//	     -repl-listen :7071 -node b ...                                # replica
+//	curl -XPOST host-b:8081/v1/promote                                 # failover
 package main
 
 import (
@@ -143,6 +156,14 @@ func main() {
 		ansTTL     = flag.Duration("answer-cache-ttl", 0, "expire recorded releases after this age (0 = never); expired replays re-charge ε")
 		shareCap   = flag.Int("join-share-cap", 0, "join cores cached per dataset for cross-query sharing (0 = engine default, negative = disable sharing); answers are identical either way")
 		dataDir    = flag.String("data-dir", "", "make every dataset durable under DIR/<name>/ (WAL-backed tables, /v1/append enabled, crash recovery on startup); per-dataset dir= overrides")
+
+		role       = flag.String("role", "primary", "replication role: primary (owns the ε-ledger, admits charges) or replica (pulls the primary's ledger, serves reads, redirects charges)")
+		nodeName   = flag.String("node", "", "node name for epoch records, handshakes, and metrics (default: hostname)")
+		replListen = flag.String("repl-listen", "", "primary: TCP address for the replication listener (empty = standalone). Replica: the address it will serve replicas on after /v1/promote")
+		primary    = flag.String("primary-addr", "", "replica: the primary's -repl-listen address to pull from (required with -role=replica)")
+		syncRepl   = flag.Int("sync-replicas", 0, "replicas that must acknowledge each charge before it is admitted (0 = async; production clusters should set 1+)")
+		ackTimeout = flag.Duration("repl-ack-timeout", 5*time.Second, "how long a synchronous charge waits for replica acks before failing 503")
+		dedupMax   = flag.Int("append-dedup-max", 0, "X-R2T-Append-Id idempotency window size, LRU-evicted (0 = default 4096)")
 	)
 	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2,dir=WALDIR (repeatable; dir= makes the dataset durable)")
 	flag.Parse()
@@ -169,6 +190,13 @@ func main() {
 		AnswerCacheMax: *ansMax,
 		AnswerCacheTTL: *ansTTL,
 		JoinShareCap:   *shareCap,
+		Role:           *role,
+		NodeName:       *nodeName,
+		ReplListen:     *replListen,
+		PrimaryAddr:    *primary,
+		SyncReplicas:   *syncRepl,
+		ReplAckTimeout: *ackTimeout,
+		AppendDedupMax: *dedupMax,
 	}
 	var logFile *os.File
 	if *reqLog != "" {

@@ -28,6 +28,13 @@
 //	lp.solve         every exact LP solve             (internal/lp)
 //	core.race        the start of each R2T race       (internal/core)
 //	dp.laplace       every Laplace noise draw         (internal/dp) — panic payloads only
+//	repl.send        every replication frame write    (internal/repl)
+//	repl.recv        every replication frame read     (internal/repl)
+//	repl.handshake   both ends of the replication handshake (internal/repl)
+//
+// An err rule armed at repl.send or repl.recv severs every replication
+// stream at that direction — the deterministic stand-in for a network
+// partition in the failover chaos suite.
 //
 // Rules are armed programmatically with Enable (tests), or for whole-binary
 // chaos runs via the R2T_FAULTS environment variable, parsed once at

@@ -1,0 +1,330 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"r2t/internal/fault"
+)
+
+// Applier is the replica-side state the Client drives. Hello snapshots local
+// durable state for the handshake; the Apply methods must be idempotent with
+// respect to the positions each chunk carries (a reconnect replays the
+// overlap). ApplyLedger returns the replica's durable ledger position after
+// the chunk, which the client acknowledges to the primary — an error from
+// ApplyLedger is fatal for the connection (nothing past an unappliable chunk
+// may be acknowledged).
+type Applier interface {
+	Hello() (Hello, error)
+	ApplyLedger(end int64, seq uint64, data []byte) (appliedOff int64, appliedRecords uint64, err error)
+	ApplyRows(rc RowsChunk) error
+	ApplyAnswer(epoch uint64, payload []byte) error
+	NoteHeartbeat(epoch uint64, size int64, records uint64)
+}
+
+// ClientConfig assembles a Client.
+type ClientConfig struct {
+	PrimaryAddr string
+	Node        string
+	Applier     Applier
+	MaxPayload  int           // frame payload bound (0 = DefaultMaxPayload)
+	DialTimeout time.Duration // 0 = 3s
+	RetryMin    time.Duration // reconnect backoff floor (0 = 100ms)
+	RetryMax    time.Duration // reconnect backoff ceiling (0 = 2s)
+	ReadIdle    time.Duration // stream read deadline; must exceed the primary's heartbeat interval (0 = 15s)
+	Logf        func(format string, args ...any)
+}
+
+// Status is a snapshot of the replica's replication position for /readyz and
+// /metrics. CaughtUp latches once the replica has applied at least the ledger
+// prefix the last successful handshake promised (Welcome.LedgerSize) — a
+// caught-up replica that later loses its primary still holds that data, so it
+// stays promotable and ready while Connected goes false.
+type Status struct {
+	Connected      bool
+	CaughtUp       bool
+	Epoch          uint64 // primary's fencing epoch from the last handshake
+	TargetOffset   int64  // ledger bytes promised at handshake
+	TargetRecords  uint64 // ledger records promised at handshake
+	AppliedOffset  int64  // ledger bytes durably applied locally
+	AppliedRecords uint64 // ledger records durably applied locally
+	PrimaryRecords uint64 // primary's latest advertised record count (heartbeats/chunks)
+	Disconnects    uint64
+	LastError      string
+	LastRefuse     string // non-empty once the primary refused the handshake
+}
+
+// LagRecords is how many ledger records the replica trails the primary by,
+// per the primary's latest advertisement.
+func (s Status) LagRecords() uint64 {
+	if s.PrimaryRecords <= s.AppliedRecords {
+		return 0
+	}
+	return s.PrimaryRecords - s.AppliedRecords
+}
+
+// Client is the replica side of the protocol: one goroutine that dials the
+// primary, handshakes, applies the stream through the Applier, acknowledges
+// ledger positions, and reconnects with backoff forever (a refused handshake
+// retries at the slow ceiling — the refusal reason is operator-visible in
+// Status, and a later promotion or operator fix can clear it).
+type Client struct {
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	st     Status
+	conn   net.Conn // current connection, for Close to interrupt reads
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewClient starts the replication loop.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = DefaultMaxPayload
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if cfg.ReadIdle <= 0 {
+		cfg.ReadIdle = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Client{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	go c.run()
+	return c
+}
+
+// Status returns the current replication position.
+func (c *Client) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// Close stops the loop and waits for it to exit.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.mu.Unlock()
+	<-c.done
+}
+
+// run is the reconnect loop.
+func (c *Client) run() {
+	defer close(c.done)
+	backoff := c.cfg.RetryMin
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		attached, err := c.connectOnce()
+		c.mu.Lock()
+		c.st.Connected = false
+		c.conn = nil
+		if err != nil {
+			c.st.LastError = err.Error()
+		}
+		if attached {
+			c.st.Disconnects++
+		}
+		refused := c.st.LastRefuse != ""
+		c.mu.Unlock()
+		if err != nil {
+			c.cfg.Logf("repl: replica stream ended: %v", err)
+		}
+		if attached {
+			backoff = c.cfg.RetryMin
+		}
+		wait := backoff
+		if refused {
+			wait = c.cfg.RetryMax // refusal is sticky until the operator intervenes
+		}
+		select {
+		case <-c.stop:
+			return
+		case <-time.After(wait):
+		}
+		if backoff *= 2; backoff > c.cfg.RetryMax {
+			backoff = c.cfg.RetryMax
+		}
+	}
+}
+
+// connectOnce runs one dial/handshake/stream cycle. attached reports whether
+// the handshake was accepted (a live session was lost, not a failed dial).
+func (c *Client) connectOnce() (attached bool, err error) {
+	if err := fault.Check(SiteHandshake); err != nil {
+		return false, err
+	}
+	hello, err := c.cfg.Applier.Hello()
+	if err != nil {
+		return false, fmt.Errorf("repl: local state for hello: %w", err)
+	}
+	hello.Node = c.cfg.Node
+	conn, err := net.DialTimeout("tcp", c.cfg.PrimaryAddr, c.cfg.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false, nil
+	}
+	c.conn = conn
+	c.mu.Unlock()
+
+	conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout + 10*time.Second))
+	hbuf, _ := json.Marshal(hello)
+	if err := WriteFrame(conn, Frame{Type: TypeHello, Epoch: hello.Epoch, Payload: hbuf}); err != nil {
+		return false, fmt.Errorf("repl: send hello: %w", err)
+	}
+	f, err := ReadFrame(conn, c.cfg.MaxPayload)
+	if err != nil {
+		return false, fmt.Errorf("repl: read welcome: %w", err)
+	}
+	if f.Type != TypeWelcome {
+		return false, fmt.Errorf("repl: expected welcome, got frame type %d", f.Type)
+	}
+	var w Welcome
+	if err := json.Unmarshal(f.Payload, &w); err != nil {
+		return false, fmt.Errorf("repl: undecodable welcome: %w", err)
+	}
+	if w.Refuse != "" {
+		c.mu.Lock()
+		c.st.LastRefuse = w.Refuse
+		c.mu.Unlock()
+		return false, fmt.Errorf("repl: primary refused handshake: %s", w.Refuse)
+	}
+	if w.Epoch < hello.Epoch {
+		return false, fmt.Errorf("repl: primary epoch %d behind ours %d", w.Epoch, hello.Epoch)
+	}
+
+	epoch := w.Epoch
+	c.mu.Lock()
+	c.st.Connected = true
+	c.st.LastRefuse = ""
+	c.st.Epoch = epoch
+	c.st.TargetOffset = w.LedgerSize
+	c.st.TargetRecords = w.LedgerRecords
+	c.st.AppliedOffset = hello.LedgerSize
+	if w.LedgerRecords > c.st.PrimaryRecords {
+		c.st.PrimaryRecords = w.LedgerRecords
+	}
+	if c.st.AppliedOffset >= c.st.TargetOffset {
+		c.st.CaughtUp = true
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("repl: attached to primary %q epoch %d (ledger %d -> %d)", w.Node, epoch, hello.LedgerSize, w.LedgerSize)
+
+	for {
+		select {
+		case <-c.stop:
+			return true, nil
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(c.cfg.ReadIdle))
+		f, err := ReadFrame(conn, c.cfg.MaxPayload)
+		if err != nil {
+			return true, err
+		}
+		// Fencing: every streamed frame must carry the reign we attached
+		// under (or a newer one, observed mid-stream). A frame from an older
+		// reign means the socket outlived a promotion somewhere.
+		if f.Epoch < epoch {
+			return true, fmt.Errorf("repl: frame epoch %d below session epoch %d", f.Epoch, epoch)
+		}
+		if f.Epoch > epoch {
+			epoch = f.Epoch
+			c.mu.Lock()
+			c.st.Epoch = epoch
+			c.mu.Unlock()
+		}
+		switch f.Type {
+		case TypeLedger:
+			end, seq, data, derr := DecodeLedgerChunk(f.Payload)
+			if derr != nil {
+				return true, derr
+			}
+			off, recs, aerr := c.cfg.Applier.ApplyLedger(end, seq, data)
+			if aerr != nil {
+				return true, fmt.Errorf("repl: apply ledger chunk ending %d: %w", end, aerr)
+			}
+			c.noteApplied(off, recs, seq)
+			conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if werr := WriteFrame(conn, Frame{Type: TypeAck, Epoch: epoch, Payload: EncodeAck(off, recs)}); werr != nil {
+				return true, fmt.Errorf("repl: send ack: %w", werr)
+			}
+		case TypeRows:
+			rc, derr := DecodeRowsChunk(f.Payload)
+			if derr != nil {
+				return true, derr
+			}
+			if aerr := c.cfg.Applier.ApplyRows(rc); aerr != nil {
+				return true, fmt.Errorf("repl: apply rows %s/%s@%d: %w", rc.Dataset, rc.Relation, rc.StartRow, aerr)
+			}
+		case TypeAnswer:
+			// Answers are a lazily-replicated cache: failure to apply one is
+			// logged, never fatal — the replica just recomputes on demand.
+			if aerr := c.cfg.Applier.ApplyAnswer(f.Epoch, f.Payload); aerr != nil {
+				c.cfg.Logf("repl: dropping unappliable answer: %v", aerr)
+			}
+		case TypeHeartbeat:
+			size, records, derr := DecodeHeartbeat(f.Payload)
+			if derr != nil {
+				return true, derr
+			}
+			c.cfg.Applier.NoteHeartbeat(f.Epoch, size, records)
+			c.mu.Lock()
+			if records > c.st.PrimaryRecords {
+				c.st.PrimaryRecords = records
+			}
+			c.mu.Unlock()
+		default:
+			return true, fmt.Errorf("repl: unexpected frame type %d from primary", f.Type)
+		}
+	}
+}
+
+// noteApplied advances the replica's applied position and latches CaughtUp.
+func (c *Client) noteApplied(off int64, recs, primarySeq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if off > c.st.AppliedOffset {
+		c.st.AppliedOffset = off
+	}
+	if recs > c.st.AppliedRecords {
+		c.st.AppliedRecords = recs
+	}
+	if primarySeq > c.st.PrimaryRecords {
+		c.st.PrimaryRecords = primarySeq
+	}
+	if !c.st.CaughtUp && c.st.AppliedOffset >= c.st.TargetOffset {
+		c.st.CaughtUp = true
+	}
+}

@@ -1,0 +1,374 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"r2t/internal/fault"
+)
+
+// testSource is a minimal primary: an in-memory ledger byte log with
+// prefix-CRC handshake verification and single-chunk catch-up.
+type testSource struct {
+	mu     sync.Mutex
+	epoch  uint64
+	ledger []byte
+	seq    uint64
+}
+
+func (s *testSource) append(line string) (frame Frame, end int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ledger = append(s.ledger, line...)
+	s.seq++
+	end = int64(len(s.ledger))
+	return Frame{Type: TypeLedger, Epoch: s.epoch, Payload: EncodeLedgerChunk(end, s.seq, []byte(line))}, end
+}
+
+func (s *testSource) Handshake(h Hello) (Welcome, []Frame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := Welcome{Node: "primary", Epoch: s.epoch, LedgerSize: int64(len(s.ledger)), LedgerRecords: s.seq}
+	if h.Epoch > s.epoch {
+		return w, nil, fmt.Errorf("fenced: replica epoch %d above ours %d", h.Epoch, s.epoch)
+	}
+	if h.LedgerSize > int64(len(s.ledger)) {
+		return w, nil, errors.New("replica ledger longer than ours")
+	}
+	if crc32.ChecksumIEEE(s.ledger[:h.LedgerSize]) != h.LedgerCRC {
+		return w, nil, errors.New("replica ledger diverged")
+	}
+	var catchup []Frame
+	if h.LedgerSize < int64(len(s.ledger)) {
+		catchup = append(catchup, Frame{
+			Type:    TypeLedger,
+			Epoch:   s.epoch,
+			Payload: EncodeLedgerChunk(int64(len(s.ledger)), s.seq, s.ledger[h.LedgerSize:]),
+		})
+	}
+	return w, catchup, nil
+}
+
+// testApplier is a minimal replica: an in-memory ledger with offset-deduped
+// idempotent application.
+type testApplier struct {
+	mu         sync.Mutex
+	node       string
+	epoch      uint64
+	ledger     []byte
+	records    uint64
+	rows       []RowsChunk
+	answers    [][]byte
+	heartbeats int
+}
+
+func (a *testApplier) Hello() (Hello, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Hello{
+		Node:       a.node,
+		Epoch:      a.epoch,
+		LedgerSize: int64(len(a.ledger)),
+		LedgerCRC:  crc32.ChecksumIEEE(a.ledger),
+	}, nil
+}
+
+func (a *testApplier) ApplyLedger(end int64, seq uint64, data []byte) (int64, uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	have := int64(len(a.ledger))
+	if end <= have {
+		return have, a.records, nil // replayed overlap
+	}
+	start := end - int64(len(data))
+	if start > have {
+		return have, a.records, fmt.Errorf("gap: chunk starts at %d, have %d", start, have)
+	}
+	fresh := data[have-start:]
+	a.ledger = append(a.ledger, fresh...)
+	a.records += uint64(bytes.Count(fresh, []byte("\n")))
+	return int64(len(a.ledger)), a.records, nil
+}
+
+func (a *testApplier) ApplyRows(rc RowsChunk) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rows = append(a.rows, rc)
+	return nil
+}
+
+func (a *testApplier) ApplyAnswer(epoch uint64, payload []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.answers = append(a.answers, bytes.Clone(payload))
+	return nil
+}
+
+func (a *testApplier) NoteHeartbeat(epoch uint64, size int64, records uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.heartbeats++
+}
+
+func (a *testApplier) snapshot() (ledger []byte, rows int, answers int, heartbeats int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return bytes.Clone(a.ledger), len(a.rows), len(a.answers), a.heartbeats
+}
+
+func startHub(t *testing.T, src Source) (*Hub, string) {
+	t.Helper()
+	hub := NewHub(HubConfig{Node: "primary", Source: src, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve(ln)
+	t.Cleanup(func() { ln.Close(); hub.Close() })
+	return hub, ln.Addr().String()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHubClientCatchUpAndCommit(t *testing.T) {
+	src := &testSource{epoch: 1}
+	src.append("{\"n\":1}\n")
+	src.append("{\"n\":2}\n")
+	hub, addr := startHub(t, src)
+
+	app := &testApplier{node: "b"}
+	cli := NewClient(ClientConfig{PrimaryAddr: addr, Node: "b", Applier: app, Logf: t.Logf})
+	defer cli.Close()
+
+	waitFor(t, "catch-up", func() bool { return cli.Status().CaughtUp })
+	st := cli.Status()
+	if !st.Connected || st.Epoch != 1 {
+		t.Fatalf("status after catch-up: %+v", st)
+	}
+	ledger, _, _, _ := app.snapshot()
+	if !bytes.Equal(ledger, src.ledger) {
+		t.Fatalf("replica ledger %q != primary %q", ledger, src.ledger)
+	}
+
+	// A synchronous commit must block until the replica acknowledged it.
+	f, end := src.append("{\"n\":3}\n")
+	if err := hub.Commit(f, end, 1, 5*time.Second); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	ledger, _, _, _ = app.snapshot()
+	if !bytes.Equal(ledger, src.ledger) {
+		t.Fatalf("replica ledger %q != primary %q after commit", ledger, src.ledger)
+	}
+	if st := cli.Status(); st.AppliedRecords != 3 || st.LagRecords() != 0 {
+		t.Fatalf("status after commit: %+v", st)
+	}
+
+	// Fire-and-forget publishes: rows, answers, heartbeats.
+	hub.Publish(Frame{Type: TypeRows, Epoch: 1, Payload: EncodeRowsChunk(RowsChunk{Dataset: "d", Relation: "r", StartRow: 0, NCols: 1, Payload: []byte{1}})})
+	hub.Publish(Frame{Type: TypeAnswer, Epoch: 1, Payload: []byte(`{"est":1}`)})
+	hub.Publish(Frame{Type: TypeHeartbeat, Epoch: 1, Payload: EncodeHeartbeat(int64(len(src.ledger)), src.seq)})
+	waitFor(t, "publishes", func() bool {
+		_, rows, answers, hb := app.snapshot()
+		return rows == 1 && answers == 1 && hb == 1
+	})
+
+	peers := hub.Peers()
+	if len(peers) != 1 || peers[0].Node != "b" || peers[0].AckedSeq != 3 {
+		t.Fatalf("peers: %+v", peers)
+	}
+}
+
+func TestCommitWithoutReplicasFailsMinSync(t *testing.T) {
+	src := &testSource{epoch: 1}
+	hub, _ := startHub(t, src)
+	f, end := src.append("{}\n")
+	err := hub.Commit(f, end, 1, 100*time.Millisecond)
+	if !errors.Is(err, ErrNotEnoughReplicas) {
+		t.Fatalf("Commit with no replicas: %v, want ErrNotEnoughReplicas", err)
+	}
+	// minSync 0 is best-effort and must succeed with nobody attached.
+	f, end = src.append("{}\n")
+	if err := hub.Commit(f, end, 0, 100*time.Millisecond); err != nil {
+		t.Fatalf("best-effort Commit: %v", err)
+	}
+}
+
+func TestHandshakeRefusalIsSticky(t *testing.T) {
+	src := &testSource{epoch: 1}
+	src.append("{\"n\":1}\n")
+	_, addr := startHub(t, src)
+
+	// A replica claiming a NEWER epoch fences the primary's handshake.
+	app := &testApplier{node: "b", epoch: 5}
+	cli := NewClient(ClientConfig{PrimaryAddr: addr, Node: "b", Applier: app, RetryMax: 200 * time.Millisecond, Logf: t.Logf})
+	defer cli.Close()
+	waitFor(t, "refusal", func() bool { return cli.Status().LastRefuse != "" })
+	if st := cli.Status(); st.Connected || st.CaughtUp {
+		t.Fatalf("refused replica reports %+v", st)
+	}
+}
+
+func TestHandshakeRefusesDivergedLedger(t *testing.T) {
+	src := &testSource{epoch: 1}
+	src.append("{\"n\":1}\n")
+	_, addr := startHub(t, src)
+
+	app := &testApplier{node: "b"}
+	app.ledger = []byte("{\"DIVERGED\"}\n") // same length class, different bytes
+	cli := NewClient(ClientConfig{PrimaryAddr: addr, Node: "b", Applier: app, RetryMax: 200 * time.Millisecond, Logf: t.Logf})
+	defer cli.Close()
+	waitFor(t, "divergence refusal", func() bool { return cli.Status().LastRefuse != "" })
+}
+
+func TestClientReconnectsAfterPartition(t *testing.T) {
+	src := &testSource{epoch: 1}
+	src.append("{\"n\":1}\n")
+	hub, addr := startHub(t, src)
+
+	app := &testApplier{node: "b"}
+	cli := NewClient(ClientConfig{PrimaryAddr: addr, Node: "b", Applier: app, RetryMin: 20 * time.Millisecond, Logf: t.Logf})
+	defer cli.Close()
+	waitFor(t, "initial catch-up", func() bool { return cli.Status().CaughtUp })
+
+	// Partition: every frame write fails once the rule arms; both directions
+	// collapse, the session detaches, and the client reconnects after Reset.
+	disable := fault.Enable(SiteSend, fault.Rule{Err: errors.New("partition")})
+	f, end := src.append("{\"n\":2}\n")
+	if err := hub.Commit(f, end, 1, 500*time.Millisecond); err == nil {
+		t.Fatal("Commit succeeded across a partition")
+	}
+	disable()
+
+	waitFor(t, "reconnect + re-catch-up", func() bool {
+		st := cli.Status()
+		return st.Connected && st.AppliedOffset == int64(len(src.ledger))
+	})
+	if hub.Disconnects() == 0 {
+		t.Fatal("partition did not count a disconnect")
+	}
+	ledger, _, _, _ := app.snapshot()
+	if !bytes.Equal(ledger, src.ledger) {
+		t.Fatalf("replica ledger %q != primary %q after heal", ledger, src.ledger)
+	}
+
+	// The healed session must carry new commits again.
+	f, end = src.append("{\"n\":3}\n")
+	if err := hub.Commit(f, end, 1, 5*time.Second); err != nil {
+		t.Fatalf("Commit after heal: %v", err)
+	}
+}
+
+func TestClientRejectsStaleEpochFrames(t *testing.T) {
+	// Hand-rolled "primary" that welcomes at epoch 3 then streams an epoch-1
+	// frame: the client must drop the connection (fencing).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	served := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			served <- err
+			return
+		}
+		defer conn.Close()
+		if _, err := ReadFrame(conn, 0); err != nil {
+			served <- err
+			return
+		}
+		wbuf, _ := json.Marshal(Welcome{Node: "evil", Epoch: 3})
+		if err := WriteFrame(conn, Frame{Type: TypeWelcome, Epoch: 3, Payload: wbuf}); err != nil {
+			served <- err
+			return
+		}
+		stale := Frame{Type: TypeLedger, Epoch: 1, Payload: EncodeLedgerChunk(3, 1, []byte("{}\n"))}
+		if err := WriteFrame(conn, stale); err != nil {
+			served <- err
+			return
+		}
+		// The client must hang up on us rather than ack.
+		_, err = ReadFrame(conn, 0)
+		served <- err
+	}()
+
+	app := &testApplier{node: "b"}
+	cli := NewClient(ClientConfig{PrimaryAddr: ln.Addr().String(), Node: "b", Applier: app, RetryMax: 5 * time.Second, Logf: t.Logf})
+	defer cli.Close()
+	select {
+	case err := <-served:
+		if err == nil {
+			t.Fatal("client acknowledged a stale-epoch frame")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the client to hang up")
+	}
+	ledger, _, _, _ := app.snapshot()
+	if len(ledger) != 0 {
+		t.Fatalf("stale-epoch frame was applied: %q", ledger)
+	}
+}
+
+func TestSlowReplicaIsDetachedNotBlocking(t *testing.T) {
+	src := &testSource{epoch: 1}
+	hub := NewHub(HubConfig{Node: "primary", Source: src, SendQueue: 2, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go hub.Serve(ln)
+	defer hub.Close()
+
+	// A raw conn that handshakes and then never reads: its queue (2) plus the
+	// kernel buffers absorb a few frames, after which Publish must detach it
+	// rather than block.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hbuf, _ := json.Marshal(Hello{Node: "slow"})
+	if err := WriteFrame(conn, Frame{Type: TypeHello, Epoch: 0, Payload: hbuf}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(conn, 0); err != nil { // welcome
+		t.Fatal(err)
+	}
+	waitFor(t, "attach", func() bool { return hub.Attached() == 1 })
+
+	big := Frame{Type: TypeRows, Epoch: 1, Payload: make([]byte, 1<<20)}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 4096; i++ {
+			hub.Publish(big)
+			if hub.Attached() == 0 {
+				break
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Publish blocked on a slow replica")
+	}
+	waitFor(t, "detach", func() bool { return hub.Attached() == 0 })
+}

@@ -69,6 +69,7 @@ type Store struct {
 	wmu sync.Mutex
 
 	failed atomic.Pointer[error]
+	mirror atomic.Pointer[RowsMirror]
 
 	appends      atomic.Uint64
 	appendedRows atomic.Uint64
@@ -367,16 +368,59 @@ func (s *Store) Poisoned() error {
 	return nil
 }
 
+// RowsMirror observes every durably inserted row batch: relation, the global
+// row id of the batch's first row, and the rows themselves. The r2td
+// replication path installs one to ship batches to replicas. It runs under
+// the store's writer lock (batches arrive in row-id order, never
+// interleaved) after local durability, and is fire-and-forget — rows are
+// lazily replicated state, re-fetched by a reconnect handshake if a stream
+// drops, so the mirror has no error to return.
+type RowsMirror func(relation string, startRow int, rows []storage.Row)
+
+// SetMirror installs (or, with nil, removes) the row replication hook.
+func (s *Store) SetMirror(m RowsMirror) {
+	if m == nil {
+		s.mirror.Store(nil)
+		return
+	}
+	s.mirror.Store(&m)
+}
+
 // Insert is the store's checked write path: one store-wide writer lock, the
 // instance's incremental PK/FK validation, then the durable append through
-// the table's sink.
+// the table's sink, then the replication mirror.
 func (s *Store) Insert(relation string, rows ...storage.Row) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	if errp := s.failed.Load(); errp != nil {
 		return fmt.Errorf("segstore: insert rejected: %w", *errp)
 	}
-	return s.inst.InsertChecked(relation, rows...)
+	m := s.mirror.Load()
+	start := 0
+	if m != nil {
+		if t := s.inst.Table(relation); t != nil {
+			start = t.Len()
+		}
+	}
+	if err := s.inst.InsertChecked(relation, rows...); err != nil {
+		return err
+	}
+	if m != nil {
+		(*m)(relation, start, rows)
+	}
+	return nil
+}
+
+// RowCounts returns each relation's durable row count — what a replica
+// advertises in its handshake Hello so the primary can compute row catch-up.
+func (s *Store) RowCounts() map[string]int {
+	out := make(map[string]int, len(s.wals))
+	for name, w := range s.wals {
+		w.mu.Lock()
+		out[name] = w.nRows
+		w.mu.Unlock()
+	}
+	return out
 }
 
 // Segments returns a copy of the sealed segments of one relation's log.

@@ -85,11 +85,9 @@ func parseHeader(b []byte, name string, ncols int) (int, error) {
 	return off + 4, nil
 }
 
-// appendRecord frames rows as one checksummed WAL record.
-func appendRecord(buf []byte, rows []storage.Row) []byte {
-	lenAt := len(buf)
-	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
-	payloadAt := len(buf)
+// appendPayload appends the record payload encoding of rows: u32 row count,
+// then each row's values.
+func appendPayload(buf []byte, rows []storage.Row) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
 	for _, row := range rows {
 		for _, v := range row {
@@ -105,6 +103,29 @@ func appendRecord(buf []byte, rows []storage.Row) []byte {
 			}
 		}
 	}
+	return buf
+}
+
+// EncodePayload encodes rows in the WAL record payload format. The r2td
+// replication path uses it to ship durable row batches to replicas in the
+// exact encoding their own WALs will persist.
+func EncodePayload(rows []storage.Row) []byte {
+	return appendPayload(nil, rows)
+}
+
+// DecodePayload decodes one record payload into rows of ncols columns. It is
+// total over arbitrary bytes — replicated payloads are decoded with it before
+// anything is applied.
+func DecodePayload(b []byte, ncols int) ([]storage.Row, error) {
+	return decodePayload(b, ncols)
+}
+
+// appendRecord frames rows as one checksummed WAL record.
+func appendRecord(buf []byte, rows []storage.Row) []byte {
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	payloadAt := len(buf)
+	buf = appendPayload(buf, rows)
 	payload := buf[payloadAt:]
 	binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[lenAt+4:], crc32.ChecksumIEEE(payload))

@@ -29,7 +29,17 @@ type appendResponse struct {
 	// query surface already exposes data through the DP mechanism only, and
 	// this endpoint is operator-side (writes imply ownership of the data).
 	TotalRows int `json:"total_rows"`
+	// Deduped marks a response replayed from the X-R2T-Append-Id idempotency
+	// window: the rows were already durably applied by an earlier request with
+	// this id and nothing was written again.
+	Deduped bool `json:"deduped,omitempty"`
 }
+
+// AppendIDHeader carries the client-chosen idempotency id for POST /v1/append.
+// Retrying a timed-out append with the same id (and identical rows) is safe:
+// if the original attempt landed, the retry replays its response instead of
+// appending the rows a second time. The same id with different rows is a 409.
+const AppendIDHeader = "X-R2T-Append-Id"
 
 // handleAppend serves POST /v1/append: parse, integrity-check, WAL, apply.
 // The append is durable (fsynced) before the response is written; a 200
@@ -49,6 +59,21 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.failAppend(w, "", start, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	// Role gate: writes flow through the primary only. A replica applying
+	// local appends would fork its tables from the primary's stream; it
+	// redirects instead, exactly like the charge path. A fenced primary has
+	// been replaced and must not grow datasets the new primary will never see.
+	if s.repl.isReplica() {
+		if s.repl.primaryAddr != "" {
+			w.Header().Set("X-R2T-Primary", s.repl.primaryAddr)
+		}
+		s.failAppend(w, req.Dataset, start, http.StatusConflict, errNotPrimary)
+		return
+	}
+	if s.repl.fenced.Load() {
+		s.failAppend(w, req.Dataset, start, http.StatusServiceUnavailable, errFenced)
+		return
+	}
 	ds := s.reg.Get(req.Dataset)
 	if ds == nil {
 		s.failAppend(w, req.Dataset, start, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
@@ -63,6 +88,39 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.failAppend(w, ds.Name, start, http.StatusBadRequest, errors.New("no rows to append"))
 		return
 	}
+
+	// Idempotency (AppendIDHeader): resolve the id before touching the WAL.
+	var finish func(appendResponse, bool)
+	if id := r.Header.Get(AppendIDHeader); id != "" {
+		stored, outcome, fin := s.dedup.claim(dedupKey(req.Dataset, req.Relation, id), hashAppendBody(req.Rows))
+		switch outcome {
+		case dedupReplay:
+			s.metrics.appendDeduped()
+			stored.Deduped = true
+			s.logRequest(requestLogEntry{
+				Dataset:   ds.Name,
+				Status:    statusAppend,
+				Code:      http.StatusOK,
+				Cached:    true,
+				ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			})
+			writeJSON(w, http.StatusOK, stored)
+			return
+		case dedupConflict:
+			s.failAppend(w, ds.Name, start, http.StatusConflict,
+				fmt.Errorf("append id %q was already used for %s/%s with different rows", id, req.Dataset, req.Relation))
+			return
+		}
+		finish = fin
+	}
+	var resp appendResponse
+	applied := false
+	if finish != nil {
+		// Runs on every exit: a success is remembered for replay, any failure
+		// releases the id so the caller's retry can lead again.
+		defer func() { finish(resp, applied) }()
+	}
+
 	rows := make([]storage.Row, len(req.Rows))
 	for i, fields := range req.Rows {
 		row := make(storage.Row, len(fields))
@@ -89,12 +147,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Code:      http.StatusOK,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	})
-	writeJSON(w, http.StatusOK, appendResponse{
+	resp = appendResponse{
 		Dataset:   ds.Name,
 		Relation:  req.Relation,
 		Appended:  len(rows),
 		TotalRows: len(snap),
-	})
+	}
+	applied = true
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // failAppend mirrors fail for the write path. Append errors are
@@ -112,7 +172,7 @@ func (s *Server) failAppend(w http.ResponseWriter, dataset string, start time.Ti
 		status = statusReadOnly
 	case http.StatusServiceUnavailable:
 		status = statusUnavailable
-		w.Header().Set("Retry-After", "60")
+		setRetryAfter(w, retryAfterOutage)
 	}
 	// Appends deliberately stay out of r2td_queries_total (that counter is the
 	// DP release stream); the segstore WAL counters are the write-path metrics,

@@ -188,6 +188,24 @@ func (c *answerCache) do(ctx context.Context, key string, fn func() (cachedAnswe
 	return ans, false, err
 }
 
+// peek returns the recorded release for key without joining or creating an
+// in-flight run — the replica read path: a replica either replays a recorded
+// release for free or redirects, it never leads a mechanism run of its own.
+func (c *answerCache) peek(key string) (cachedAnswer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupLocked(key)
+}
+
+// storeReplicated records a release that was produced (and charged) on the
+// primary. Replays of it here are post-processing of an already-published
+// ε-DP output, exactly like locally recorded releases.
+func (c *answerCache) storeReplicated(key string, ans cachedAnswer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, ans)
+}
+
 // size returns the number of recorded releases.
 func (c *answerCache) size() int {
 	c.mu.Lock()

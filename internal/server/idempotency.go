@@ -1,0 +1,158 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// DefaultAppendDedupMax bounds the idempotency window when Config leaves
+// AppendDedupMax at zero.
+const DefaultAppendDedupMax = 4096
+
+// dedupOutcome is claim's verdict for one keyed append attempt.
+type dedupOutcome int
+
+const (
+	dedupLead     dedupOutcome = iota // caller should perform the append
+	dedupReplay                       // already applied; re-serve the stored response
+	dedupConflict                     // same id, different body: refuse
+)
+
+// appendDedup is the X-R2T-Append-Id idempotency window: a bounded LRU of
+// successfully applied append ids, each remembering a hash of the body it was
+// applied with and the response it produced. A retry with the same id and
+// body replays the stored response without touching the WAL; the same id with
+// a different body is a caller bug and conflicts. Only successes are
+// remembered — a failed append leaves the id unconsumed so the caller's retry
+// can lead again. Concurrent retries of one id single-flight behind the
+// leader.
+//
+// The window is bounded (LRU), so idempotency is best-effort over the most
+// recent ids: an id evicted before its retry arrives will be applied again.
+// That trades exactness for bounded memory, which is the right trade for an
+// at-least-once ingestion stream into an append-only store.
+type appendDedup struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*dedupFlight
+}
+
+// dedupSlot is one remembered success.
+type dedupSlot struct {
+	key      string
+	bodyHash string
+	resp     appendResponse
+}
+
+// dedupFlight tracks one in-progress keyed append.
+type dedupFlight struct {
+	done     chan struct{}
+	bodyHash string
+}
+
+func newAppendDedup(max int) *appendDedup {
+	if max <= 0 {
+		max = DefaultAppendDedupMax
+	}
+	return &appendDedup{
+		max:      max,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*dedupFlight),
+	}
+}
+
+// claim resolves one keyed attempt. For dedupLead the caller MUST invoke the
+// returned finish exactly once: finish(resp, true) after a durable success
+// (remembers it), finish(anything, false) on failure (forgets the id).
+// Followers racing a leader wait for it and then re-resolve against what it
+// left behind.
+func (d *appendDedup) claim(key, bodyHash string) (resp appendResponse, outcome dedupOutcome, finish func(appendResponse, bool)) {
+	for {
+		d.mu.Lock()
+		if e, ok := d.entries[key]; ok {
+			slot := e.Value.(*dedupSlot)
+			d.lru.MoveToFront(e)
+			d.mu.Unlock()
+			if slot.bodyHash != bodyHash {
+				return appendResponse{}, dedupConflict, nil
+			}
+			return slot.resp, dedupReplay, nil
+		}
+		if fl, ok := d.inflight[key]; ok {
+			// A leader is applying this id right now. A different body can
+			// conflict immediately — whatever the leader's outcome, this
+			// request's body disagrees with a concurrent same-id request.
+			if fl.bodyHash != bodyHash {
+				d.mu.Unlock()
+				return appendResponse{}, dedupConflict, nil
+			}
+			d.mu.Unlock()
+			<-fl.done
+			continue // re-resolve: replay the leader's success, or lead afresh
+		}
+		fl := &dedupFlight{done: make(chan struct{}), bodyHash: bodyHash}
+		d.inflight[key] = fl
+		d.mu.Unlock()
+		return appendResponse{}, dedupLead, func(r appendResponse, ok bool) {
+			d.mu.Lock()
+			delete(d.inflight, key)
+			if ok {
+				d.storeLocked(key, bodyHash, r)
+			}
+			d.mu.Unlock()
+			close(fl.done)
+		}
+	}
+}
+
+// storeLocked remembers a success and evicts past the cap. Caller holds d.mu.
+func (d *appendDedup) storeLocked(key, bodyHash string, resp appendResponse) {
+	if e, ok := d.entries[key]; ok {
+		slot := e.Value.(*dedupSlot)
+		slot.bodyHash, slot.resp = bodyHash, resp
+		d.lru.MoveToFront(e)
+		return
+	}
+	d.entries[key] = d.lru.PushFront(&dedupSlot{key: key, bodyHash: bodyHash, resp: resp})
+	for d.lru.Len() > d.max {
+		back := d.lru.Back()
+		d.lru.Remove(back)
+		delete(d.entries, back.Value.(*dedupSlot).key)
+	}
+}
+
+// size returns the number of remembered ids.
+func (d *appendDedup) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// dedupKey builds the idempotency key: ids are scoped per (dataset, relation)
+// so independent writers need not coordinate id namespaces.
+func dedupKey(dataset, relation, id string) string {
+	return dataset + "\x00" + relation + "\x00" + id
+}
+
+// hashAppendBody fingerprints the rows of an append request (length-prefixed,
+// so field boundaries can't alias).
+func hashAppendBody(rows [][]string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, row := range rows {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(row)))
+		h.Write(n[:])
+		for _, f := range row {
+			binary.LittleEndian.PutUint64(n[:], uint64(len(f)))
+			h.Write(n[:])
+			h.Write([]byte(f))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// appendWithID posts /v1/append carrying an X-R2T-Append-Id header.
+func (c *testClient) appendWithID(id, body string) (int, appendResponse, errorResponse) {
+	c.t.Helper()
+	req, err := http.NewRequest(http.MethodPost, c.url+"/v1/append", strings.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(AppendIDHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok appendResponse
+	var fail errorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ok); err != nil {
+			c.t.Fatal(err)
+		}
+	} else {
+		if err := json.NewDecoder(resp.Body).Decode(&fail); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, ok, fail
+}
+
+// TestAppendIdempotency covers the X-R2T-Append-Id satellite: a replayed id
+// returns the stored response without re-applying rows, a reused id with
+// different rows is a conflict, a failed attempt releases its id for retry,
+// and the dedup window is LRU-bounded.
+func TestAppendIdempotency(t *testing.T) {
+	base := t.TempDir()
+	cfg := durableGraphConfig(t, filepath.Join(base, "l.ledger"), filepath.Join(base, "wal"))
+	cfg.AppendDedupMax = 2 // tiny window to exercise eviction below
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &testClient{t: t, url: ts.URL}
+
+	edgeLen := func() int {
+		return srv.reg.Get("graph").DB.Instance().Table("Edge").Len()
+	}
+	before := edgeLen()
+
+	// First attempt with an id applies normally.
+	const body = `{"dataset":"graph","relation":"Edge","rows":[["0","7"],["3","9"]]}`
+	code, r1, fe := c.appendWithID("batch-1", body)
+	if code != http.StatusOK || r1.Deduped {
+		t.Fatalf("first append: code %d deduped %v (%s)", code, r1.Deduped, fe.Error)
+	}
+	if edgeLen() != before+2 {
+		t.Fatalf("Edge len = %d, want %d", edgeLen(), before+2)
+	}
+
+	// The retry (same id, same rows) replays the stored response; the rows
+	// are NOT applied again.
+	code, r2, _ := c.appendWithID("batch-1", body)
+	if code != http.StatusOK || !r2.Deduped {
+		t.Fatalf("replayed append: code %d deduped %v", code, r2.Deduped)
+	}
+	if r2.Appended != r1.Appended || r2.TotalRows != r1.TotalRows {
+		t.Fatalf("replayed response %+v differs from original %+v", r2, r1)
+	}
+	if edgeLen() != before+2 {
+		t.Fatalf("replay re-applied rows: Edge len = %d, want %d", edgeLen(), before+2)
+	}
+
+	// The same id with different rows is a conflict, not a silent replay.
+	code, _, fe = c.appendWithID("batch-1", `{"dataset":"graph","relation":"Edge","rows":[["1","8"]]}`)
+	if code != http.StatusConflict || !strings.Contains(fe.Error, "different rows") {
+		t.Fatalf("conflicting reuse: code %d err %q", code, fe.Error)
+	}
+
+	// A failed append must not consume its id: the FK violation below leaves
+	// "batch-2" free, so the corrected retry leads (not a replay).
+	code, _, _ = c.appendWithID("batch-2", `{"dataset":"graph","relation":"Edge","rows":[["0","99"]]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("FK-violating append: code %d, want 400", code)
+	}
+	code, r3, _ := c.appendWithID("batch-2", `{"dataset":"graph","relation":"Edge","rows":[["1","8"]]}`)
+	if code != http.StatusOK || r3.Deduped {
+		t.Fatalf("retry after failure: code %d deduped %v, want a fresh 200", code, r3.Deduped)
+	}
+
+	// LRU bound: with AppendDedupMax=2, a third id evicts the oldest.
+	for i := 3; i <= 4; i++ {
+		id := fmt.Sprintf("batch-%d", i)
+		rows := fmt.Sprintf(`{"dataset":"graph","relation":"Edge","rows":[["%d","%d"]]}`, i, i+1)
+		if code, _, fe := c.appendWithID(id, rows); code != http.StatusOK {
+			t.Fatalf("append %s: code %d (%s)", id, code, fe.Error)
+		}
+	}
+	if n := srv.dedup.size(); n > 2 {
+		t.Fatalf("dedup window holds %d entries, want <= 2", n)
+	}
+	// batch-1 was evicted: replaying it now leads again (and double-applies —
+	// the documented bound of the window; clients size it to their retry
+	// horizon).
+	code, r4, _ := c.appendWithID("batch-1", body)
+	if code != http.StatusOK || r4.Deduped {
+		t.Fatalf("evicted id replay: code %d deduped %v, want fresh lead", code, r4.Deduped)
+	}
+
+	// The dedup hit is visible to operators.
+	_, metrics := c.get("/metrics")
+	if !strings.Contains(metrics, "r2td_append_dedup_hits_total 1") {
+		t.Errorf("/metrics missing r2td_append_dedup_hits_total 1")
+	}
+}
+
+// TestAppendDedupUnit pins the claim/finish state machine directly.
+func TestAppendDedupUnit(t *testing.T) {
+	d := newAppendDedup(4)
+	h1 := hashAppendBody([][]string{{"a", "b"}})
+	h2 := hashAppendBody([][]string{{"a"}, {"b"}}) // same bytes, different shape
+	if h1 == h2 {
+		t.Fatal("hashAppendBody must be injective across row boundaries")
+	}
+
+	// Lead → failure releases the id.
+	_, outcome, fin := d.claim("k", h1)
+	if outcome != dedupLead {
+		t.Fatalf("first claim: %v, want lead", outcome)
+	}
+	fin(appendResponse{}, false)
+	if d.size() != 0 {
+		t.Fatalf("failed flight left %d entries", d.size())
+	}
+
+	// Lead → success stores; replay and conflict resolve against the store.
+	_, outcome, fin = d.claim("k", h1)
+	if outcome != dedupLead {
+		t.Fatalf("reclaim after failure: %v, want lead", outcome)
+	}
+	fin(appendResponse{Appended: 7}, true)
+	stored, outcome, _ := d.claim("k", h1)
+	if outcome != dedupReplay || stored.Appended != 7 {
+		t.Fatalf("replay: %v %+v", outcome, stored)
+	}
+	if _, outcome, _ = d.claim("k", h2); outcome != dedupConflict {
+		t.Fatalf("hash mismatch: %v, want conflict", outcome)
+	}
+
+	// Concurrent claim of an in-flight id with the same hash waits for the
+	// leader and replays its stored response.
+	_, outcome, fin = d.claim("wait", h1)
+	if outcome != dedupLead {
+		t.Fatalf("inflight lead: %v", outcome)
+	}
+	done := make(chan dedupOutcome, 1)
+	go func() {
+		_, o, _ := d.claim("wait", h1)
+		done <- o
+	}()
+	// A different-hash claim against the in-flight id conflicts immediately,
+	// without waiting for the leader.
+	if _, o, _ := d.claim("wait", h2); o != dedupConflict {
+		t.Fatalf("inflight hash mismatch: %v, want conflict", o)
+	}
+	fin(appendResponse{Appended: 1}, true)
+	if o := <-done; o != dedupReplay {
+		t.Fatalf("waiter outcome: %v, want replay", o)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strings"
@@ -11,21 +12,44 @@ import (
 	"time"
 )
 
-// LedgerEntry is one privacy charge: dataset, ε, and audit context. Entries
-// are append-only — the ledger is the authoritative record of privacy spend,
-// so nothing ever rewrites or compacts it.
+// LedgerEntry is one ledger line. Entries are append-only — the ledger is the
+// authoritative record of privacy spend, so nothing ever rewrites or compacts
+// it. Two kinds exist:
+//
+//   - Kind "" (a charge): dataset, ε, and audit context. Epoch, when set,
+//     records which fencing reign admitted the charge.
+//   - Kind "epoch": a fencing-epoch record written at primary startup and at
+//     every promotion (DESIGN.md §14). It carries no spend; its Epoch/Node
+//     say which node claimed which reign, and replay takes the maximum as the
+//     node's current epoch. Epoch records never carry a dataset or ε.
 type LedgerEntry struct {
 	Time        string  `json:"time"` // RFC 3339, informational
-	Dataset     string  `json:"dataset"`
-	Epsilon     float64 `json:"epsilon"`
+	Kind        string  `json:"kind,omitempty"`
+	Dataset     string  `json:"dataset,omitempty"`
+	Epsilon     float64 `json:"epsilon,omitempty"`
 	Query       string  `json:"query,omitempty"`       // normalized SQL, audit only
 	Fingerprint string  `json:"fingerprint,omitempty"` // cache key of the release
+	Epoch       uint64  `json:"epoch,omitempty"`       // fencing epoch (see Kind)
+	Node        string  `json:"node,omitempty"`        // node name, epoch records only
 }
+
+// KindEpoch marks a fencing-epoch ledger record.
+const KindEpoch = "epoch"
 
 // ErrLedgerPoisoned reports that a previous write's durability is unknown
 // and the ledger refuses all further writes until it is reopened. The server
 // maps it to 503.
 var ErrLedgerPoisoned = errors.New("ledger poisoned: durability of a previous write is unknown; reopen to recover")
+
+// LedgerMirror replicates one durable ledger line. It is called under the
+// ledger mutex, strictly in file order, after the line is locally durable;
+// size and records are the post-append totals (the line's end offset and the
+// file's newline count). sync asks the mirror to confirm replica durability
+// before returning — a non-nil error from a sync mirror aborts the charge
+// (SpendWith never admits it) but does NOT poison the ledger: the local bytes
+// are known-durable, replay merely overcounts by one unadmitted charge, which
+// is the safe side.
+type LedgerMirror func(line []byte, size int64, records uint64, sync bool) error
 
 // Ledger is the durable append-only budget write-ahead log: one JSON object
 // per line, fsynced by Append before it returns.
@@ -36,7 +60,9 @@ var ErrLedgerPoisoned = errors.New("ledger poisoned: durability of a previous wr
 // runs. A crash at any point therefore errs on the safe side — the ledger
 // may record a charge whose mechanism never released an answer (wasting ε),
 // but an answer can never have been released without its charge being
-// durable first.
+// durable first. Under replication the same hook also blocks on the mirror,
+// extending the contract to: durable locally, then durable on SyncReplicas
+// replicas, then admitted.
 //
 // Fail-closed poisoning (DESIGN.md §9): once a write or fsync fails, the
 // bytes actually on disk are unknown — the kernel may have persisted none,
@@ -48,6 +74,11 @@ var ErrLedgerPoisoned = errors.New("ledger poisoned: durability of a previous wr
 // overcount (a charge that was durable but whose Append reported failure) —
 // that wastes ε, which is the safe side; it can never undercount an admitted
 // charge, because admission requires Append to have returned nil.
+//
+// For replication the ledger tracks its exact byte length, newline count,
+// and a running CRC-32 of every byte ever written (maintained through replay
+// and every append). Primaries use them to verify a replica's ledger is a
+// bitwise prefix of their own; replicas advertise them in the handshake.
 type Ledger struct {
 	mu       sync.Mutex
 	f        ledgerFile
@@ -60,6 +91,14 @@ type Ledger struct {
 	// it to 0 to force every probe through the seam.
 	probeTTL  time.Duration
 	lastWrite time.Time
+
+	size    int64  // exact on-disk byte length
+	records uint64 // newline count (charges + epoch records + probe blanks)
+	crc     uint32 // CRC-32 (IEEE) over all size bytes
+
+	replayedEpoch uint64 // max epoch record seen at open or appended since
+
+	mirror LedgerMirror
 }
 
 // defaultProbeTTL bounds probe writes to one per window: a stale-by-seconds
@@ -88,15 +127,23 @@ func OpenLedger(path string) (*Ledger, map[string]float64, error) {
 	}
 
 	spent := make(map[string]float64)
+	var maxEpoch uint64
 	parse := func(line string, lineNo int) (LedgerEntry, error) {
-		var e LedgerEntry
-		if err := json.Unmarshal([]byte(line), &e); err != nil {
-			return e, fmt.Errorf("ledger %s:%d: corrupt entry: %w", path, lineNo, err)
-		}
-		if e.Dataset == "" || e.Epsilon <= 0 {
-			return e, fmt.Errorf("ledger %s:%d: invalid entry (dataset %q, ε=%g)", path, lineNo, e.Dataset, e.Epsilon)
+		e, err := parseLedgerEntry(line)
+		if err != nil {
+			return e, fmt.Errorf("ledger %s:%d: %w", path, lineNo, err)
 		}
 		return e, nil
+	}
+	account := func(e LedgerEntry) {
+		switch e.Kind {
+		case "":
+			spent[e.Dataset] += e.Epsilon
+		case KindEpoch:
+			if e.Epoch > maxEpoch {
+				maxEpoch = e.Epoch
+			}
+		}
 	}
 
 	lines := strings.Split(string(data), "\n")
@@ -111,17 +158,19 @@ func OpenLedger(path string) (*Ledger, map[string]float64, error) {
 			f.Close()
 			return nil, nil, err
 		}
-		spent[e.Dataset] += e.Epsilon
+		account(e)
 	}
+	final := data
 	if frag := lines[len(lines)-1]; frag != "" {
 		if e, err := parse(frag, len(lines)); err == nil {
 			// Complete entry, only the newline was torn off: count the charge
 			// and terminate the line so the next append starts fresh.
-			spent[e.Dataset] += e.Epsilon
+			account(e)
 			if _, err := f.Write([]byte("\n")); err != nil {
 				f.Close()
 				return nil, nil, fmt.Errorf("repairing ledger %s: %w", path, err)
 			}
+			final = append(append([]byte{}, data...), '\n')
 		} else {
 			// Torn fragment: its charge was never admitted. Truncate it away
 			// so future appends don't concatenate onto garbage.
@@ -134,27 +183,60 @@ func OpenLedger(path string) (*Ledger, map[string]float64, error) {
 				f.Close()
 				return nil, nil, err
 			}
+			final = data[:len(data)-len(frag)]
 		}
 	}
-	return &Ledger{f: f, probeTTL: defaultProbeTTL}, spent, nil
+	l := &Ledger{
+		f:             f,
+		probeTTL:      defaultProbeTTL,
+		size:          int64(len(final)),
+		records:       uint64(strings.Count(string(final), "\n")),
+		crc:           crc32.ChecksumIEEE(final),
+		replayedEpoch: maxEpoch,
+	}
+	return l, spent, nil
 }
 
-// Append durably logs one charge: the entry is written as a single line and
-// fsynced before Append returns. Callers invoke it from Budget.SpendWith so
-// the charge is only admitted if durability succeeded. Any failure — error,
-// short write, or panic mid-append — poisons the ledger (see the type
-// comment); the caller must not retry.
-func (l *Ledger) Append(e LedgerEntry) error {
-	if e.Time == "" {
-		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+// parseLedgerEntry decodes and validates one non-blank ledger line. Replay
+// (OpenLedger) and the replica's stream applier share it, so a line is either
+// valid everywhere or corruption everywhere.
+func parseLedgerEntry(line string) (LedgerEntry, error) {
+	var e LedgerEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		return e, fmt.Errorf("corrupt entry: %w", err)
 	}
-	buf, err := json.Marshal(e)
-	if err != nil {
-		return err
+	switch e.Kind {
+	case "":
+		if e.Dataset == "" || e.Epsilon <= 0 {
+			return e, fmt.Errorf("invalid entry (dataset %q, ε=%g)", e.Dataset, e.Epsilon)
+		}
+	case KindEpoch:
+		// Epoch records carry no spend; one that smuggles a dataset or ε
+		// is corruption, not a charge to silently drop.
+		if e.Epoch == 0 || e.Dataset != "" || e.Epsilon != 0 {
+			return e, fmt.Errorf("invalid epoch record (epoch %d, dataset %q, ε=%g)", e.Epoch, e.Dataset, e.Epsilon)
+		}
+	default:
+		return e, fmt.Errorf("unknown entry kind %q", e.Kind)
 	}
-	buf = append(buf, '\n')
+	return e, nil
+}
+
+// SetMirror installs the replication hook (see LedgerMirror). Install before
+// the server starts charging; a nil mirror disables replication.
+func (l *Ledger) SetMirror(m LedgerMirror) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.mirror = m
+}
+
+// appendLocked durably appends buf (which must end in exactly one '\n' per
+// record... in practice: buf is one line including its newline, or a bare
+// probe newline), fsyncs, updates the position counters, and then runs the
+// mirror. Caller holds l.mu. The mirror runs only after local durability is
+// established (committed=true), so a mirror failure aborts the caller's
+// charge without poisoning: the local bytes are fine, replay just overcounts.
+func (l *Ledger) appendLocked(buf []byte, what string, sync bool) error {
 	if l.poisoned {
 		return ErrLedgerPoisoned
 	}
@@ -167,14 +249,89 @@ func (l *Ledger) Append(e LedgerEntry) error {
 		}
 	}()
 	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("ledger append: %w: %w", err, ErrLedgerPoisoned)
+		return fmt.Errorf("ledger %s: %w: %w", what, err, ErrLedgerPoisoned)
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("ledger sync: %w: %w", err, ErrLedgerPoisoned)
+		return fmt.Errorf("ledger %s sync: %w: %w", what, err, ErrLedgerPoisoned)
 	}
 	committed = true
 	l.lastWrite = time.Now()
+	l.size += int64(len(buf))
+	l.crc = crc32.Update(l.crc, crc32.IEEETable, buf)
+	for _, b := range buf {
+		if b == '\n' {
+			l.records++
+		}
+	}
+	if l.mirror != nil {
+		if err := l.mirror(buf, l.size, l.records, sync); err != nil {
+			return fmt.Errorf("ledger replication: %w", err)
+		}
+	}
 	return nil
+}
+
+// Append durably logs one charge: the entry is written as a single line and
+// fsynced before Append returns. Callers invoke it from Budget.SpendWith so
+// the charge is only admitted if durability succeeded. Any failure — error,
+// short write, or panic mid-append — poisons the ledger (see the type
+// comment); the caller must not retry. Under replication the synchronous
+// mirror runs after the local fsync: a charge is admitted only once enough
+// replicas hold it too.
+func (l *Ledger) Append(e LedgerEntry) error {
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(buf, "append", true)
+}
+
+// AppendEpoch durably writes a fencing-epoch record: this node claims reign
+// epoch. It is streamed to replicas fire-and-forget — fencing safety never
+// depends on a replica having seen it (a replica that missed it is caught by
+// the handshake's prefix check instead).
+func (l *Ledger) AppendEpoch(epoch uint64, node string) error {
+	buf, err := json.Marshal(LedgerEntry{
+		Time:  time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:  KindEpoch,
+		Epoch: epoch,
+		Node:  node,
+	})
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(buf, "epoch append", false); err != nil {
+		return err
+	}
+	if epoch > l.replayedEpoch {
+		l.replayedEpoch = epoch
+	}
+	return nil
+}
+
+// AppendRaw durably appends replicated ledger bytes verbatim — the replica
+// side of the protocol, preserving the invariant that a replica's ledger is
+// a bitwise prefix of its primary's. b must be whole newline-terminated
+// lines; the caller has already parsed and validated them.
+func (l *Ledger) AppendRaw(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if b[len(b)-1] != '\n' {
+		return fmt.Errorf("ledger raw append: %d bytes not newline-terminated", len(b))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(b, "raw append", false)
 }
 
 // Probe verifies the ledger is still writable by appending and fsyncing a
@@ -188,6 +345,9 @@ func (l *Ledger) Append(e LedgerEntry) error {
 // the probe) answers ready for free, so a busy server's /readyz never adds
 // probe bytes and an unauthenticated caller cannot hammer the fsync path.
 // The poisoned check is always live.
+//
+// Replicas must never Probe: a locally grown ledger would no longer be a
+// prefix of the primary's. The server's readiness handler is role-aware.
 func (l *Ledger) Probe() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -197,21 +357,7 @@ func (l *Ledger) Probe() error {
 	if !l.lastWrite.IsZero() && time.Since(l.lastWrite) < l.probeTTL {
 		return nil
 	}
-	committed := false
-	defer func() {
-		if !committed {
-			l.poisoned = true
-		}
-	}()
-	if _, err := l.f.Write([]byte("\n")); err != nil {
-		return fmt.Errorf("ledger probe: %w: %w", err, ErrLedgerPoisoned)
-	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("ledger probe sync: %w: %w", err, ErrLedgerPoisoned)
-	}
-	committed = true
-	l.lastWrite = time.Now()
-	return nil
+	return l.appendLocked([]byte("\n"), "probe", false)
 }
 
 // Poisoned reports whether the ledger has rejected writes since a failed
@@ -220,6 +366,42 @@ func (l *Ledger) Poisoned() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.poisoned
+}
+
+// Size returns the exact on-disk byte length.
+func (l *Ledger) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the ledger's newline count (every line: charges, epoch
+// records, probe blanks) — the unit of the replication lag metric.
+func (l *Ledger) Records() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// CRC returns the running CRC-32 (IEEE) over all Size bytes.
+func (l *Ledger) CRC() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crc
+}
+
+// Position returns size, records, and CRC in one consistent snapshot.
+func (l *Ledger) Position() (size int64, records uint64, crc uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size, l.records, l.crc
+}
+
+// ReplayedEpoch returns the highest fencing epoch in the ledger (0 if none).
+func (l *Ledger) ReplayedEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayedEpoch
 }
 
 // Close closes the underlying file.

@@ -24,6 +24,7 @@ const (
 	statusTimeout     = "timeout"          // 504: deadline expired
 	statusError       = "error"            // 500: mechanism failure after admission
 	statusUnavailable = "unavailable"      // 503: ledger poisoned, charges cannot land
+	statusRedirect    = "redirect"         // 409: charge sent to a replica (or a fenced primary)
 
 	// Write-path (/v1/append) outcomes. These appear only in the operator
 	// request log, never in r2td_queries_total: the query counter tracks the
@@ -43,6 +44,7 @@ type metrics struct {
 	latency map[string]*latencySummary // per dataset, all outcomes
 	stages  map[stageKey]*stageAgg     // per (dataset, pipeline stage), fresh runs only
 	panics  int64                      // panics contained by the query path's recover
+	deduped int64                      // appends replayed from the idempotency window
 }
 
 type statusKey struct{ dataset, status string }
@@ -79,6 +81,13 @@ func (m *metrics) panicRecovered() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.panics++
+}
+
+// appendDeduped counts one append replayed from the idempotency window.
+func (m *metrics) appendDeduped() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deduped++
 }
 
 // observe records one finished request.
@@ -159,7 +168,7 @@ func (s *latencySummary) quantiles(qs ...float64) []float64 {
 // writeTo renders the full exposition: query counts by outcome, cache
 // occupancy and hit rate, per-dataset ε accounting (live from the budgets),
 // and latency summaries.
-func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger *Ledger) {
+func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger *Ledger, repl *replState) {
 	// Read the ledger gauge before taking m.mu (independent locks, and the
 	// ledger must never wait on a metrics scrape).
 	poisoned := 0
@@ -175,8 +184,13 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 	fmt.Fprintf(w, "# HELP r2td_ledger_poisoned Whether the budget ledger is fail-closed after a write of unknown durability (1 = rejecting all charges until reopen).\n# TYPE r2td_ledger_poisoned gauge\n")
 	fmt.Fprintf(w, "r2td_ledger_poisoned %d\n", poisoned)
 
+	writeReplMetrics(w, repl)
+
 	fmt.Fprintf(w, "# HELP r2td_panics_recovered_total Panics contained by the query path (each left its ε conservatively charged).\n# TYPE r2td_panics_recovered_total counter\n")
 	fmt.Fprintf(w, "r2td_panics_recovered_total %d\n", m.panics)
+
+	fmt.Fprintf(w, "# HELP r2td_append_dedup_hits_total Appends replayed from the X-R2T-Append-Id idempotency window instead of being applied again.\n# TYPE r2td_append_dedup_hits_total counter\n")
+	fmt.Fprintf(w, "r2td_append_dedup_hits_total %d\n", m.deduped)
 
 	fmt.Fprintf(w, "# HELP r2td_queries_total Finished query requests by dataset and outcome.\n# TYPE r2td_queries_total counter\n")
 	keys := make([]statusKey, 0, len(m.queries))
@@ -323,6 +337,73 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 		fmt.Fprintf(w, "r2td_stage_count_total{dataset=\"%s\",stage=\"%s\"} %d\n", escapeLabel(k.dataset), escapeLabel(k.stage), a.count)
 	}
 
+	writeRequestSeconds(w, m)
+}
+
+// writeReplMetrics renders the replication health section. Standalone servers
+// (no hub, no client, never part of a cluster) emit nothing, so the section
+// doubles as a "this node replicates" marker.
+func writeReplMetrics(w io.Writer, repl *replState) {
+	if repl == nil {
+		return
+	}
+	repl.mu.Lock()
+	hub, client := repl.hub, repl.client
+	repl.mu.Unlock()
+	if hub == nil && client == nil && repl.epoch.Load() == 0 {
+		return
+	}
+	role := RolePrimary
+	if repl.isReplica() {
+		role = RoleReplica
+	}
+	fenced := 0
+	if repl.fenced.Load() {
+		fenced = 1
+	}
+	fmt.Fprintf(w, "# HELP r2td_repl_role Replication role of this node (exactly one label is 1).\n# TYPE r2td_repl_role gauge\n")
+	fmt.Fprintf(w, "r2td_repl_role{role=\"%s\"} 1\n", role)
+	fmt.Fprintf(w, "# HELP r2td_repl_epoch Highest fencing epoch this node has observed (its own reign, when primary).\n# TYPE r2td_repl_epoch gauge\n")
+	fmt.Fprintf(w, "r2td_repl_epoch %d\n", repl.epoch.Load())
+	fmt.Fprintf(w, "# HELP r2td_repl_fenced Whether this primary refuses charges because a newer epoch exists elsewhere.\n# TYPE r2td_repl_fenced gauge\n")
+	fmt.Fprintf(w, "r2td_repl_fenced %d\n", fenced)
+	if hub != nil {
+		fmt.Fprintf(w, "# HELP r2td_repl_attached_replicas Replica sessions currently attached to this primary.\n# TYPE r2td_repl_attached_replicas gauge\n")
+		fmt.Fprintf(w, "r2td_repl_attached_replicas %d\n", hub.Attached())
+		fmt.Fprintf(w, "# HELP r2td_repl_disconnects_total Replica sessions lost since startup (errors, timeouts, queue overflow).\n# TYPE r2td_repl_disconnects_total counter\n")
+		fmt.Fprintf(w, "r2td_repl_disconnects_total %d\n", hub.Disconnects())
+		fmt.Fprintf(w, "# HELP r2td_repl_lag_records Ledger records streamed to a replica but not yet acknowledged by it.\n# TYPE r2td_repl_lag_records gauge\n")
+		for _, p := range hub.Peers() {
+			lag := uint64(0)
+			if p.SentSeq > p.AckedSeq {
+				lag = p.SentSeq - p.AckedSeq
+			}
+			fmt.Fprintf(w, "r2td_repl_lag_records{peer=\"%s\"} %d\n", escapeLabel(p.Node), lag)
+		}
+	}
+	if client != nil {
+		st := client.Status()
+		connected, caughtUp := 0, 0
+		if st.Connected {
+			connected = 1
+		}
+		if st.CaughtUp {
+			caughtUp = 1
+		}
+		fmt.Fprintf(w, "# HELP r2td_repl_connected Whether the replica's stream to its primary is up.\n# TYPE r2td_repl_connected gauge\n")
+		fmt.Fprintf(w, "r2td_repl_connected %d\n", connected)
+		fmt.Fprintf(w, "# HELP r2td_repl_caught_up Whether the replica has applied the ledger prefix its last handshake promised (the readiness condition).\n# TYPE r2td_repl_caught_up gauge\n")
+		fmt.Fprintf(w, "r2td_repl_caught_up %d\n", caughtUp)
+		fmt.Fprintf(w, "# HELP r2td_repl_disconnects_total Times the replica lost its stream to the primary since startup.\n# TYPE r2td_repl_disconnects_total counter\n")
+		fmt.Fprintf(w, "r2td_repl_disconnects_total %d\n", st.Disconnects)
+		fmt.Fprintf(w, "# HELP r2td_repl_lag_records Ledger records the replica trails its primary by, per the primary's latest advertisement.\n# TYPE r2td_repl_lag_records gauge\n")
+		fmt.Fprintf(w, "r2td_repl_lag_records %d\n", st.LagRecords())
+	}
+}
+
+// writeRequestSeconds renders the per-dataset latency summaries. Caller holds
+// m.mu.
+func writeRequestSeconds(w io.Writer, m *metrics) {
 	fmt.Fprintf(w, "# HELP r2td_request_seconds Request latency summary per dataset.\n# TYPE r2td_request_seconds summary\n")
 	datasets := make([]string, 0, len(m.latency))
 	for name := range m.latency {

@@ -42,6 +42,7 @@ type Dataset struct {
 	Primary   []string
 	Relations int             // loaded relations, surfaced by /v1/datasets
 	Store     *segstore.Store // nil for in-memory (read-only) datasets
+	RelNames  []string        // schema (FK-topological) order, for replication catch-up
 }
 
 // Registry maps dataset names to loaded datasets. It is built once at
@@ -143,6 +144,7 @@ func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
 		Primary:   append([]string(nil), cfg.Primary...),
 		Relations: loaded,
 		Store:     store,
+		RelNames:  append([]string(nil), s.Names()...),
 	}, nil
 }
 

@@ -35,6 +35,7 @@ import (
 
 	"r2t"
 	"r2t/internal/dp"
+	"r2t/internal/repl"
 )
 
 // Config assembles a Server.
@@ -80,6 +81,36 @@ type Config struct {
 	// runs. The log is OPERATOR-SIDE ONLY — stage timings are data-dependent
 	// diagnostics (DESIGN.md §11) and must never be exposed to analysts.
 	RequestLog io.Writer
+
+	// Replication (DESIGN.md §14). Role selects this node's side of the
+	// primary/replica protocol: "primary" (or empty — the default, also the
+	// standalone mode when ReplListen is empty) owns the authoritative ε-ledger
+	// and admits charges; "replica" pulls the primary's ledger and rows,
+	// serves reads and free replays, and rejects charges with a redirect.
+	Role string
+	// NodeName identifies this node in epoch records, handshakes, and metrics
+	// (default: the hostname).
+	NodeName string
+	// ReplListen, on a primary, is the TCP address the replication listener
+	// binds ("host:port"; empty = standalone, no replication). On a replica it
+	// is promotion config: the address the node will serve replicas on after
+	// /v1/promote.
+	ReplListen string
+	// PrimaryAddr points a replica at its primary's ReplListen address.
+	// Required when Role is "replica", rejected otherwise.
+	PrimaryAddr string
+	// SyncReplicas is how many replicas must acknowledge a charge's ledger
+	// record before the charge is admitted (0 = asynchronous replication: a
+	// lone primary keeps admitting when every replica is down, at the cost of
+	// possibly losing the tail of the spend record in a failover — losing
+	// spend is the unsafe direction, so production clusters should set 1+).
+	SyncReplicas int
+	// ReplAckTimeout bounds how long a synchronous charge waits for replica
+	// acknowledgements before failing 503 (default 5s).
+	ReplAckTimeout time.Duration
+	// AppendDedupMax bounds the X-R2T-Append-Id idempotency window (default
+	// 4096 ids, LRU-evicted).
+	AppendDedupMax int
 }
 
 // Server is the r2td service. Create with New, expose via Handler, stop by
@@ -87,6 +118,7 @@ type Config struct {
 type Server struct {
 	reg         *Registry
 	ledger      *Ledger
+	ledgerPath  string
 	cache       *answerCache
 	metrics     *metrics
 	sem         chan struct{}
@@ -94,6 +126,10 @@ type Server struct {
 	timeout     time.Duration
 	maxBody     int64
 	noise       func() r2t.NoiseSource
+
+	repl       *replState
+	replListen string // bound at promotion time on replicas
+	dedup      *appendDedup
 
 	logMu  sync.Mutex
 	reqLog io.Writer
@@ -136,12 +172,14 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		reg:         reg,
 		ledger:      ledger,
+		ledgerPath:  cfg.LedgerPath,
 		cache:       newAnswerCache(cfg.AnswerCacheMax, cfg.AnswerCacheTTL),
 		metrics:     newMetrics(),
 		sem:         make(chan struct{}, workers),
 		execWorkers: cfg.ExecWorkers,
 		timeout:     timeout,
 		maxBody:     maxBody,
+		dedup:       newAppendDedup(cfg.AppendDedupMax),
 		reqLog:      cfg.RequestLog,
 	}
 	if cfg.Seed != 0 {
@@ -154,6 +192,11 @@ func New(cfg Config) (*Server, error) {
 		// path's recover as a uniform 500) rather than degrade.
 		s.noise = func() r2t.NoiseSource { return dp.NewSource(dp.CryptoSeed()) }
 	}
+	if err := s.initReplication(cfg); err != nil {
+		ledger.Close()
+		reg.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -161,6 +204,7 @@ func New(cfg Config) (*Server, error) {
 // the HTTP server has drained: closing a store poisons further appends
 // (ErrClosed) but already-fsynced data is simply replayed on next start.
 func (s *Server) Close() error {
+	s.closeReplication()
 	err := s.ledger.Close()
 	s.reg.Close()
 	return err
@@ -170,6 +214,7 @@ func (s *Server) Close() error {
 //
 //	POST /v1/query     evaluate one DP query
 //	POST /v1/append    durably append rows to a WAL-backed dataset
+//	POST /v1/promote   promote this replica to primary (operator failover)
 //	GET  /v1/datasets  hosted datasets with live budget balances
 //	GET  /metrics      Prometheus text exposition
 //	GET  /healthz      liveness probe (process is up)
@@ -178,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/append", s.handleAppend)
+	mux.HandleFunc("/v1/promote", s.handlePromote)
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -195,16 +241,40 @@ func (s *Server) Handler() http.Handler {
 // physical probe is rate-limited inside Ledger.Probe (one per few seconds,
 // with successful charge appends counting), so this unauthenticated endpoint
 // cannot grow the ledger or serialize fsyncs against the charge path.
+// On replicas the ledger is never probed — a probe would append a local blank
+// line and break the bitwise-prefix invariant. A replica is ready once its
+// stream has applied at least the ledger prefix the last handshake promised
+// (and stays ready if the primary later dies: it still holds that data, and
+// readiness is what an operator checks before promoting it).
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := s.ledger.Probe(); err != nil {
-		w.Header().Set("Retry-After", "60")
+	notReady := func(retryAfter string, err error) {
+		setRetryAfter(w, retryAfter)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintf(w, "not ready: %v\n", err)
+	}
+	if s.repl.isReplica() {
+		if s.ledger.Poisoned() {
+			notReady(retryAfterOutage, ErrLedgerPoisoned)
+			return
+		}
+		if st := s.replicaStatus(); !st.CaughtUp {
+			notReady(retryAfterCatchup, fmt.Errorf("replica catching up (%d records behind, connected=%v)", st.LagRecords(), st.Connected))
+			return
+		}
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	if s.repl.fenced.Load() {
+		notReady(retryAfterOutage, errFenced)
+		return
+	}
+	if err := s.ledger.Probe(); err != nil {
+		notReady(retryAfterOutage, err)
 		return
 	}
 	fmt.Fprintln(w, "ready")
@@ -334,6 +404,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fingerprint(ds.Name, normalized, opt.Epsilon, opt.GSQ, beta, opt.Primary)
 
+	// Role gate. Replicas serve recorded releases (pure post-processing, zero
+	// ε, no charge authority needed) and redirect everything that would
+	// charge; a fenced primary refuses charges outright (DESIGN.md §14).
+	if s.repl.isReplica() {
+		if ans, ok := s.cache.peek(key); ok {
+			s.respondQuery(w, ds, normalized, ans, true, start, nil)
+			return
+		}
+		if s.repl.primaryAddr != "" {
+			w.Header().Set("X-R2T-Primary", s.repl.primaryAddr)
+		}
+		s.fail(w, ds.Name, ds, statusRedirect, start, http.StatusConflict, errNotPrimary)
+		return
+	}
+	if s.repl.fenced.Load() {
+		s.fail(w, ds.Name, ds, statusRedirect, start, http.StatusConflict, errFenced)
+		return
+	}
+
 	// Captured by the leader closure: the stage profile of a fresh run, for
 	// the operator log. Coalesced followers and cache hits leave it nil.
 	var prof *r2t.Profile
@@ -370,6 +459,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Epsilon:     opt.Epsilon,
 				Query:       normalized,
 				Fingerprint: key,
+				Epoch:       s.repl.epoch.Load(),
 			})
 		}); err != nil {
 			return cachedAnswer{}, err
@@ -380,19 +470,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		prof = a.Profile
 		s.metrics.observeStages(ds.Name, a.Profile)
-		return cachedAnswer{
+		ca = cachedAnswer{
 			Estimate: a.Estimate,
 			Epsilon:  opt.Epsilon,
 			Query:    normalized,
 			At:       time.Now(),
-		}, nil
+		}
+		// Stream the release to replicas so their free-replay caches can serve
+		// it; best-effort, like the cache itself.
+		s.publishAnswer(key, ca)
+		return ca, nil
 	})
 	if err != nil {
 		status, code := classifyError(err)
 		s.fail(w, ds.Name, ds, status, start, code, err)
 		return
 	}
+	s.respondQuery(w, ds, normalized, ans, cached, start, prof)
+}
 
+// respondQuery writes the success path shared by fresh runs, cache hits, and
+// replica replays: metrics, the operator log line, and the response body.
+func (s *Server) respondQuery(w http.ResponseWriter, ds *Dataset, normalized string, ans cachedAnswer, cached bool, start time.Time, prof *r2t.Profile) {
 	charged := ans.Epsilon
 	if cached {
 		charged = 0
@@ -479,6 +578,12 @@ func classifyError(err error) (string, int) {
 		// hook failed before admission); the service needs its ledger
 		// reopened (restart) to recover.
 		return statusUnavailable, http.StatusServiceUnavailable
+	case errors.Is(err, repl.ErrNotEnoughReplicas):
+		// 503 fail-closed on the other side of the wire: the charge is durable
+		// locally but SyncReplicas replicas did not confirm it in time, so it
+		// was not admitted (the ledger merely overcounts — the safe side).
+		// Transient by nature; retry once replicas reattach.
+		return statusUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, r2t.ErrBudgetExhausted):
 		// 402: the request was valid, the data exists, but the privacy
 		// budget cannot pay for another release.
@@ -529,7 +634,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeTo(w, s.reg, s.cache, s.ledger)
+	s.metrics.writeTo(w, s.reg, s.cache, s.ledger, s.repl)
 }
 
 // fail records a failed request in metrics and writes the error response.
@@ -566,11 +671,27 @@ func (s *Server) fail(w http.ResponseWriter, dataset string, ds *Dataset, status
 	}
 	switch code {
 	case http.StatusTooManyRequests:
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, retryAfterBusy)
 	case http.StatusServiceUnavailable:
-		w.Header().Set("Retry-After", "60")
+		setRetryAfter(w, retryAfterOutage)
 	}
 	writeJSON(w, code, resp)
+}
+
+// Retry-After hints, in seconds, attached to every 429 and 503 the service
+// emits (all paths go through setRetryAfter so the hint is never forgotten):
+// busy clears as soon as a worker frees, a catching-up replica is typically
+// seconds behind, an outage (poisoned ledger or store, fenced primary, not
+// enough sync replicas) needs operator attention.
+const (
+	retryAfterBusy    = "1"
+	retryAfterCatchup = "1"
+	retryAfterOutage  = "60"
+)
+
+// setRetryAfter attaches the Retry-After hint to a rejection.
+func setRetryAfter(w http.ResponseWriter, seconds string) {
+	w.Header().Set("Retry-After", seconds)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -77,6 +77,20 @@ go test -race -run 'TestAppend|TestInsertChecked|TestCSV' ./internal/storage/
 go test -race -run 'TestIndexExtend|TestExtendedIndexServedOnQueries' ./internal/exec/
 go test -race -run 'TestServerDurableAppendRecovery' ./internal/server/
 
+# Replication gate, named explicitly (these also ran inside the full suite
+# above): the whole repl package (wire-format round-trip, hub/client
+# integration, and the FuzzReplFrame seed corpus — arbitrary bytes never
+# panic, never over-allocate, never apply past a failed CRC), the 30-epoch
+# primary/replica failover chaos suite (injected fsync failures, torn
+# writes, partitions, and mid-append panics; after every kill the replica's
+# ledger must be a bitwise prefix of the dead primary's, every admitted
+# charge must survive into the final ledger, and spend may only overcount),
+# the catch-up/promotion/fencing acceptance scenario, the Retry-After and
+# append-idempotency satellites, and the ledger mirror contract — all under
+# the race detector (DESIGN.md §14).
+go test -race ./internal/repl/
+go test -race -run 'TestChaosFailoverPromotion|TestReplicationCatchUpServeAndPromote|TestRetryAfterOnEvery503|TestAppendIdempotency|TestAppendDedupUnit|TestLedgerMirrorContract' ./internal/server/
+
 # Benchmark-compile smoke: every benchmark builds and runs one iteration,
 # so BENCH_*.json regeneration can't silently rot.
 go test -run=NONE -bench=. -benchtime=1x ./...
