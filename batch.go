@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"r2t/internal/mech"
 	"r2t/internal/obs"
 	"r2t/internal/plan"
 	"r2t/internal/schema"
@@ -40,6 +41,7 @@ func (db *DB) QueryBatch(ctx context.Context, batch []BatchQuery) ([]*Answer, er
 		p      *plan.Plan
 		rec    *obs.Recorder
 		signed bool
+		choice *mech.Choice
 	}
 	items := make([]item, len(batch))
 	for i, bq := range batch {
@@ -62,11 +64,16 @@ func (db *DB) QueryBatch(ctx context.Context, batch []BatchQuery) ([]*Answer, er
 		if err != nil {
 			return nil, fmt.Errorf("r2t: batch item %d: %w", i, err)
 		}
+		choice, err := chooseFor(p, bq.Opt, false)
+		if err != nil {
+			return nil, fmt.Errorf("r2t: batch item %d: %w", i, err)
+		}
 		items[i] = item{
 			parsed: parsed,
 			p:      p,
 			rec:    rec,
 			signed: bq.Opt.AllowNegativeSum && parsed.Agg == sql.AggSum,
+			choice: choice,
 		}
 	}
 
@@ -108,7 +115,7 @@ func (db *DB) QueryBatch(ctx context.Context, batch []BatchQuery) ([]*Answer, er
 				if err != nil {
 					return nil, fmt.Errorf("r2t: batch item %d: %w", i, err)
 				}
-				ans, err = db.privatizeSigned(ctx, pos, neg, opt, it.rec)
+				ans, err = db.privatizeSigned(ctx, pos, neg, opt, it.rec, it.choice)
 				if err != nil {
 					return nil, fmt.Errorf("r2t: batch item %d: %w", i, err)
 				}
@@ -117,7 +124,7 @@ func (db *DB) QueryBatch(ctx context.Context, batch []BatchQuery) ([]*Answer, er
 				if err != nil {
 					return nil, fmt.Errorf("r2t: batch item %d: %w", i, err)
 				}
-				ans, err = db.privatize(ctx, res, opt, it.rec)
+				ans, err = db.privatize(ctx, res, opt, it.rec, it.choice)
 				if err != nil {
 					return nil, fmt.Errorf("r2t: batch item %d: %w", i, err)
 				}

@@ -4,6 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/sql"
 )
 
 // ErrBudgetExhausted is wrapped by Spend/SpendWith when the remaining budget
@@ -131,9 +135,10 @@ func (b *Budget) Balance() (spent, remaining float64) {
 }
 
 // QueryWithBudget runs Query after charging opt.Epsilon against the budget.
-// Static failures (bad SQL, unknown relations, invalid options) are detected
-// before charging — Options.Validate and Explain both run first, so no
-// invalid request ever burns ε — but once the mechanism runs, the charge
+// Static failures (bad SQL, unknown relations, invalid options, a mechanism
+// that does not apply to the query's structure) are detected before charging
+// — Options.Validate, planning and the mechanism chooser all run first, so
+// no invalid request ever burns ε — but once the mechanism runs, the charge
 // stands, even if evaluation later fails or is cancelled.
 func (db *DB) QueryWithBudget(sqlText string, opt Options, budget *Budget) (*Answer, error) {
 	if budget == nil {
@@ -142,8 +147,17 @@ func (db *DB) QueryWithBudget(sqlText string, opt Options, budget *Budget) (*Ans
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	// Validate statically first so syntax errors don't burn budget.
-	if _, err := db.Explain(sqlText, opt.Primary); err != nil {
+	// Validate statically first so syntax errors don't burn budget. Planning
+	// and the chooser touch only the query and schema, never the instance.
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: opt.Primary})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := chooseFor(p, opt, false); err != nil {
 		return nil, err
 	}
 	if err := budget.Spend(opt.Epsilon); err != nil {

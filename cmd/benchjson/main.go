@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"testing"
 
@@ -128,7 +129,7 @@ func runGrid(out string, sf float64) {
 		fatal(err)
 	}
 
-	var results []workloadResult
+	var results []any
 	for i := range workloads {
 		w := &workloads[i]
 
@@ -195,7 +196,228 @@ func runGrid(out string, sf float64) {
 		results = append(results, res)
 	}
 
-	writeDoc(out, "Full τ-grid solve (every race R2T runs for GS_Q=1024): cold per-race lp.Solve pipeline vs amortized lp.GridSolver. grid is the production path (bit-identical objectives, enforced above); grid-warm chains simplex warm starts across τ (exact but not bit-stable, see DESIGN.md).", results)
+	results = append(results, runPartition(sf)...)
+	results = append(results, runChooser())
+
+	writeDoc(out, "Full τ-grid solve (every race R2T runs for GS_Q=1024): cold per-race lp.Solve pipeline vs amortized lp.GridSolver. grid is the production path (bit-identical objectives, enforced above); grid-warm chains simplex warm starts across τ (exact but not bit-stable, see DESIGN.md). The partition workloads race the production grid LP (grid-lp) against the closed-form partition truncator (partition) on single-FK SJA shapes — bit-identical values enforced, speedup gated >= 5x. The chooser workload runs a mixed query set end to end under Mechanism \"auto\" vs always-R2T — auto is gated never slower, and queries where auto falls back to R2T gate on bit-identical seeded releases.", results)
+}
+
+// partitionResult is one fast-path workload's record: the production grid LP
+// vs the closed-form partition truncator on a partition-shaped instance.
+type partitionResult struct {
+	Workload    string          `json:"workload"`
+	Races       int             `json:"races"`
+	Occurrences int             `json:"occurrences"`
+	BitwiseEq   bool            `json:"partition_bitwise_equals_lp"`
+	Modes       map[string]mode `json:"modes"`
+}
+
+// minPartitionSpeedup is the enforced fast-path bar: the closed-form
+// truncator must clear 5x over the grid LP or the number is not recorded.
+const minPartitionSpeedup = 5.0
+
+func runPartition(sf float64) []any {
+	workloads, err := experiments.PartitionWorkloads(sf)
+	if err != nil {
+		fatal(err)
+	}
+	var results []any
+	for i := range workloads {
+		w := &workloads[i]
+
+		// Correctness gate first: the partition values must be bit-identical
+		// to the simplex pipeline's before any number is recorded. A fast
+		// wrong truncator is not a speedup — and here it would also be a
+		// different release distribution.
+		lpVals, err := w.SolveLP()
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		ptVals, err := w.SolvePartition()
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		if len(lpVals) != len(ptVals) {
+			fatal(w.Name + ": value count mismatch")
+		}
+		for j := range lpVals {
+			if math.Float64bits(lpVals[j]) != math.Float64bits(ptVals[j]) {
+				fatal(fmt.Sprintf("%s: partition value diverges from LP at τ=%g (%x vs %x) — refusing to record",
+					w.Name, w.Taus[j], math.Float64bits(ptVals[j]), math.Float64bits(lpVals[j])))
+			}
+		}
+
+		res := partitionResult{
+			Workload:    w.Name,
+			Races:       len(w.Taus),
+			Occurrences: len(w.Occ.Sets),
+			BitwiseEq:   true,
+			Modes:       map[string]mode{},
+		}
+		lpMode, err := measure(w.SolveLP)
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		res.Modes["grid-lp"] = lpMode
+		pt, err := measure(w.SolvePartition)
+		if err != nil {
+			fatal(w.Name, err)
+		}
+		pt.Speedup = round2(float64(lpMode.NsPerOp) / float64(pt.NsPerOp))
+		res.Modes["partition"] = pt
+		if pt.Speedup < minPartitionSpeedup {
+			fatal(fmt.Sprintf("%s: partition path is only %.2fx the grid LP (want >= %.0fx) — refusing to record",
+				w.Name, pt.Speedup, minPartitionSpeedup))
+		}
+
+		fmt.Fprintf(os.Stderr, "%-28s grid-lp %9dns  partition %8dns (%.2fx, allocs %d→%d)\n",
+			w.Name, lpMode.NsPerOp, pt.NsPerOp, pt.Speedup, lpMode.AllocsPerOp, pt.AllocsPerOp)
+		results = append(results, res)
+	}
+	return results
+}
+
+// chooserResult records the mixed-workload mechanism chooser run.
+type chooserResult struct {
+	Workload string `json:"workload"`
+	Queries  int    `json:"queries"`
+	// Selected counts fresh releases by the backend auto picked — the
+	// data-independent decision record.
+	Selected map[string]int `json:"auto_selected"`
+	// R2TBitwiseEq: queries where auto fell back to R2T released answers
+	// bit-identical to the always-R2T run under the same seed.
+	R2TBitwiseEq bool            `json:"r2t_fallback_bitwise_equal"`
+	Modes        map[string]mode `json:"modes"`
+}
+
+// chooserQuery is one item of the mixed chooser workload.
+type chooserQuery struct {
+	sql    string
+	target float64 // 0 = no error target (auto must fall back to R2T)
+}
+
+// runChooser measures the cost-based chooser end to end on a mixed workload:
+// half the queries carry a loose error target (a cheap a-priori-bounded
+// backend qualifies), half carry none (auto falls back to R2T). Gates: auto
+// is never slower than always-R2T overall, and the R2T-fallback queries
+// release bit-identical seeded answers on both runs.
+func runChooser() any {
+	db := chooserDB()
+	queries := []chooserQuery{
+		{`SELECT COUNT(*) FROM Orders`, 1e6},
+		{`SELECT SUM(Orders.price) FROM Orders`, 1e7},
+		{`SELECT COUNT(*) FROM Orders WHERE Orders.price > 2`, 1e6},
+		{`SELECT SUM(Orders.price) FROM Orders WHERE Orders.price < 5`, 1e7},
+		{`SELECT COUNT(*) FROM Orders`, 0},
+		{`SELECT SUM(Orders.price) FROM Orders`, 0},
+	}
+	opts := func(q chooserQuery, auto bool, seed int64) r2t.Options {
+		o := r2t.Options{
+			Epsilon: 1, GSQ: 1024, Primary: []string{"Customer"},
+			Noise: r2t.NewNoiseSource(seed), EarlyStop: true,
+		}
+		if auto {
+			o.Mechanism = "auto"
+			o.ErrorTarget = q.target
+		}
+		return o
+	}
+	runAll := func(auto bool) ([]*r2t.Answer, error) {
+		answers := make([]*r2t.Answer, len(queries))
+		for i, q := range queries {
+			ans, err := db.Query(q.sql, opts(q, auto, int64(100+i)))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", q.sql, err)
+			}
+			answers[i] = ans
+		}
+		return answers, nil
+	}
+
+	// Gates before measuring: auto must pick a cheap bounded backend for every
+	// targeted query, fall back to R2T for the rest, and the fallbacks must
+	// release bit-identical answers to the always-R2T run.
+	always, err := runAll(false)
+	if err != nil {
+		fatal("chooser", err)
+	}
+	auto, err := runAll(true)
+	if err != nil {
+		fatal("chooser", err)
+	}
+	selected := map[string]int{}
+	for i, q := range queries {
+		selected[auto[i].Mechanism]++
+		if q.target > 0 && auto[i].Mechanism == "r2t" {
+			fatal(fmt.Sprintf("chooser: %s with target %g still ran r2t — refusing to record", q.sql, q.target))
+		}
+		if q.target == 0 {
+			if auto[i].Mechanism != "r2t" {
+				fatal(fmt.Sprintf("chooser: %s without target ran %q — refusing to record", q.sql, auto[i].Mechanism))
+			}
+			if math.Float64bits(auto[i].Estimate) != math.Float64bits(always[i].Estimate) {
+				fatal(fmt.Sprintf("chooser: %s r2t fallback release diverges from always-r2t — refusing to record", q.sql))
+			}
+		}
+	}
+
+	res := chooserResult{
+		Workload:     "mixed-chooser",
+		Queries:      len(queries),
+		Selected:     selected,
+		R2TBitwiseEq: true,
+		Modes:        map[string]mode{},
+	}
+	alwaysMode, err := measure(func() ([]float64, error) { _, err := runAll(false); return nil, err })
+	if err != nil {
+		fatal("chooser", err)
+	}
+	res.Modes["always-r2t"] = alwaysMode
+	autoMode, err := measure(func() ([]float64, error) { _, err := runAll(true); return nil, err })
+	if err != nil {
+		fatal("chooser", err)
+	}
+	autoMode.Speedup = round2(float64(alwaysMode.NsPerOp) / float64(autoMode.NsPerOp))
+	res.Modes["chooser-auto"] = autoMode
+	// The acceptance bar: auto never slower than always-R2T on the mix.
+	if autoMode.Speedup < 1.0 {
+		fatal(fmt.Sprintf("chooser: auto is %.2fx always-r2t (want >= 1.0x — never slower) — refusing to record", autoMode.Speedup))
+	}
+
+	fmt.Fprintf(os.Stderr, "%-28s always-r2t %8dns  chooser-auto %8dns (%.2fx) selected %v\n",
+		"mixed-chooser", alwaysMode.NsPerOp, autoMode.NsPerOp, autoMode.Speedup, selected)
+	return res
+}
+
+// chooserDB builds the chooser workload's instance: a single-FK shop at a
+// size where R2T's LP work is visible, with a skewed ownership distribution.
+func chooserDB() *r2t.DB {
+	s := r2t.MustSchema(
+		&r2t.Relation{Name: "Customer", Attrs: []string{"ID"}, PK: "ID"},
+		&r2t.Relation{Name: "Orders", Attrs: []string{"cid", "price"},
+			FKs: []r2t.FK{{Attr: "cid", Ref: "Customer"}}},
+	)
+	db := r2t.NewDB(s)
+	const customers = 2000
+	for i := int64(0); i < customers; i++ {
+		if err := db.Insert("Customer", r2t.Int(i)); err != nil {
+			fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(17))
+	for k := 0; k < 20000; k++ {
+		owner := int64(float64(customers) * rng.Float64() * rng.Float64())
+		if owner >= customers {
+			owner = customers - 1
+		}
+		if err := db.Insert("Orders", r2t.Int(owner), r2t.Int(1+int64(rng.Intn(9)))); err != nil {
+			fatal(err)
+		}
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		fatal(err)
+	}
+	return db
 }
 
 // execMode is one executor configuration's measurement. Unlike the grid

@@ -94,7 +94,7 @@ func (d *datasetFlags) Set(v string) error {
 }
 
 // parseDatasetFlag parses one
-// "name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2" declaration.
+// "name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2,mech=M" declaration.
 func parseDatasetFlag(v string) (server.DatasetConfig, error) {
 	cfg := server.DatasetConfig{DataDir: "."}
 	for _, field := range strings.Split(v, ",") {
@@ -127,8 +127,12 @@ func parseDatasetFlag(v string) (server.DatasetConfig, error) {
 			}
 		case "dir":
 			cfg.DurableDir = val
+		case "mech":
+			// Default mechanism for requests that name none: r2t, laplace,
+			// fixed-tau, ls, or auto (validated on dataset load).
+			cfg.DefaultMechanism = val
 		default:
-			return cfg, fmt.Errorf("dataset field %q: unknown key (want name/schema/data/eps/primary/dir)", key)
+			return cfg, fmt.Errorf("dataset field %q: unknown key (want name/schema/data/eps/primary/dir/mech)", key)
 		}
 	}
 	if cfg.Name == "" || cfg.SchemaPath == "" {

@@ -143,6 +143,16 @@ func percentileOf(sorted []float64, p float64) float64 {
 func ExplainAnalyze(ans *Answer) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "duration:      %v (end to end)\n", ans.Duration)
+	if ans.Mechanism != "" {
+		fmt.Fprintf(&b, "mechanism:     %s", ans.Mechanism)
+		if ans.MechReason != "" {
+			fmt.Fprintf(&b, " (%s)", ans.MechReason)
+		}
+		if ans.MechBound > 0 && !math.IsInf(ans.MechBound, 1) {
+			fmt.Fprintf(&b, "; a-priori error bound %.4g", ans.MechBound)
+		}
+		b.WriteString("\n")
+	}
 	fmt.Fprintf(&b, "join results:  %d rows, %d protected individuals\n", ans.NumResults, ans.Individuals)
 	fmt.Fprintf(&b, "races:         %d", len(ans.Races))
 	if ans.WinnerTauNeg != 0 {
@@ -178,10 +188,9 @@ func (db *DB) Explain(sqlText string, primary []string) (*Explanation, error) {
 		Query:      parsed.String(),
 		Aggregate:  parsed.Agg.String(),
 		Projection: len(p.ProjVars) > 0,
+		SelfJoin:   p.SelfJoin(),
 	}
-	seen := map[string]int{}
 	for i, a := range p.Atoms {
-		seen[a.Rel.Name]++
 		vars := make([]string, len(a.Vars))
 		for j, v := range a.Vars {
 			vars[j] = fmt.Sprintf("$%d", v)
@@ -193,11 +202,6 @@ func (db *DB) Explain(sqlText string, primary []string) (*Explanation, error) {
 		e.Atoms = append(e.Atoms, fmt.Sprintf("%s AS %s(%s)%s", a.Rel.Name, a.Alias, strings.Join(vars, ", "), origin))
 		if p.PrivPK[i] >= 0 {
 			e.PrivateAtom = append(e.PrivateAtom, fmt.Sprintf("%s.$%d", a.Alias, p.PrivPK[i]))
-		}
-	}
-	for _, cnt := range seen {
-		if cnt > 1 {
-			e.SelfJoin = true
 		}
 	}
 	for _, f := range p.Filters {

@@ -91,6 +91,13 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 	if signed && len(p.ProjVars) > 0 {
 		return nil, fmt.Errorf("r2t: signed split does not apply to projection queries")
 	}
+	// The mechanism decision is made once for the whole release, from the
+	// group-by shape (only r2t composes over the per-group split) and the
+	// per-group ε — data-independent, identical for every group.
+	choice, err := chooseFor(p, perGroup, true)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -111,9 +118,9 @@ func (db *DB) QueryGroupByContext(ctx context.Context, sqlText string, column st
 		var ans *Answer
 		if signed {
 			pos, neg := exec.Split(parts[i])
-			ans, err = db.privatizeSigned(ctx, pos, neg, perGroup, rec)
+			ans, err = db.privatizeSigned(ctx, pos, neg, perGroup, rec, choice)
 		} else {
-			ans, err = db.privatize(ctx, parts[i], perGroup, rec)
+			ans, err = db.privatize(ctx, parts[i], perGroup, rec, choice)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("r2t: group %v: %w", g, err)

@@ -194,12 +194,11 @@ func Run(tr truncation.Truncator, cfg Config) (out *Output, err error) {
 	// Noise is drawn up front (as in Algorithm 1) so pruning decisions can
 	// be made before the corresponding LP is solved.
 	stopNoise := cfg.Recorder.Time(obs.StageNoise)
-	n := int(L)
-	taus := make([]float64, n)
+	taus := dp.TauGrid(cfg.GSQ) // {2¹..2^L}; shared with the mechanism portfolio
+	n := len(taus)
 	noise := make([]float64, n)
-	for j := 1; j <= n; j++ {
-		taus[j-1] = math.Pow(2, float64(j))
-		noise[j-1] = cfg.Noise.Laplace(noiseScaleFactor * taus[j-1])
+	for j := range taus {
+		noise[j] = cfg.Noise.Laplace(noiseScaleFactor * taus[j])
 	}
 	stopNoise()
 

@@ -114,6 +114,21 @@ func Log2Ceil(x float64) int {
 	return int(math.Ceil(math.Log2(x) - 1e-12))
 }
 
+// TauGrid returns R2T's candidate truncation thresholds {2¹, …, 2^L} with
+// L = Log2Ceil(gsq) — the τ schedule of Algorithm 1 and the candidate set of
+// Section 10.1. core.Run and the mechanism portfolio both build their grids
+// here, so the racing mechanism and the baselines can never disagree on grid
+// geometry (mech.TauGrid used to stop at 2^⌊log₂ GS_Q⌋ and under-covered
+// non-power-of-two promises).
+func TauGrid(gsq float64) []float64 {
+	n := Log2Ceil(gsq)
+	out := make([]float64, n)
+	for j := 1; j <= n; j++ {
+		out[j-1] = math.Pow(2, float64(j))
+	}
+	return out
+}
+
 // Exponential selects an index from weights w_k ∝ exp(ε·u_k / (2·sens))
 // where u are the utilities and sens bounds each utility's sensitivity —
 // the exponential mechanism of McSherry–Talwar. The single uniform draw is

@@ -53,26 +53,8 @@ func LPFixedTau(tr *truncation.LPTruncator, tau, eps float64, src dp.NoiseSource
 // find where naive truncation stops losing mass, and releases the truncated
 // value with noise τ/ε. The budget is split ε/4 + ε/2 + ε/4.
 func LS(nt *truncation.NaiveTruncator, gsq, eps float64, src dp.NoiseSource) (float64, error) {
-	epsHat, epsSVT, epsOut := eps/4, eps/2, eps/4
-	qHat := nt.TrueAnswer() + src.Laplace(gsq/epsHat)
-	chosen := gsq
-	for tau := 1.0; tau <= gsq; tau *= 2 {
-		v, err := nt.Value(tau)
-		if err != nil {
-			return 0, err
-		}
-		// The Appendix A test: Q(I,τ) + Lap(2τ/ε) + Lap(4τ/ε) ≥ Q̂(I). The
-		// statistic has sensitivity τ at level τ, so both noises scale with τ.
-		if v+src.Laplace(2*tau/epsSVT)+src.Laplace(4*tau/epsSVT) >= qHat {
-			chosen = tau
-			break
-		}
-	}
-	v, err := nt.Value(chosen)
-	if err != nil {
-		return 0, err
-	}
-	return v + src.Laplace(chosen/epsOut), nil
+	est, _, err := ls(nt, gsq, eps, src, nil)
+	return est, err
 }
 
 // NT is naive truncation with smooth sensitivity [22] for graph pattern
@@ -270,14 +252,11 @@ func RandomTheta(d int, src dp.NoiseSource) int {
 	return choices[idx]
 }
 
-// TauGrid returns {2,4,...,GSQ}, the candidate τ set of Section 10.1.
-func TauGrid(gsq float64) []float64 {
-	var out []float64
-	for tau := 2.0; tau <= gsq; tau *= 2 {
-		out = append(out, tau)
-	}
-	return out
-}
+// TauGrid returns {2, 4, …, 2^⌈log₂ GS_Q⌉}, the candidate τ set of Section
+// 10.1. It delegates to dp.TauGrid — the same grid core.Run races — so the
+// baselines and R2T can never disagree on grid geometry. (The old local copy
+// stopped at 2^⌊log₂ GS_Q⌋ and under-covered non-power-of-two promises.)
+func TauGrid(gsq float64) []float64 { return dp.TauGrid(gsq) }
 
 // SortDescending returns a copy of xs sorted high to low (shared helper for
 // the experiment tables).

@@ -65,20 +65,22 @@ type Counter int
 
 // Pipeline counters.
 const (
-	CtrSimplexIters     Counter = iota // simplex iterations (pricing passes + flips + pivots)
-	CtrSimplexPivots                   // basis-changing pivots only
-	CtrLPComponents                    // independent LP blocks solved
-	CtrRedundantSkips                  // τ-monotone redundancy eliminations (rows/components skipped)
-	CtrEarlyStopPrune                  // races killed by a dual bound before an exact solve
-	CtrExecRowsProbed                  // assignments entering a join step
-	CtrExecRowsOut                     // assignments leaving a join step
-	CtrIndexCacheHit                   // build-side index served from the table cache
-	CtrIndexCacheMiss                  // build-side index built fresh
-	CtrIndexCacheEvict                 // build-side index evicted by the per-table LRU cap
-	CtrIndexExtendedHit                // cache hit on an index incrementally extended across Appends (multi-part)
-	CtrArenaBytes                      // bytes of row-arena slab allocated
-	CtrJoinCoreHit                     // probe pass skipped: join core served from the DB cache
-	CtrJoinCoreMiss                    // join core evaluated fresh (cold, stale, or sharing off)
+	CtrSimplexIters      Counter = iota // simplex iterations (pricing passes + flips + pivots)
+	CtrSimplexPivots                    // basis-changing pivots only
+	CtrLPComponents                     // independent LP blocks solved
+	CtrRedundantSkips                   // τ-monotone redundancy eliminations (rows/components skipped)
+	CtrEarlyStopPrune                   // races killed by a dual bound before an exact solve
+	CtrExecRowsProbed                   // assignments entering a join step
+	CtrExecRowsOut                      // assignments leaving a join step
+	CtrIndexCacheHit                    // build-side index served from the table cache
+	CtrIndexCacheMiss                   // build-side index built fresh
+	CtrIndexCacheEvict                  // build-side index evicted by the per-table LRU cap
+	CtrIndexExtendedHit                 // cache hit on an index incrementally extended across Appends (multi-part)
+	CtrArenaBytes                       // bytes of row-arena slab allocated
+	CtrJoinCoreHit                      // probe pass skipped: join core served from the DB cache
+	CtrJoinCoreMiss                     // join core evaluated fresh (cold, stale, or sharing off)
+	CtrPartitionFastPath                // truncators served by the closed-form partition path (no LP)
+	CtrPartitionValues                  // Value(τ) evaluations answered by the partition path
 	NumCounters
 )
 
@@ -88,6 +90,7 @@ var counterNames = [NumCounters]string{
 	"index_cache_hits", "index_cache_misses", "index_cache_evictions",
 	"index_cache_extended_hits", "arena_bytes",
 	"join_core_hits", "join_core_misses",
+	"partition_fastpaths", "partition_values",
 }
 
 // String returns the counter's stable label.

@@ -16,8 +16,14 @@ func TestRecorderDisabledAllocFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() {
 		r.Observe(StageExec, time.Second)
 		r.Add(CtrSimplexIters, 42)
+		// The partition fast path and the mechanism backends thread the same
+		// pointer; their counters must be equally free when disabled.
+		r.Add(CtrPartitionFastPath, 1)
+		r.Add(CtrPartitionValues, 1)
 		stop := r.Time(StageLPSolve)
 		stop()
+		stopNoise := r.Time(StageNoise)
+		stopNoise()
 		if r.Snapshot() != nil {
 			t.Fatal("nil recorder must snapshot to nil")
 		}

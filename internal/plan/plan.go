@@ -51,6 +51,20 @@ type Plan struct {
 	colVar map[sql.ColRef]int // resolved user-visible columns → variable id
 }
 
+// SelfJoin reports whether some relation appears in more than one atom of
+// the completed join — the structural condition under which naive truncation
+// is not DP-safe (Example 1.2). Shared by Explain and the mechanism chooser.
+func (p *Plan) SelfJoin() bool {
+	seen := make(map[string]bool, len(p.Atoms))
+	for _, a := range p.Atoms {
+		if seen[a.Rel.Name] {
+			return true
+		}
+		seen[a.Rel.Name] = true
+	}
+	return false
+}
+
 // ColVar returns the variable id bound to a user column reference, or -1.
 func (p *Plan) ColVar(c sql.ColRef) int {
 	if v, ok := p.colVar[c]; ok {

@@ -22,8 +22,12 @@ import (
 //
 // β is included even though the ISSUE's minimal key omits it: β shifts the
 // penalty term and therefore the released value, so answers computed under
-// different β are different releases and must not alias.
-func fingerprint(dataset, normalizedSQL string, eps, gsq, beta float64, primary []string) string {
+// different β are different releases and must not alias. The mechanism
+// selector (with its auto-mode error target and fixed-τ parameter) is part
+// of the key for the same reason: "laplace" and "r2t" on the same query are
+// different releases, and an auto request with a different target may select
+// a different backend.
+func fingerprint(dataset, normalizedSQL string, eps, gsq, beta float64, primary []string, mechanism string, errorTarget, fixedTau float64) string {
 	h := sha256.New()
 	writeStr := func(s string) {
 		var n [8]byte
@@ -46,15 +50,19 @@ func fingerprint(dataset, normalizedSQL string, eps, gsq, beta float64, primary 
 	for _, p := range sorted {
 		writeStr(p)
 	}
+	writeStr(mechanism)
+	writeF64(errorTarget)
+	writeF64(fixedTau)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // cachedAnswer is one recorded release.
 type cachedAnswer struct {
-	Estimate float64   // the ε-DP estimate as first released
-	Epsilon  float64   // what the first release was charged
-	Query    string    // normalized SQL, for /metrics and audit
-	At       time.Time // first release time
+	Estimate  float64   // the ε-DP estimate as first released
+	Epsilon   float64   // what the first release was charged
+	Query     string    // normalized SQL, for /metrics and audit
+	Mechanism string    // backend that produced the release (data-independent)
+	At        time.Time // first release time
 }
 
 // flight tracks one in-progress release so concurrent identical requests

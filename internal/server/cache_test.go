@@ -10,25 +10,35 @@ import (
 )
 
 func TestFingerprint(t *testing.T) {
-	base := fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"})
-	if fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}) != base {
+	fp := func(dataset, sql string, eps, gsq, beta float64, primary []string) string {
+		return fingerprint(dataset, sql, eps, gsq, beta, primary, "", 0, 0)
+	}
+	base := fp("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"})
+	if fp("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}) != base {
 		t.Fatal("fingerprint not deterministic")
 	}
 	// The primary set is order-insensitive.
-	a := fingerprint("d", "q", 1, 16, 0.1, []string{"A", "B"})
-	b := fingerprint("d", "q", 1, 16, 0.1, []string{"B", "A"})
+	a := fp("d", "q", 1, 16, 0.1, []string{"A", "B"})
+	b := fp("d", "q", 1, 16, 0.1, []string{"B", "A"})
 	if a != b {
 		t.Fatal("primary order changed the fingerprint")
 	}
-	// Every semantic dimension must separate.
+	// Every semantic dimension must separate — including the mechanism
+	// selector and its parameters: "laplace" and "r2t" on the same query are
+	// different releases, as are auto requests with different error targets
+	// and fixed-τ requests with different τ.
 	distinct := []string{
 		base,
-		fingerprint("d2", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}),
-		fingerprint("d", "SELECT COUNT(*) FROM Node", 0.5, 16, 0.1, []string{"Node"}),
-		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.6, 16, 0.1, []string{"Node"}),
-		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 32, 0.1, []string{"Node"}),
-		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.2, []string{"Node"}),
-		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Edge"}),
+		fp("d2", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}),
+		fp("d", "SELECT COUNT(*) FROM Node", 0.5, 16, 0.1, []string{"Node"}),
+		fp("d", "SELECT COUNT(*) FROM Edge", 0.6, 16, 0.1, []string{"Node"}),
+		fp("d", "SELECT COUNT(*) FROM Edge", 0.5, 32, 0.1, []string{"Node"}),
+		fp("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.2, []string{"Node"}),
+		fp("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Edge"}),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}, "laplace", 0, 0),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}, "auto", 0, 0),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}, "auto", 50, 0),
+		fingerprint("d", "SELECT COUNT(*) FROM Edge", 0.5, 16, 0.1, []string{"Node"}, "fixed-tau", 0, 8),
 	}
 	seen := map[string]int{}
 	for i, fp := range distinct {
@@ -39,7 +49,7 @@ func TestFingerprint(t *testing.T) {
 	}
 	// Field boundaries are length-prefixed: moving a character across the
 	// dataset/SQL boundary must change the key.
-	if fingerprint("ab", "c", 1, 16, 0.1, nil) == fingerprint("a", "bc", 1, 16, 0.1, nil) {
+	if fp("ab", "c", 1, 16, 0.1, nil) == fp("a", "bc", 1, 16, 0.1, nil) {
 		t.Fatal("field-boundary collision")
 	}
 }

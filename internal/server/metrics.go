@@ -43,12 +43,14 @@ type metrics struct {
 	queries map[statusKey]int64
 	latency map[string]*latencySummary // per dataset, all outcomes
 	stages  map[stageKey]*stageAgg     // per (dataset, pipeline stage), fresh runs only
+	mechs   map[mechKey]int64          // per (dataset, mechanism), fresh releases only
 	panics  int64                      // panics contained by the query path's recover
 	deduped int64                      // appends replayed from the idempotency window
 }
 
 type statusKey struct{ dataset, status string }
 type stageKey struct{ dataset, stage string }
+type mechKey struct{ dataset, mech string }
 
 // stageAgg accumulates one (dataset, stage) series: total wall time and the
 // number of timed intervals that produced it.
@@ -63,7 +65,20 @@ func newMetrics() *metrics {
 		queries: make(map[statusKey]int64),
 		latency: make(map[string]*latencySummary),
 		stages:  make(map[stageKey]*stageAgg),
+		mechs:   make(map[mechKey]int64),
 	}
+}
+
+// mechSelected counts one fresh release by the backend that produced it. The
+// selection is a data-independent function of the query and its parameters
+// (DESIGN.md §15), so the counter reveals only query-stream shape.
+func (m *metrics) mechSelected(dataset, mech string) {
+	if mech == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mechs[mechKey{dataset, mech}]++
 }
 
 // escapeLabel renders s as a Prometheus label value. The text exposition
@@ -317,6 +332,21 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 		spent, remaining := reg.Get(name).Budget.Balance()
 		fmt.Fprintf(w, "r2td_epsilon_spent{dataset=\"%s\"} %g\n", escapeLabel(name), spent)
 		fmt.Fprintf(w, "r2td_epsilon_remaining{dataset=\"%s\"} %g\n", escapeLabel(name), remaining)
+	}
+
+	fmt.Fprintf(w, "# HELP r2td_mech_selected_total Fresh releases by the mechanism backend that produced them (the selection is a data-independent function of the query — DESIGN.md §15).\n# TYPE r2td_mech_selected_total counter\n")
+	mkeys := make([]mechKey, 0, len(m.mechs))
+	for k := range m.mechs {
+		mkeys = append(mkeys, k)
+	}
+	sort.Slice(mkeys, func(i, j int) bool {
+		if mkeys[i].dataset != mkeys[j].dataset {
+			return mkeys[i].dataset < mkeys[j].dataset
+		}
+		return mkeys[i].mech < mkeys[j].mech
+	})
+	for _, k := range mkeys {
+		fmt.Fprintf(w, "r2td_mech_selected_total{dataset=\"%s\",mech=\"%s\"} %d\n", escapeLabel(k.dataset), escapeLabel(k.mech), m.mechs[k])
 	}
 
 	fmt.Fprintf(w, "# HELP r2td_stage_seconds_total Cumulative wall time per pipeline stage, fresh mechanism runs only (aggregate operator-side diagnostic — DESIGN.md §11).\n# TYPE r2td_stage_seconds_total counter\n")

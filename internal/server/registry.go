@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"r2t"
+	"r2t/internal/mech"
 	"r2t/internal/schemadesc"
 	"r2t/internal/segstore"
 )
@@ -21,6 +22,12 @@ type DatasetConfig struct {
 	DataDir    string
 	Epsilon    float64  // total ε budget for this dataset's lifetime
 	Primary    []string // default primary private relations
+
+	// DefaultMechanism, when set, is applied to requests that name no
+	// mechanism of their own: "r2t", "laplace", "fixed-tau", "ls", or "auto"
+	// (the cost-based chooser). Empty keeps the engine default (r2t). An
+	// explicit request-level "mechanism" always wins over this default.
+	DefaultMechanism string
 
 	// DurableDir, when set, makes the dataset durable through a segstore
 	// under that directory: relations with an existing WAL are recovered
@@ -43,6 +50,10 @@ type Dataset struct {
 	Relations int             // loaded relations, surfaced by /v1/datasets
 	Store     *segstore.Store // nil for in-memory (read-only) datasets
 	RelNames  []string        // schema (FK-topological) order, for replication catch-up
+
+	// DefaultMechanism is applied to requests that name no mechanism; see
+	// DatasetConfig.DefaultMechanism.
+	DefaultMechanism string
 }
 
 // Registry maps dataset names to loaded datasets. It is built once at
@@ -77,6 +88,9 @@ func LoadDatasets(cfgs []DatasetConfig, spent map[string]float64) (*Registry, er
 }
 
 func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
+	if !mech.ValidMechanism(cfg.DefaultMechanism) {
+		return nil, fmt.Errorf("unknown default mechanism %q (want auto, r2t, laplace, fixed-tau or ls)", cfg.DefaultMechanism)
+	}
 	s, err := schemadesc.ParseFile(cfg.SchemaPath)
 	if err != nil {
 		return nil, err
@@ -138,13 +152,14 @@ func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
 		return nil, err
 	}
 	return &Dataset{
-		Name:      cfg.Name,
-		DB:        db,
-		Budget:    budget,
-		Primary:   append([]string(nil), cfg.Primary...),
-		Relations: loaded,
-		Store:     store,
-		RelNames:  append([]string(nil), s.Names()...),
+		Name:             cfg.Name,
+		DB:               db,
+		Budget:           budget,
+		Primary:          append([]string(nil), cfg.Primary...),
+		Relations:        loaded,
+		Store:            store,
+		RelNames:         append([]string(nil), s.Names()...),
+		DefaultMechanism: cfg.DefaultMechanism,
 	}, nil
 }
 

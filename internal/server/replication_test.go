@@ -310,7 +310,7 @@ func TestChaosFailoverPromotion(t *testing.T) {
 			if code != http.StatusOK {
 				t.Fatalf("epoch %d charge %d: code %d (%s)", g, i, code, fe.Error)
 			}
-			key := fingerprint("graph", r.Query, 0.25, gsq, 0.1, []string{"Node"})
+			key := fingerprint("graph", r.Query, 0.25, gsq, 0.1, []string{"Node"}, "", 0, 0)
 			admitted[key] = 0.25
 			admittedEps += 0.25
 		}

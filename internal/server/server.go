@@ -35,6 +35,7 @@ import (
 
 	"r2t"
 	"r2t/internal/dp"
+	"r2t/internal/mech"
 	"r2t/internal/repl"
 )
 
@@ -292,6 +293,16 @@ type queryRequest struct {
 	Primary []string `json:"primary,omitempty"`
 	// TimeoutMS lowers (never raises) the server's per-request deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Mechanism selects the release mechanism: "r2t", "laplace", "fixed-tau",
+	// "ls", or "auto" (cost-based chooser — see Options.Mechanism). Empty
+	// falls back to the dataset's configured default, then to r2t. A
+	// mechanism that does not apply to the query's structure is rejected 400
+	// before any ε is charged.
+	Mechanism string `json:"mechanism,omitempty"`
+	// ErrorTarget (auto only): largest acceptable a-priori error bound.
+	ErrorTarget float64 `json:"error_target,omitempty"`
+	// FixedTau (fixed-tau only): the truncation threshold (0 = GS_Q).
+	FixedTau float64 `json:"fixed_tau,omitempty"`
 }
 
 // queryResponse carries only releasable data: the ε-DP estimate plus
@@ -302,6 +313,10 @@ type queryResponse struct {
 	Estimate       float64 `json:"estimate"`
 	EpsilonCharged float64 `json:"epsilon_charged"` // 0 on cache hits
 	Cached         bool    `json:"cached"`
+	// Mechanism is the backend that produced the release. The selection is a
+	// data-independent function of the query and its public parameters
+	// (DESIGN.md §15), so exposing it leaks nothing about the data.
+	Mechanism string `json:"mechanism,omitempty"`
 	// There is deliberately no degraded/failure field here: which R2T races
 	// survive a run is data-dependent, so the response must not vary with it
 	// (DESIGN.md §9d).
@@ -351,11 +366,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if len(primary) == 0 {
 		primary = ds.Primary
 	}
+	mechanism := req.Mechanism
+	if mechanism == "" {
+		mechanism = ds.DefaultMechanism
+	}
 	opt := r2t.Options{
 		Epsilon:     req.Epsilon,
 		GSQ:         req.GSQ,
 		Beta:        req.Beta,
 		Primary:     primary,
+		Mechanism:   mechanism,
+		ErrorTarget: req.ErrorTarget,
+		FixedTau:    req.FixedTau,
 		EarlyStop:   true,
 		Noise:       s.noise(),
 		ExecWorkers: s.execWorkers,
@@ -386,6 +408,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	normalized := expl.Query
+	// Resolve the mechanism against the query's structure BEFORE any charge
+	// can happen: the chooser reads only the explanation (query + schema) and
+	// the request's public parameters, so an inapplicable mechanism — or any
+	// auto-mode resolution — is decided charge-free, and no invalid-ε charge
+	// path exists (the engine re-runs the same deterministic choice inside
+	// QueryContext and cannot disagree).
+	if _, err := mech.Choose(mech.Shape{
+		SelfJoin:   expl.SelfJoin,
+		Projection: expl.Projection,
+	}, mech.Config{
+		Mechanism:   opt.Mechanism,
+		Epsilon:     opt.Epsilon,
+		GSQ:         opt.GSQ,
+		Beta:        opt.Beta,
+		FixedTau:    opt.FixedTau,
+		ErrorTarget: opt.ErrorTarget,
+	}); err != nil {
+		s.fail(w, ds.Name, ds, statusInvalid, start, http.StatusBadRequest, err)
+		return
+	}
 
 	timeout := s.timeout
 	if req.TimeoutMS > 0 {
@@ -402,7 +444,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if beta == 0 {
 		beta = 0.1
 	}
-	key := fingerprint(ds.Name, normalized, opt.Epsilon, opt.GSQ, beta, opt.Primary)
+	key := fingerprint(ds.Name, normalized, opt.Epsilon, opt.GSQ, beta, opt.Primary,
+		opt.Mechanism, opt.ErrorTarget, opt.FixedTau)
 
 	// Role gate. Replicas serve recorded releases (pure post-processing, zero
 	// ε, no charge authority needed) and redirect everything that would
@@ -470,11 +513,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		prof = a.Profile
 		s.metrics.observeStages(ds.Name, a.Profile)
+		s.metrics.mechSelected(ds.Name, a.Mechanism)
 		ca = cachedAnswer{
-			Estimate: a.Estimate,
-			Epsilon:  opt.Epsilon,
-			Query:    normalized,
-			At:       time.Now(),
+			Estimate:  a.Estimate,
+			Epsilon:   opt.Epsilon,
+			Query:     normalized,
+			Mechanism: a.Mechanism,
+			At:        time.Now(),
 		}
 		// Stream the release to replicas so their free-replay caches can serve
 		// it; best-effort, like the cache itself.
@@ -518,6 +563,7 @@ func (s *Server) respondQuery(w http.ResponseWriter, ds *Dataset, normalized str
 		Estimate:         ans.Estimate,
 		EpsilonCharged:   charged,
 		Cached:           cached,
+		Mechanism:        ans.Mechanism,
 		EpsilonSpent:     spent,
 		EpsilonRemaining: remaining,
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,

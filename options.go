@@ -1,6 +1,10 @@
 package r2t
 
-import "fmt"
+import (
+	"fmt"
+
+	"r2t/internal/mech"
+)
 
 // Options configures one private query evaluation.
 type Options struct {
@@ -66,6 +70,31 @@ type Options struct {
 	// — but the profile itself is a data-dependent, NON-PRIVATE diagnostic:
 	// treat it like Answer.TrueAnswer and never release it (DESIGN.md §11).
 	Profile bool
+	// Mechanism selects the release mechanism: "" or "r2t" (the default,
+	// instance-optimal for every SPJA query), "laplace" (textbook Laplace at
+	// GS_Q — unbiased, cheapest, worst-case noise), "fixed-tau" (LP
+	// truncation at one fixed τ [22]), "ls" (the local-sensitivity SVT
+	// mechanism [37]; self-join-free, projection-free queries only), or
+	// "auto" (a data-independent chooser picks the cheapest backend whose
+	// a-priori error bound meets ErrorTarget, falling back to r2t — see
+	// DESIGN.md §15). An explicitly named mechanism that does not apply to
+	// the query's structure fails the query before any evaluation (and, for
+	// budget-charging callers, before any ε charge).
+	Mechanism string
+	// ErrorTarget (Mechanism "auto" only) is the largest acceptable a-priori
+	// (1−β)-probability absolute error. 0 means no target: auto then always
+	// selects r2t. The chooser compares the target against data-independent
+	// worst-case bounds — r2t's instance error is typically far smaller.
+	ErrorTarget float64
+	// FixedTau (Mechanism "fixed-tau" only) is the truncation threshold; 0
+	// means GS_Q. Must lie in (0, GSQ].
+	FixedTau float64
+	// DisableFastPath opts out of the closed-form partition truncator, which
+	// replaces the LP when each join result's provenance names at most one
+	// individual. The fast path is bit-identical to the LP on every released
+	// value — the equivalence gates enforce this — so the knob exists for
+	// those gates and for perf isolation, not for correctness.
+	DisableFastPath bool
 }
 
 // Validate checks the parameter invariants the mechanism will enforce,
@@ -88,6 +117,26 @@ func (opt Options) Validate() error {
 	}
 	if len(opt.Primary) == 0 {
 		return fmt.Errorf("r2t: at least one primary private relation is required")
+	}
+	if !mech.ValidMechanism(opt.Mechanism) {
+		return fmt.Errorf("r2t: unknown mechanism %q (want auto, r2t, laplace, fixed-tau or ls)", opt.Mechanism)
+	}
+	if opt.Naive && opt.Mechanism != "" && opt.Mechanism != mech.MechR2T {
+		return fmt.Errorf("r2t: Naive applies to the r2t mechanism only, not %q", opt.Mechanism)
+	}
+	if opt.ErrorTarget < 0 {
+		return fmt.Errorf("r2t: ErrorTarget must be non-negative, got %g", opt.ErrorTarget)
+	}
+	if opt.ErrorTarget > 0 && opt.Mechanism != mech.MechAuto {
+		return fmt.Errorf("r2t: ErrorTarget requires Mechanism \"auto\" (got %q)", opt.Mechanism)
+	}
+	if opt.FixedTau != 0 {
+		if opt.Mechanism != mech.MechFixedTau {
+			return fmt.Errorf("r2t: FixedTau requires Mechanism \"fixed-tau\" (got %q)", opt.Mechanism)
+		}
+		if opt.FixedTau < 0 || opt.FixedTau > opt.GSQ {
+			return fmt.Errorf("r2t: FixedTau %g outside (0, GSQ=%g]", opt.FixedTau, opt.GSQ)
+		}
 	}
 	return nil
 }

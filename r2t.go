@@ -34,6 +34,7 @@ import (
 	"r2t/internal/core"
 	"r2t/internal/dp"
 	"r2t/internal/exec"
+	"r2t/internal/mech"
 	"r2t/internal/obs"
 	"r2t/internal/plan"
 	"r2t/internal/schema"
@@ -190,6 +191,15 @@ type Answer struct {
 	Duration time.Duration
 	// Profile is the per-stage breakdown, set only with Options.Profile.
 	Profile *Profile
+
+	// Mechanism is the backend that produced Estimate ("r2t", "laplace",
+	// "fixed-tau", "ls"). MechReason explains the selection and MechBound is
+	// the mechanism's a-priori (1−β) error bound; both are functions of the
+	// query structure and public parameters only (never the data), so unlike
+	// the diagnostics above they are safe to show anywhere.
+	Mechanism  string
+	MechReason string
+	MechBound  float64
 }
 
 // ExportReport evaluates the rewritten reporting query (Section 9) and
@@ -286,8 +296,12 @@ func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options, rec *obs.
 	if err != nil {
 		return nil, err
 	}
+	choice, err := chooseFor(p, opt, false)
+	if err != nil {
+		return nil, err
+	}
 	if opt.AllowNegativeSum && parsed.Agg == sql.AggSum {
-		return db.runSigned(ctx, p, opt, rec)
+		return db.runSigned(ctx, p, opt, rec, choice)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -300,43 +314,96 @@ func (db *DB) run(ctx context.Context, parsed *sql.Query, opt Options, rec *obs.
 	if err != nil {
 		return nil, err
 	}
-	return db.privatize(ctx, res, opt, rec)
+	return db.privatize(ctx, res, opt, rec, choice)
+}
+
+// chooseFor resolves Options.Mechanism against the query's structure: a pure
+// function of the plan shape and the public parameters, so the decision is
+// identical on neighboring datasets (DESIGN.md §15). It runs before any
+// evaluation — and, in budget-charging callers, before any ε charge — so an
+// inapplicable explicit mechanism can never burn budget.
+func chooseFor(p *plan.Plan, opt Options, groupBy bool) (*mech.Choice, error) {
+	return mech.Choose(mech.Shape{
+		SelfJoin:   p.SelfJoin(),
+		Projection: len(p.ProjVars) > 0,
+		SignedSum:  opt.AllowNegativeSum && p.Agg == sql.AggSum,
+		GroupBy:    groupBy,
+		Atoms:      len(p.Atoms),
+	}, mech.Config{
+		Mechanism:   opt.Mechanism,
+		Epsilon:     opt.Epsilon,
+		GSQ:         opt.GSQ,
+		Beta:        opt.Beta,
+		FixedTau:    opt.FixedTau,
+		ErrorTarget: opt.ErrorTarget,
+	})
 }
 
 // newTruncator builds the query's truncation operator, timed as the
-// truncation-build stage and wired to the recorder for solver counters.
-func newTruncator(res *exec.Result, opt Options, rec *obs.Recorder) (truncation.Truncator, error) {
+// truncation-build stage and wired to the recorder for solver counters. With
+// naive=false it builds the LP operator — or, when the capacity rows
+// partition the variables and Options.DisableFastPath is off, the closed-form
+// partition truncator, which is bit-identical to the LP on every value.
+func newTruncator(res *exec.Result, naive bool, opt Options, rec *obs.Recorder) (truncation.Truncator, error) {
 	stopBuild := rec.Time(obs.StageTruncationBuild)
 	defer stopBuild()
-	if opt.Naive {
+	if naive {
 		nt, err := truncation.NewNaive(res)
 		if err != nil {
 			return nil, fmt.Errorf("r2t: naive truncation requested but not applicable: %w", err)
 		}
 		return nt, nil
 	}
-	lt := truncation.NewLP(res)
+	occ := truncation.FromResult(res)
+	if !opt.DisableFastPath {
+		if pt := truncation.NewPartitionFromOccurrences(occ); pt != nil {
+			pt.SetRecorder(rec)
+			rec.Add(obs.CtrPartitionFastPath, 1)
+			return pt, nil
+		}
+	}
+	lt := truncation.NewLPFromOccurrences(occ)
 	lt.SetRecorder(rec)
 	return lt, nil
 }
 
-// privatize runs the R2T mechanism over an evaluated query.
-func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options, rec *obs.Recorder) (*Answer, error) {
-	tr, err := newTruncator(res, opt, rec)
-	if err != nil {
-		return nil, err
+// privatize runs the chosen release mechanism over an evaluated query.
+func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options, rec *obs.Recorder, choice *mech.Choice) (*Answer, error) {
+	be, ok := mech.ByName(choice.Mech)
+	if !ok {
+		return nil, fmt.Errorf("r2t: no backend implements mechanism %q", choice.Mech)
 	}
-
-	out, err := core.Run(tr, core.Config{
+	var tr truncation.Truncator
+	switch kind := be.Truncator(); {
+	case kind == mech.TruncNaive || (kind == mech.TruncLP && opt.Naive):
+		var err error
+		if tr, err = newTruncator(res, true, opt, rec); err != nil {
+			return nil, err
+		}
+	case kind == mech.TruncLP:
+		var err error
+		if tr, err = newTruncator(res, false, opt, rec); err != nil {
+			return nil, err
+		}
+	}
+	noise := opt.Noise
+	if noise == nil {
+		// core.Run defaults its own source the same way; doing it here covers
+		// the backends that draw noise without going through core.Run.
+		noise = dp.NewSource(dp.CryptoSeed())
+	}
+	out, err := be.Run(tr, mech.Params{
 		Epsilon:   opt.Epsilon,
-		Beta:      opt.Beta,
 		GSQ:       opt.GSQ,
-		Noise:     opt.Noise,
+		Beta:      opt.Beta,
+		Noise:     noise,
+		Rec:       rec,
+		Answer:    res.TrueAnswer(),
+		FixedTau:  opt.FixedTau,
 		EarlyStop: opt.EarlyStop,
 		Workers:   opt.Workers,
 		Interrupt: ctx.Done(),
 		Degrade:   opt.Degrade,
-		Recorder:  rec,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -354,6 +421,9 @@ func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options, rec 
 		NumResults:  len(res.Rows),
 		Individuals: res.NumIndividuals(),
 		Duration:    out.Duration,
+		Mechanism:   choice.Mech,
+		MechReason:  choice.Reason,
+		MechBound:   choice.ErrorBound,
 	}, nil
 }
 
@@ -361,7 +431,7 @@ func (db *DB) privatize(ctx context.Context, res *exec.Result, opt Options, rec 
 // it into non-negative halves (Q = Q⁺ − Q⁻), running R2T on each with half
 // the budget, and releasing the difference — ε-DP by basic composition and
 // post-processing.
-func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options, rec *obs.Recorder) (*Answer, error) {
+func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options, rec *obs.Recorder, choice *mech.Choice) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -373,7 +443,7 @@ func (db *DB) runSigned(ctx context.Context, p *plan.Plan, opt Options, rec *obs
 	if err != nil {
 		return nil, err
 	}
-	return db.privatizeSigned(ctx, pos, neg, opt, rec)
+	return db.privatizeSigned(ctx, pos, neg, opt, rec, choice)
 }
 
 // taggedRaces copies races with their Half tag set, so a signed split's
@@ -389,8 +459,10 @@ func taggedRaces(dst []Race, races []Race, half string) []Race {
 // privatizeSigned releases Q⁺ − Q⁻ from the two halves of a signed split,
 // each privatized with half the budget. Diagnostics report both halves:
 // WinnerTau/WinnerTauNeg are the per-half winners, Races carries every race
-// tagged with its half, and TauStar is the max over the two halves.
-func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Options, rec *obs.Recorder) (*Answer, error) {
+// tagged with its half, and TauStar is the max over the two halves. Only r2t
+// composes over the split (the chooser enforces this structurally), so both
+// halves run the R2T core directly.
+func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Options, rec *obs.Recorder, choice *mech.Choice) (*Answer, error) {
 	cfg := core.Config{
 		Epsilon:   opt.Epsilon / 2,
 		Beta:      opt.Beta,
@@ -402,7 +474,7 @@ func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Op
 		Degrade:   opt.Degrade,
 		Recorder:  rec,
 	}
-	trPos, err := newTruncator(pos, opt, rec)
+	trPos, err := newTruncator(pos, opt.Naive, opt, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +485,7 @@ func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Op
 		}
 		return nil, err
 	}
-	trNeg, err := newTruncator(neg, opt, rec)
+	trNeg, err := newTruncator(neg, opt.Naive, opt, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -430,7 +502,7 @@ func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Op
 	}
 	races := taggedRaces(make([]Race, 0, len(outPos.Races)+len(outNeg.Races)), outPos.Races, "+")
 	races = taggedRaces(races, outNeg.Races, "-")
-	return &Answer{
+	ans := &Answer{
 		Estimate:     outPos.Estimate - outNeg.Estimate,
 		Degraded:     outPos.Degraded || outNeg.Degraded,
 		TrueAnswer:   pos.TrueAnswer() - neg.TrueAnswer(),
@@ -441,7 +513,13 @@ func (db *DB) privatizeSigned(ctx context.Context, pos, neg *exec.Result, opt Op
 		NumResults:   len(pos.Rows) + len(neg.Rows),
 		Individuals:  pos.NumIndividuals() + neg.NumIndividuals(),
 		Duration:     outPos.Duration + outNeg.Duration,
-	}, nil
+		Mechanism:    mech.MechR2T,
+	}
+	if choice != nil {
+		ans.MechReason = choice.Reason
+		ans.MechBound = choice.ErrorBound
+	}
+	return ans, nil
 }
 
 // ErrorBound returns the Theorem 5.1 utility bound for the given options and

@@ -91,6 +91,21 @@ go test -race -run 'TestServerDurableAppendRecovery' ./internal/server/
 go test -race ./internal/repl/
 go test -race -run 'TestChaosFailoverPromotion|TestReplicationCatchUpServeAndPromote|TestRetryAfterOnEvery503|TestAppendIdempotency|TestAppendDedupUnit|TestLedgerMirrorContract' ./internal/server/
 
+# Mechanisms gate, named explicitly (these also ran inside the full suite
+# above): the closed-form partition truncator must be bit-identical to the
+# simplex pipeline — structurally (randomized occurrence instances, both the
+# integer-exact and emulation regimes) and end to end (seeded released
+# answers with the fast path on vs off) — the mechanism chooser must be a
+# data-independent pure function of the query shape and public parameters
+# (neighboring datasets select identically), the baseline backends must pass
+# their structural applicability rules, and no inapplicable or invalid
+# mechanism request may ever charge ε (engine QueryWithBudget and the r2td
+# pre-charge check), all under the race detector (DESIGN.md §15).
+go test -race -run 'TestPartition' ./internal/truncation/
+go test -race -run 'TestChoose|TestValidMechanism|TestErrorBounds|TestCostModel' ./internal/mech/
+go test -race -run 'TestPartitionFastPath|TestMechanism|TestChooserDataIndependence|TestBudgetNotChargedForInapplicableMechanism' .
+go test -race -run 'TestServerMechanismSelection|TestServerDatasetDefaultMechanism|TestServerInvalidDefaultMechanism' ./internal/server/
+
 # Benchmark-compile smoke: every benchmark builds and runs one iteration,
 # so BENCH_*.json regeneration can't silently rot.
 go test -run=NONE -bench=. -benchtime=1x ./...
