@@ -52,6 +52,18 @@
 //	r2td -addr :8081 -role replica -primary-addr host-a:7070 \
 //	     -repl-listen :7071 -node b ...                                # replica
 //	curl -XPOST host-b:8081/v1/promote                                 # failover
+//
+// Sharding (DESIGN.md §16): a router started with -role=router fronts a group
+// of shard primaries. The dataset declaration carries the shard map
+// (shards=name@addr pairs, +-separated, addresses are the shards' -repl-listen)
+// and the partition relation whose primary key rows are hashed on:
+//
+//	r2td -addr :8080 -role router -dataset \
+//	     "name=shop,schema=shop.schema,eps=4,primary=Customer,partition=Customer,shards=s0@host0:7070+s1@host1:7070"
+//
+// The router owns the group's ε-ledger, charges once per admitted request
+// before scattering, and merges the shards' truncation partials so the
+// released answer is bit-equal to evaluating the same query unsharded.
 package main
 
 import (
@@ -71,6 +83,7 @@ import (
 
 	"r2t/internal/fault"
 	"r2t/internal/server"
+	"r2t/internal/shard"
 )
 
 // datasetFlags collects repeated -dataset values.
@@ -131,12 +144,33 @@ func parseDatasetFlag(v string) (server.DatasetConfig, error) {
 			// Default mechanism for requests that name none: r2t, laplace,
 			// fixed-tau, ls, or auto (validated on dataset load).
 			cfg.DefaultMechanism = val
+		case "partition":
+			cfg.Partition = val
+		case "shards":
+			// name@addr pairs, +-separated; addr is the shard primary's
+			// -repl-listen address the router scatters sub-queries to.
+			for _, sh := range strings.Split(val, "+") {
+				sh = strings.TrimSpace(sh)
+				if sh == "" {
+					continue
+				}
+				name, addr, ok := strings.Cut(sh, "@")
+				if !ok || name == "" || addr == "" {
+					return cfg, fmt.Errorf("dataset %q: bad shard %q (want name@addr)", cfg.Name, sh)
+				}
+				cfg.Shards = append(cfg.Shards, shard.Node{Name: name, Addr: addr})
+			}
 		default:
-			return cfg, fmt.Errorf("dataset field %q: unknown key (want name/schema/data/eps/primary/dir/mech)", key)
+			return cfg, fmt.Errorf("dataset field %q: unknown key (want name/schema/data/eps/primary/dir/mech/partition/shards)", key)
 		}
 	}
 	if cfg.Name == "" || cfg.SchemaPath == "" {
 		return cfg, fmt.Errorf("dataset %q needs at least name= and schema=", v)
+	}
+	if len(cfg.Shards) > 0 && cfg.DataDir == "." {
+		// A sharded dataset holds no router-local rows; drop the implicit
+		// CSV directory default so the router doesn't reject its own cwd.
+		cfg.DataDir = ""
 	}
 	if cfg.Epsilon <= 0 {
 		return cfg, fmt.Errorf("dataset %q needs a positive eps= budget", cfg.Name)
@@ -161,15 +195,18 @@ func main() {
 		shareCap   = flag.Int("join-share-cap", 0, "join cores cached per dataset for cross-query sharing (0 = engine default, negative = disable sharing); answers are identical either way")
 		dataDir    = flag.String("data-dir", "", "make every dataset durable under DIR/<name>/ (WAL-backed tables, /v1/append enabled, crash recovery on startup); per-dataset dir= overrides")
 
-		role       = flag.String("role", "primary", "replication role: primary (owns the ε-ledger, admits charges) or replica (pulls the primary's ledger, serves reads, redirects charges)")
+		role       = flag.String("role", "primary", "node role: primary (owns the ε-ledger, admits charges), replica (pulls the primary's ledger, serves reads, redirects charges), or router (fronts a sharded cluster, owns the group ε-ledger, scatters sub-queries)")
 		nodeName   = flag.String("node", "", "node name for epoch records, handshakes, and metrics (default: hostname)")
 		replListen = flag.String("repl-listen", "", "primary: TCP address for the replication listener (empty = standalone). Replica: the address it will serve replicas on after /v1/promote")
 		primary    = flag.String("primary-addr", "", "replica: the primary's -repl-listen address to pull from (required with -role=replica)")
 		syncRepl   = flag.Int("sync-replicas", 0, "replicas that must acknowledge each charge before it is admitted (0 = async; production clusters should set 1+)")
 		ackTimeout = flag.Duration("repl-ack-timeout", 5*time.Second, "how long a synchronous charge waits for replica acks before failing 503")
 		dedupMax   = flag.Int("append-dedup-max", 0, "X-R2T-Append-Id idempotency window size, LRU-evicted (0 = default 4096)")
+
+		shardTimeout = flag.Duration("shard-timeout", 0, "router: per-shard sub-query deadline (0 = default 5s)")
+		shardHedge   = flag.Duration("shard-hedge", 0, "router: start a hedged duplicate sub-query after this silence (0 = timeout/4)")
 	)
-	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2,dir=WALDIR (repeatable; dir= makes the dataset durable)")
+	flag.Var(&datasets, "dataset", "dataset declaration: name=N,schema=PATH,data=DIR,eps=E,primary=R1+R2,dir=WALDIR (repeatable; dir= makes the dataset durable; with -role=router add partition=REL,shards=n0@addr+n1@addr)")
 	flag.Parse()
 	if len(datasets) == 0 {
 		fmt.Fprintln(os.Stderr, "r2td: at least one -dataset is required")
@@ -201,6 +238,8 @@ func main() {
 		SyncReplicas:   *syncRepl,
 		ReplAckTimeout: *ackTimeout,
 		AppendDedupMax: *dedupMax,
+		ShardTimeout:   *shardTimeout,
+		ShardHedge:     *shardHedge,
 	}
 	var logFile *os.File
 	if *reqLog != "" {

@@ -36,6 +36,12 @@ type ClientConfig struct {
 	RetryMax    time.Duration // reconnect backoff ceiling (0 = 2s)
 	ReadIdle    time.Duration // stream read deadline; must exceed the primary's heartbeat interval (0 = 15s)
 	Logf        func(format string, args ...any)
+
+	// OnAttach, when non-nil, is called after every accepted handshake with
+	// the address the client attached to. The server uses it to remember the
+	// last known-good primary so a replica's 409 redirect always has a
+	// target, even when the configured address has gone stale.
+	OnAttach func(addr string)
 }
 
 // Status is a snapshot of the replica's replication position for /readyz and
@@ -241,6 +247,9 @@ func (c *Client) connectOnce() (attached bool, err error) {
 	}
 	c.mu.Unlock()
 	c.cfg.Logf("repl: attached to primary %q epoch %d (ledger %d -> %d)", w.Node, epoch, hello.LedgerSize, w.LedgerSize)
+	if c.cfg.OnAttach != nil {
+		c.cfg.OnAttach(c.cfg.PrimaryAddr)
+	}
 
 	for {
 		select {

@@ -43,7 +43,10 @@ import (
 )
 
 // Frame types. Hello/Ack flow replica→primary; everything else
-// primary→replica.
+// primary→replica, except the router↔shard sub-query pair: a router opens a
+// connection whose FIRST frame is TypeSubQuery (instead of TypeHello), and
+// the hub answers each sub-query with one TypePartial on the same connection
+// (the connection is reusable for further sub-queries).
 const (
 	TypeHello     byte = 1 // JSON Hello: node, epoch, ledger size+CRC, row counts
 	TypeWelcome   byte = 2 // JSON Welcome: accept (catch-up target) or refuse
@@ -52,6 +55,8 @@ const (
 	TypeRows      byte = 5 // durable row batch: dataset | relation | start row | payload
 	TypeAnswer    byte = 6 // freshly released answer for the free-replay cache (JSON)
 	TypeHeartbeat byte = 7 // liveness + primary ledger position
+	TypeSubQuery  byte = 8 // router→shard: uncharged sub-query (JSON, internal/shard)
+	TypePartial   byte = 9 // shard→router: partial-aggregate reply (JSON, internal/shard)
 )
 
 // Fault-injection site names (package fault).

@@ -42,6 +42,14 @@ type HubConfig struct {
 	SendQueue  int           // per-session outbound buffer (0 = 4096 frames)
 	WriteWait  time.Duration // per-frame write deadline (0 = 10s)
 	Logf       func(format string, args ...any)
+
+	// SubQuery, when non-nil, serves router sub-queries: a connection whose
+	// first frame is TypeSubQuery enters a request/response loop where each
+	// sub-query payload is answered with one TypePartial frame carrying the
+	// callback's result. The callback returns the reply payload; a non-nil
+	// error closes the connection (application-level failures travel inside
+	// the reply payload instead, so the connection stays reusable).
+	SubQuery func(payload []byte) ([]byte, error)
 }
 
 // Hub is the primary side of the protocol: it accepts replica connections,
@@ -54,6 +62,7 @@ type Hub struct {
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
+	subConns map[net.Conn]struct{} // router sub-query connections (lazily allocated)
 	closed   bool
 
 	disconnects atomic.Uint64
@@ -120,9 +129,19 @@ func (h *Hub) Close() {
 	for s := range h.sessions {
 		sessions = append(sessions, s)
 	}
+	subs := make([]net.Conn, 0, len(h.subConns))
+	for c := range h.subConns {
+		subs = append(subs, c)
+	}
 	h.mu.Unlock()
 	for _, s := range sessions {
 		s.detach(errors.New("repl: hub closed"), false)
+	}
+	// Sub-query connections must die with the hub: a closed shard that kept
+	// answering over pooled router connections would be indistinguishable
+	// from a live one, defeating kill-based failover tests and drains.
+	for _, c := range subs {
+		c.Close()
 	}
 }
 
@@ -210,6 +229,10 @@ func (h *Hub) handle(conn net.Conn) {
 	}
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
 	f, err := ReadFrame(conn, h.cfg.MaxPayload)
+	if err == nil && f.Type == TypeSubQuery && h.cfg.SubQuery != nil {
+		h.serveSubQueries(conn, f)
+		return
+	}
 	if err != nil || f.Type != TypeHello {
 		logf("repl: bad hello from %s: %v", conn.RemoteAddr(), err)
 		conn.Close()
@@ -379,6 +402,49 @@ func (s *session) detach(cause error, count bool) {
 			}
 		}
 	})
+}
+
+// serveSubQueries runs the router-facing request/response loop on one
+// connection: the already-read first sub-query, then any number of further
+// ones. Each is answered with a TypePartial frame echoing the request epoch.
+// Evaluation time is bounded by the callback (the server wraps it in its own
+// request timeout); between requests the connection idles without a read
+// deadline, so routers can pool connections.
+func (h *Hub) serveSubQueries(conn net.Conn, first Frame) {
+	defer conn.Close()
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	if h.subConns == nil {
+		h.subConns = make(map[net.Conn]struct{})
+	}
+	h.subConns[conn] = struct{}{}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.subConns, conn)
+		h.mu.Unlock()
+	}()
+	f := first
+	for {
+		resp, err := h.cfg.SubQuery(f.Payload)
+		if err != nil {
+			h.cfg.Logf("repl: sub-query from %s failed: %v", conn.RemoteAddr(), err)
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(h.cfg.WriteWait))
+		if err := WriteFrame(conn, Frame{Type: TypePartial, Epoch: f.Epoch, Payload: resp}); err != nil {
+			return
+		}
+		conn.SetDeadline(time.Time{}) // idle until the router's next sub-query
+		var rerr error
+		f, rerr = ReadFrame(conn, h.cfg.MaxPayload)
+		if rerr != nil || f.Type != TypeSubQuery {
+			return
+		}
+	}
 }
 
 // faultHandshake fires the repl.handshake site (shared with the client side).

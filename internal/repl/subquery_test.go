@@ -1,0 +1,100 @@
+package repl
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// subQueryHub starts a hub whose SubQuery callback echoes the payload with a
+// prefix, returning its address.
+func subQueryHub(t *testing.T, cb func([]byte) ([]byte, error)) (string, *Hub, func()) {
+	t.Helper()
+	h := NewHub(HubConfig{Node: "p", Source: &testSource{}, SubQuery: cb})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.Serve(ln)
+	return ln.Addr().String(), h, func() { ln.Close(); h.Close() }
+}
+
+// TestHubServesSubQueries: a connection whose first frame is TypeSubQuery
+// enters the request/response loop, answers every request with a TypePartial
+// frame, and stays reusable across requests.
+func TestHubServesSubQueries(t *testing.T) {
+	addr, _, stop := subQueryHub(t, func(p []byte) ([]byte, error) {
+		return append([]byte("got:"), p...), nil
+	})
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		req := []byte(fmt.Sprintf("q%d", i))
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if err := WriteFrame(conn, Frame{Type: TypeSubQuery, Epoch: 7, Payload: req}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		f, err := ReadFrame(conn, DefaultMaxPayload)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if f.Type != TypePartial || f.Epoch != 7 {
+			t.Fatalf("reply %d: type %d epoch %d", i, f.Type, f.Epoch)
+		}
+		if want := "got:" + string(req); string(f.Payload) != want {
+			t.Fatalf("reply %d: %q, want %q", i, f.Payload, want)
+		}
+	}
+}
+
+// TestHubSubQueryCallbackErrorClosesConn: a callback error drops the
+// connection instead of leaving the router hanging.
+func TestHubSubQueryCallbackErrorClosesConn(t *testing.T) {
+	addr, _, stop := subQueryHub(t, func(p []byte) ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if err := WriteFrame(conn, Frame{Type: TypeSubQuery, Payload: []byte("q")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(conn, DefaultMaxPayload); err == nil {
+		t.Fatal("expected closed connection after callback error")
+	}
+}
+
+// TestHubWithoutSubQueryCallbackRejects: with no callback configured (a plain
+// replication hub), a TypeSubQuery first frame is treated as a bad hello and
+// the connection closes — the sub-query path is strictly opt-in.
+func TestHubWithoutSubQueryCallbackRejects(t *testing.T) {
+	h := NewHub(HubConfig{Node: "p", Source: &testSource{}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go h.Serve(ln)
+	defer h.Close()
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if err := WriteFrame(conn, Frame{Type: TypeSubQuery, Payload: []byte("q")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(conn, DefaultMaxPayload); err == nil {
+		t.Fatal("expected rejection without a SubQuery callback")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"r2t/internal/segstore"
+	"r2t/internal/shard"
 	"r2t/internal/storage"
 	"r2t/internal/value"
 )
@@ -64,9 +65,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	// redirects instead, exactly like the charge path. A fenced primary has
 	// been replaced and must not grow datasets the new primary will never see.
 	if s.repl.isReplica() {
-		if s.repl.primaryAddr != "" {
-			w.Header().Set("X-R2T-Primary", s.repl.primaryAddr)
-		}
+		// Like the query path: the redirect target must always be populated
+		// (configured primary, else the last successful handshake peer).
+		w.Header().Set("X-R2T-Primary", s.repl.redirectTarget())
 		s.failAppend(w, req.Dataset, start, http.StatusConflict, errNotPrimary)
 		return
 	}
@@ -77,6 +78,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	ds := s.reg.Get(req.Dataset)
 	if ds == nil {
 		s.failAppend(w, req.Dataset, start, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
+		return
+	}
+	if ds.Sharded() {
+		s.redirectShardAppend(w, ds, &req, start)
 		return
 	}
 	if ds.Store == nil {
@@ -155,6 +160,55 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	applied = true
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// redirectShardAppend rejects writes addressed to the router of a sharded
+// dataset. The router holds no rows — every row lives on its owning shard's
+// durable store — so the append must be re-issued there. For partitioned
+// relations the router computes the owner from the routing column and, when
+// all rows agree on a single shard, names it in X-R2T-Shard so the writer can
+// redirect without knowing the hash. Broadcast relations have no single owner
+// (the rows belong on every shard) and are a plain 400.
+func (s *Server) redirectShardAppend(w http.ResponseWriter, ds *Dataset, req *appendRequest, start time.Time) {
+	rt := ds.Routing.Route(req.Relation)
+	known := false
+	for _, name := range ds.DB.Schema().Names() {
+		if name == req.Relation {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.failAppend(w, ds.Name, start, http.StatusBadRequest,
+			fmt.Errorf("unknown relation %q in dataset %q", req.Relation, ds.Name))
+		return
+	}
+	if rt.Kind == shard.Broadcast {
+		s.failAppend(w, ds.Name, start, http.StatusBadRequest,
+			fmt.Errorf("relation %q is broadcast: its rows belong on every shard, append them on each shard directly", req.Relation))
+		return
+	}
+	// Partitioned relation: name the owning shard when it is unambiguous.
+	owner := -1
+	uniform := len(req.Rows) > 0
+	for _, fields := range req.Rows {
+		if rt.Col >= len(fields) {
+			uniform = false
+			break
+		}
+		o := shard.OwnerOf(value.Parse(fields[rt.Col]), len(ds.Shards))
+		if owner == -1 {
+			owner = o
+		} else if o != owner {
+			uniform = false
+			break
+		}
+	}
+	if uniform && owner >= 0 {
+		w.Header().Set("X-R2T-Shard", ds.Shards[owner].Name)
+	}
+	s.failAppend(w, ds.Name, start, http.StatusConflict,
+		fmt.Errorf("dataset %q is sharded: rows must be appended on their owning shard, not the router", ds.Name))
 }
 
 // failAppend mirrors fail for the write path. Append errors are

@@ -46,6 +46,7 @@ type metrics struct {
 	mechs   map[mechKey]int64          // per (dataset, mechanism), fresh releases only
 	panics  int64                      // panics contained by the query path's recover
 	deduped int64                      // appends replayed from the idempotency window
+	subqs   int64                      // shard-side sub-queries served over the repl plane
 }
 
 type statusKey struct{ dataset, status string }
@@ -103,6 +104,14 @@ func (m *metrics) appendDeduped() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.deduped++
+}
+
+// subQueryServed counts one uncharged sub-query this shard evaluated for a
+// router (a routed query's partial-aggregate half, DESIGN.md §16).
+func (m *metrics) subQueryServed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subqs++
 }
 
 // observe records one finished request.
@@ -206,6 +215,42 @@ func (m *metrics) writeTo(w io.Writer, reg *Registry, cache *answerCache, ledger
 
 	fmt.Fprintf(w, "# HELP r2td_append_dedup_hits_total Appends replayed from the X-R2T-Append-Id idempotency window instead of being applied again.\n# TYPE r2td_append_dedup_hits_total counter\n")
 	fmt.Fprintf(w, "r2td_append_dedup_hits_total %d\n", m.deduped)
+
+	if m.subqs > 0 {
+		fmt.Fprintf(w, "# HELP r2td_shard_subqueries_served_total Uncharged sub-queries this shard evaluated for a router (DESIGN.md §16).\n# TYPE r2td_shard_subqueries_served_total counter\n")
+		fmt.Fprintf(w, "r2td_shard_subqueries_served_total %d\n", m.subqs)
+	}
+
+	// Router-side scatter/gather traffic, read live from each sharded
+	// dataset's pool at scrape time (like the budget gauges). Absent on
+	// non-router nodes, so the section doubles as a "this node routes" marker.
+	sharded := make([]string, 0, len(reg.datasets))
+	for _, name := range reg.Names() {
+		if reg.Get(name).Pool != nil {
+			sharded = append(sharded, name)
+		}
+	}
+	if len(sharded) > 0 {
+		fmt.Fprintf(w, "# HELP r2td_shards Shard nodes in the dataset's shard map.\n# TYPE r2td_shards gauge\n")
+		fmt.Fprintf(w, "# HELP r2td_shard_scatters_total Routed queries scattered to the dataset's shards.\n# TYPE r2td_shard_scatters_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_shard_scatter_failures_total Scatters that failed after per-shard retries (each left its ε charged, answered 503).\n# TYPE r2td_shard_scatter_failures_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_shard_calls_total Per-shard sub-query calls, including hedged and retried attempts' winners.\n# TYPE r2td_shard_calls_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_shard_call_failures_total Sub-query calls that exhausted both attempts.\n# TYPE r2td_shard_call_failures_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_shard_hedges_total Hedged second attempts launched against slow shards (safe: sub-queries are uncharged and read-only).\n# TYPE r2td_shard_hedges_total counter\n")
+		fmt.Fprintf(w, "# HELP r2td_shard_conn_reuses_total Sub-query calls served over a pooled shard connection.\n# TYPE r2td_shard_conn_reuses_total counter\n")
+		for _, name := range sharded {
+			ds := reg.Get(name)
+			st := ds.Pool.Stats()
+			esc := escapeLabel(name)
+			fmt.Fprintf(w, "r2td_shards{dataset=\"%s\"} %d\n", esc, ds.Pool.Len())
+			fmt.Fprintf(w, "r2td_shard_scatters_total{dataset=\"%s\"} %d\n", esc, st.Scatters)
+			fmt.Fprintf(w, "r2td_shard_scatter_failures_total{dataset=\"%s\"} %d\n", esc, st.ScatterFailures)
+			fmt.Fprintf(w, "r2td_shard_calls_total{dataset=\"%s\"} %d\n", esc, st.Calls)
+			fmt.Fprintf(w, "r2td_shard_call_failures_total{dataset=\"%s\"} %d\n", esc, st.CallFailures)
+			fmt.Fprintf(w, "r2td_shard_hedges_total{dataset=\"%s\"} %d\n", esc, st.Hedges)
+			fmt.Fprintf(w, "r2td_shard_conn_reuses_total{dataset=\"%s\"} %d\n", esc, st.Reuses)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP r2td_queries_total Finished query requests by dataset and outcome.\n# TYPE r2td_queries_total counter\n")
 	keys := make([]statusKey, 0, len(m.queries))

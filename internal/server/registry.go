@@ -10,6 +10,7 @@ import (
 	"r2t/internal/mech"
 	"r2t/internal/schemadesc"
 	"r2t/internal/segstore"
+	"r2t/internal/shard"
 )
 
 // DatasetConfig describes one dataset to host: a schema description file
@@ -36,6 +37,19 @@ type DatasetConfig struct {
 	// writes are accepted and fsynced to the WAL before they are visible.
 	// Empty keeps the dataset in-memory and read-only, as before.
 	DurableDir string
+
+	// Shards, when non-empty, makes this a SHARDED dataset: the rows live on
+	// the listed shard nodes (each a full r2td primary reachable at its
+	// replication address) and this server — which must run with
+	// -role=router — holds only the schema, the routing rules, and the
+	// authoritative ε budget. Queries are answered by scattering uncharged
+	// sub-queries and merging the shards' truncation partials (DESIGN.md
+	// §16). Sharded datasets load no CSVs and accept no local appends.
+	Shards []shard.Node
+	// Partition names the relation whose primary key partitions the rows
+	// (the dataset's primary private relation). Defaults to the sole entry
+	// of Primary; required when Primary does not have exactly one entry.
+	Partition string
 }
 
 // Dataset is one loaded dataset with its live budget. Without a Store the
@@ -54,7 +68,18 @@ type Dataset struct {
 	// DefaultMechanism is applied to requests that name no mechanism; see
 	// DatasetConfig.DefaultMechanism.
 	DefaultMechanism string
+
+	// Sharded-dataset state (nil/empty for locally hosted datasets). Routing
+	// classifies every relation's placement, Shards is the shard map in
+	// configuration order, and Pool is the router's connection pool over it
+	// (created by server.New, closed with the server).
+	Routing *shard.Routing
+	Shards  []shard.Node
+	Pool    *shard.Pool
 }
+
+// Sharded reports whether the dataset's rows live on remote shards.
+func (ds *Dataset) Sharded() bool { return ds.Routing != nil }
 
 // Registry maps dataset names to loaded datasets. It is built once at
 // startup and read-only afterwards, so lookups need no locking.
@@ -94,6 +119,9 @@ func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
 	s, err := schemadesc.ParseFile(cfg.SchemaPath)
 	if err != nil {
 		return nil, err
+	}
+	if len(cfg.Shards) > 0 {
+		return loadShardedDataset(cfg, s, alreadySpent)
 	}
 	db := r2t.NewDB(s)
 	loaded := 0
@@ -160,6 +188,66 @@ func loadDataset(cfg DatasetConfig, alreadySpent float64) (*Dataset, error) {
 		Store:            store,
 		RelNames:         append([]string(nil), s.Names()...),
 		DefaultMechanism: cfg.DefaultMechanism,
+	}, nil
+}
+
+// loadShardedDataset builds the router-side view of a sharded dataset:
+// schema and routing only — no rows, no store. The budget still replays from
+// the router's ledger, because the router is the single charge authority for
+// the whole shard group (DESIGN.md §16).
+func loadShardedDataset(cfg DatasetConfig, s *r2t.Schema, alreadySpent float64) (*Dataset, error) {
+	if cfg.DurableDir != "" {
+		return nil, fmt.Errorf("sharded datasets hold no local rows; durable= conflicts with shards=")
+	}
+	if cfg.DataDir != "" {
+		if _, err := os.Stat(cfg.DataDir); err == nil {
+			return nil, fmt.Errorf("sharded datasets hold no local rows; remove data dir %q from the router's config", cfg.DataDir)
+		}
+	}
+	partition := cfg.Partition
+	if partition == "" {
+		if len(cfg.Primary) != 1 {
+			return nil, fmt.Errorf("sharded dataset needs partition= (or exactly one primary relation), got primary=%v", cfg.Primary)
+		}
+		partition = cfg.Primary[0]
+	}
+	routing, err := shard.NewRouting(s, partition)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	for i, n := range cfg.Shards {
+		if n.Name == "" || n.Addr == "" {
+			return nil, fmt.Errorf("shard %d needs both a name and an address, got %+v", i, n)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("duplicate shard name %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	for _, p := range cfg.Primary {
+		rel := s.Relation(p)
+		if rel == nil {
+			return nil, fmt.Errorf("default primary relation %q not in schema", p)
+		}
+		if rel.PK == "" {
+			return nil, fmt.Errorf("default primary relation %q has no primary key", p)
+		}
+	}
+	budget, err := r2t.NewBudgetWithSpent(cfg.Epsilon, alreadySpent)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:             cfg.Name,
+		DB:               r2t.NewDB(s),
+		Budget:           budget,
+		Primary:          append([]string(nil), cfg.Primary...),
+		Relations:        len(s.Names()),
+		RelNames:         append([]string(nil), s.Names()...),
+		DefaultMechanism: cfg.DefaultMechanism,
+		Routing:          routing,
+		Shards:           append([]shard.Node(nil), cfg.Shards...),
 	}, nil
 }
 

@@ -23,6 +23,12 @@ import (
 const (
 	RolePrimary = "primary"
 	RoleReplica = "replica"
+	// RoleRouter fronts a sharded cluster: the node hosts no rows, owns the
+	// authoritative ε-ledger for its sharded datasets, and answers queries by
+	// scattering uncharged sub-queries to shard primaries (DESIGN.md §16).
+	// A router is replication-standalone — it neither streams to replicas nor
+	// pulls from a primary.
+	RoleRouter = "router"
 )
 
 // errFenced is returned to analysts by a primary that has observed a newer
@@ -54,11 +60,38 @@ type replState struct {
 	replica atomic.Bool   // true while serving as replica
 	fenced  atomic.Bool   // primary that observed a newer epoch
 
-	mu     sync.Mutex
-	hub    *repl.Hub
-	hubLn  net.Listener
-	client *repl.Client
-	hbStop chan struct{}
+	mu       sync.Mutex
+	hub      *repl.Hub
+	hubLn    net.Listener
+	client   *repl.Client
+	hbStop   chan struct{}
+	lastGood string // last primary address a handshake actually succeeded against
+}
+
+// noteAttach remembers the primary address behind the latest accepted
+// handshake, so redirects keep a target even if configuration goes stale.
+func (st *replState) noteAttach(addr string) {
+	if addr == "" {
+		return
+	}
+	st.mu.Lock()
+	st.lastGood = addr
+	st.mu.Unlock()
+}
+
+// redirectTarget is the address a replica's 409 redirect should name: the
+// configured primary, else the last address a handshake succeeded against.
+// Replicas are always configured with a primary address, so the fallback only
+// matters when a later re-point or promotion cleared the configured one — the
+// invariant the query and append paths rely on is that a replica's 409 always
+// carries an X-R2T-Primary header.
+func (st *replState) redirectTarget() string {
+	if st.primaryAddr != "" {
+		return st.primaryAddr
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastGood
 }
 
 // answerRecord is the TypeAnswer payload: one released DP answer for the
@@ -97,14 +130,10 @@ func (st *replState) noteEpoch(e uint64) {
 // served.
 func (s *Server) initReplication(cfg Config) error {
 	st := &replState{
-		node:        cfg.NodeName,
+		node:        defaultNodeName(cfg.NodeName, cfg.LedgerPath),
 		primaryAddr: cfg.PrimaryAddr,
 		minSync:     cfg.SyncReplicas,
 		ackTimeout:  cfg.ReplAckTimeout,
-	}
-	if st.node == "" {
-		host, _ := os.Hostname()
-		st.node = host
 	}
 	if st.ackTimeout <= 0 {
 		st.ackTimeout = 5 * time.Second
@@ -113,6 +142,17 @@ func (s *Server) initReplication(cfg Config) error {
 	s.repl = st
 
 	switch cfg.Role {
+	case RoleRouter:
+		// Routers are replication-standalone: their ledger is the shard
+		// group's charge authority, and shards run their own primary/replica
+		// clusters underneath.
+		if cfg.PrimaryAddr != "" {
+			return fmt.Errorf("r2td: -primary-addr is only meaningful with -role=replica")
+		}
+		if cfg.ReplListen != "" {
+			return fmt.Errorf("r2td: a router does not serve replicas; drop -repl-listen")
+		}
+		return nil
 	case "", RolePrimary:
 		if cfg.PrimaryAddr != "" {
 			return fmt.Errorf("r2td: -primary-addr is only meaningful with -role=replica")
@@ -144,12 +184,28 @@ func (s *Server) initReplication(cfg Config) error {
 			Node:        st.node,
 			Applier:     &replicaApplier{s: s},
 			Logf:        func(format string, args ...any) { fmt.Fprintf(os.Stderr, "r2td: "+format+"\n", args...) },
+			OnAttach:    st.noteAttach,
 		})
 		st.mu.Unlock()
 		return nil
 	default:
-		return fmt.Errorf("r2td: unknown role %q (want %q or %q)", cfg.Role, RolePrimary, RoleReplica)
+		return fmt.Errorf("r2td: unknown role %q (want %q, %q, or %q)", cfg.Role, RolePrimary, RoleReplica, RoleRouter)
 	}
+}
+
+// defaultNodeName resolves the node's identity: the configured name, else the
+// hostname, else a deterministic fallback derived from the ledger path. The
+// empty string is never acceptable — node names key epoch records, handshake
+// peers, and metrics labels, and os.Hostname can fail (or return "") on
+// minimal containers, which used to leave NodeName silently blank.
+func defaultNodeName(configured, ledgerPath string) string {
+	if configured != "" {
+		return configured
+	}
+	if host, err := os.Hostname(); err == nil && host != "" {
+		return host
+	}
+	return fmt.Sprintf("node-%08x", crc32.ChecksumIEEE([]byte(ledgerPath)))
 }
 
 // becomePrimary claims the next fencing epoch in the ledger, installs the
@@ -168,6 +224,10 @@ func (s *Server) becomePrimary(ln net.Listener) error {
 		Node:   st.node,
 		Source: (*replSource)(s),
 		Logf:   func(format string, args ...any) { fmt.Fprintf(os.Stderr, "r2td: "+format+"\n", args...) },
+		// Every primary doubles as a shard: a router may scatter uncharged
+		// sub-queries over the same listener replicas attach to. Nodes that
+		// are never part of a sharded cluster simply never receive one.
+		SubQuery: s.serveShardSubQuery,
 	})
 	st.mu.Lock()
 	st.hub = hub

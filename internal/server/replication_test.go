@@ -212,10 +212,19 @@ func TestReplicationCatchUpServeAndPromote(t *testing.T) {
 		t.Fatalf("X-R2T-Primary = %q, want %q", got, a.srv.ReplAddr())
 	}
 
-	// Appends are writes: redirected too.
-	code, _, _ = b.c.append(`{"dataset":"graph","relation":"Edge","rows":[["0","7"]]}`)
-	if code != http.StatusConflict {
-		t.Fatalf("replica append: %d, want 409", code)
+	// Appends are writes: redirected too, and the redirect target rides the
+	// same header as the query path.
+	aresp, err := http.Post(b.ts.URL+"/v1/append", "application/json",
+		strings.NewReader(`{"dataset":"graph","relation":"Edge","rows":[["0","7"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusConflict {
+		t.Fatalf("replica append: %d, want 409", aresp.StatusCode)
+	}
+	if got := aresp.Header.Get("X-R2T-Primary"); got != a.srv.ReplAddr() {
+		t.Fatalf("append X-R2T-Primary = %q, want %q", got, a.srv.ReplAddr())
 	}
 
 	// Rows appended on the primary replicate.
@@ -459,8 +468,8 @@ func TestRetryAfterOnEvery503(t *testing.T) {
 		t.Fatalf("append on poisoned store: code %d Retry-After %q", aresp.StatusCode, aresp.Header.Get("Retry-After"))
 	}
 
-	// Replica catching up (its primary doesn't exist) is 503 with the short
-	// hint: it clears by itself.
+	// Replica catching up (its primary doesn't exist) is 503 with a hint
+	// scaled from its actual lag — zero records behind means the shortest one.
 	schemaPath, dataDir := writeGraphDataset(t)
 	b := startReplNode(t, schemaPath, dataDir, base, "lonely", RoleReplica, "127.0.0.1:1", 0)
 	defer b.stop()
@@ -469,8 +478,47 @@ func TestRetryAfterOnEvery503(t *testing.T) {
 		t.Fatal(err)
 	}
 	bresp.Body.Close()
-	if bresp.StatusCode != http.StatusServiceUnavailable || bresp.Header.Get("Retry-After") != retryAfterCatchup {
+	if bresp.StatusCode != http.StatusServiceUnavailable || bresp.Header.Get("Retry-After") != retryAfterForLag(0) {
 		t.Fatalf("catching-up replica /readyz: code %d Retry-After %q", bresp.StatusCode, bresp.Header.Get("Retry-After"))
+	}
+}
+
+// TestDefaultNodeName pins the NodeName resolution order: the configured name
+// wins, and the fallback is non-empty and deterministic in the ledger path —
+// a node whose hostname is unavailable must still present a stable identity
+// to handshakes, epoch records, and metrics labels.
+func TestDefaultNodeName(t *testing.T) {
+	if got := defaultNodeName("custom", "/tmp/l"); got != "custom" {
+		t.Fatalf("configured name: got %q", got)
+	}
+	got := defaultNodeName("", "/tmp/some/ledger")
+	if got == "" {
+		t.Fatal("defaultNodeName returned empty")
+	}
+	if again := defaultNodeName("", "/tmp/some/ledger"); again != got {
+		t.Fatalf("not deterministic: %q vs %q", got, again)
+	}
+}
+
+// TestRetryAfterForLag pins the lag→hint scaling: ~1s per thousand records
+// behind, clamped to [1, 60] so the header stays a sane poll interval.
+func TestRetryAfterForLag(t *testing.T) {
+	cases := []struct {
+		lag  uint64
+		want string
+	}{
+		{0, "1"},
+		{1, "1"},
+		{999, "1"},
+		{1000, "1"},
+		{2500, "2"},
+		{60000, "60"},
+		{1 << 40, "60"},
+	}
+	for _, c := range cases {
+		if got := retryAfterForLag(c.lag); got != c.want {
+			t.Errorf("retryAfterForLag(%d) = %q, want %q", c.lag, got, c.want)
+		}
 	}
 }
 

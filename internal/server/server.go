@@ -37,6 +37,7 @@ import (
 	"r2t/internal/dp"
 	"r2t/internal/mech"
 	"r2t/internal/repl"
+	"r2t/internal/shard"
 )
 
 // Config assembles a Server.
@@ -112,6 +113,14 @@ type Config struct {
 	// AppendDedupMax bounds the X-R2T-Append-Id idempotency window (default
 	// 4096 ids, LRU-evicted).
 	AppendDedupMax int
+
+	// Sharding (DESIGN.md §16), meaningful with Role "router" only.
+	// ShardTimeout bounds one sub-query round trip to a shard (default 5s);
+	// ShardHedge is the delay before a hedged second attempt races the first
+	// (default ShardTimeout/4). Hedging is safe because sub-queries are
+	// uncharged and read-only.
+	ShardTimeout time.Duration
+	ShardHedge   time.Duration
 }
 
 // Server is the r2td service. Create with New, expose via Handler, stop by
@@ -193,12 +202,45 @@ func New(cfg Config) (*Server, error) {
 		// path's recover as a uniform 500) rather than degrade.
 		s.noise = func() r2t.NoiseSource { return dp.NewSource(dp.CryptoSeed()) }
 	}
+	// The sharded⟺router pairing is structural: a sharded dataset's charges
+	// only make sense on the node that owns the shard group's ledger, and a
+	// router hosting local rows would mix two incompatible charge paths.
+	for _, name := range reg.Names() {
+		ds := reg.Get(name)
+		if ds.Sharded() && cfg.Role != RoleRouter {
+			reg.Close()
+			ledger.Close()
+			return nil, fmt.Errorf("r2td: dataset %q is sharded; shards= requires -role=router", name)
+		}
+		if !ds.Sharded() && cfg.Role == RoleRouter {
+			reg.Close()
+			ledger.Close()
+			return nil, fmt.Errorf("r2td: -role=router hosts sharded datasets only; dataset %q has no shards=", name)
+		}
+		if ds.Sharded() {
+			ds.Pool = shard.NewPool(ds.Shards, shard.PoolConfig{
+				Timeout: cfg.ShardTimeout,
+				Hedge:   cfg.ShardHedge,
+				Logf:    func(format string, args ...any) { fmt.Fprintf(os.Stderr, "r2td: "+format+"\n", args...) },
+			})
+		}
+	}
 	if err := s.initReplication(cfg); err != nil {
 		ledger.Close()
 		reg.Close()
+		s.closePools()
 		return nil, err
 	}
 	return s, nil
+}
+
+// closePools drops every sharded dataset's connection pool.
+func (s *Server) closePools() {
+	for _, name := range s.reg.Names() {
+		if p := s.reg.Get(name).Pool; p != nil {
+			p.Close()
+		}
+	}
 }
 
 // Close releases the ledger and every dataset's durable store. Call after
@@ -206,6 +248,7 @@ func New(cfg Config) (*Server, error) {
 // (ErrClosed) but already-fsynced data is simply replayed on next start.
 func (s *Server) Close() error {
 	s.closeReplication()
+	s.closePools()
 	err := s.ledger.Close()
 	s.reg.Close()
 	return err
@@ -264,7 +307,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if st := s.replicaStatus(); !st.CaughtUp {
-			notReady(retryAfterCatchup, fmt.Errorf("replica catching up (%d records behind, connected=%v)", st.LagRecords(), st.Connected))
+			notReady(retryAfterForLag(st.LagRecords()), fmt.Errorf("replica catching up (%d records behind, connected=%v)", st.LagRecords(), st.Connected))
 			return
 		}
 		fmt.Fprintln(w, "ready")
@@ -414,7 +457,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// auto-mode resolution — is decided charge-free, and no invalid-ε charge
 	// path exists (the engine re-runs the same deterministic choice inside
 	// QueryContext and cannot disagree).
-	if _, err := mech.Choose(mech.Shape{
+	choice, err := mech.Choose(mech.Shape{
 		SelfJoin:   expl.SelfJoin,
 		Projection: expl.Projection,
 	}, mech.Config{
@@ -424,7 +467,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Beta:        opt.Beta,
 		FixedTau:    opt.FixedTau,
 		ErrorTarget: opt.ErrorTarget,
-	}); err != nil {
+	})
+	if err != nil {
 		s.fail(w, ds.Name, ds, statusInvalid, start, http.StatusBadRequest, err)
 		return
 	}
@@ -455,14 +499,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.respondQuery(w, ds, normalized, ans, true, start, nil)
 			return
 		}
-		if s.repl.primaryAddr != "" {
-			w.Header().Set("X-R2T-Primary", s.repl.primaryAddr)
-		}
+		// The redirect target must ALWAYS be populated: the configured primary
+		// address, or the last address a handshake actually succeeded against.
+		// A 409 without a target strands the client with nowhere to retry.
+		w.Header().Set("X-R2T-Primary", s.repl.redirectTarget())
 		s.fail(w, ds.Name, ds, statusRedirect, start, http.StatusConflict, errNotPrimary)
 		return
 	}
 	if s.repl.fenced.Load() {
 		s.fail(w, ds.Name, ds, statusRedirect, start, http.StatusConflict, errFenced)
+		return
+	}
+
+	// Sharded datasets take the router path: charge here, evaluate there
+	// (scatter uncharged sub-queries, merge the shards' truncation partials,
+	// release once — DESIGN.md §16).
+	if ds.Sharded() {
+		s.routerQuery(ctx, w, ds, &req, opt, choice, normalized, key, start)
 		return
 	}
 
@@ -630,6 +683,13 @@ func classifyError(err error) (string, int) {
 		// was not admitted (the ledger merely overcounts — the safe side).
 		// Transient by nature; retry once replicas reattach.
 		return statusUnavailable, http.StatusServiceUnavailable
+	case errors.Is(err, errShardScatter):
+		// 503: a shard did not answer its sub-query, so no release happened —
+		// but the router's charge stands (charge-before-scatter, DESIGN.md
+		// §16: noise-side idempotence cannot be guaranteed once a shard may
+		// have evaluated, and refunds would allow free re-runs by killing
+		// shards). Retry once the shard map is healthy.
+		return statusUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, r2t.ErrBudgetExhausted):
 		// 402: the request was valid, the data exists, but the privacy
 		// budget cannot pay for another release.
@@ -726,14 +786,29 @@ func (s *Server) fail(w http.ResponseWriter, dataset string, ds *Dataset, status
 
 // Retry-After hints, in seconds, attached to every 429 and 503 the service
 // emits (all paths go through setRetryAfter so the hint is never forgotten):
-// busy clears as soon as a worker frees, a catching-up replica is typically
-// seconds behind, an outage (poisoned ledger or store, fenced primary, not
-// enough sync replicas) needs operator attention.
+// busy clears as soon as a worker frees, an outage (poisoned ledger or store,
+// fenced primary, not enough sync replicas, an unreachable shard) needs
+// operator attention.
 const (
-	retryAfterBusy    = "1"
-	retryAfterCatchup = "1"
-	retryAfterOutage  = "60"
+	retryAfterBusy   = "1"
+	retryAfterOutage = "60"
 )
+
+// retryAfterForLag scales a catching-up replica's hint from how far behind it
+// actually is. The old fixed "1" made a freshly seeded replica with a million
+// records to apply advertise the same hint as one a single record behind, so
+// clients hammered it through the whole catch-up. Ledger records apply at
+// thousands per second; clamp to [1, 60] like every other hint.
+func retryAfterForLag(lag uint64) string {
+	secs := lag / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return fmt.Sprintf("%d", secs)
+}
 
 // setRetryAfter attaches the Retry-After hint to a rejection.
 func setRetryAfter(w http.ResponseWriter, seconds string) {

@@ -1,0 +1,240 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"r2t/internal/repl"
+)
+
+// PoolConfig tunes the router's shard connection pool.
+type PoolConfig struct {
+	Timeout     time.Duration // per-attempt round-trip deadline (0 = 5s)
+	Hedge       time.Duration // delay before launching a hedged second attempt (0 = Timeout/4)
+	DialTimeout time.Duration // 0 = 2s
+	MaxPayload  int           // reply payload bound (0 = repl.DefaultMaxPayload)
+	Logf        func(format string, args ...any)
+}
+
+// Stats is a snapshot of the pool's traffic counters, for /metrics.
+type Stats struct {
+	Scatters        uint64 // Scatter invocations (one per routed query)
+	ScatterFailures uint64 // Scatters that returned an error
+	Calls           uint64 // per-shard sub-query calls (≥ Scatters × shards)
+	CallFailures    uint64 // calls that exhausted both attempts
+	Hedges          uint64 // hedged second attempts launched
+	Reuses          uint64 // calls served over a pooled connection
+}
+
+// Pool multiplexes sub-queries over persistent per-shard connections with a
+// per-attempt timeout and hedged retries. Hedging (and retrying at all) is
+// only safe because sub-queries are uncharged and read-only: evaluating one
+// twice on a shard consumes no ε and mutates nothing, so the router may race
+// duplicate attempts freely and take the first reply.
+type Pool struct {
+	nodes []Node
+	cfg   PoolConfig
+
+	mu     sync.Mutex
+	idle   [][]net.Conn
+	closed bool
+
+	scatters, scatterFailures atomic.Uint64
+	calls, callFailures       atomic.Uint64
+	hedges, reuses            atomic.Uint64
+}
+
+// NewPool builds a pool over the shard map. Connections are dialed lazily.
+func NewPool(nodes []Node, cfg PoolConfig) *Pool {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Hedge <= 0 {
+		cfg.Hedge = cfg.Timeout / 4
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Pool{nodes: nodes, cfg: cfg, idle: make([][]net.Conn, len(nodes))}
+}
+
+// Len returns the number of shards.
+func (p *Pool) Len() int { return len(p.nodes) }
+
+// Node returns shard i's map entry.
+func (p *Pool) Node(i int) Node { return p.nodes[i] }
+
+// Stats snapshots the traffic counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Scatters:        p.scatters.Load(),
+		ScatterFailures: p.scatterFailures.Load(),
+		Calls:           p.calls.Load(),
+		CallFailures:    p.callFailures.Load(),
+		Hedges:          p.hedges.Load(),
+		Reuses:          p.reuses.Load(),
+	}
+}
+
+// Close drops every pooled connection; subsequent calls dial fresh (and fail
+// fast if the pool's owner has shut down the shards too).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for i, conns := range p.idle {
+		for _, c := range conns {
+			c.Close()
+		}
+		p.idle[i] = nil
+	}
+}
+
+// Scatter sends the same sub-query payload to every shard concurrently and
+// gathers the replies in shard order. The first per-shard failure (after both
+// attempts) fails the whole scatter — a partial aggregate over a subset of
+// shards would silently undercount, which is worse than unavailability.
+func (p *Pool) Scatter(ctx context.Context, payload []byte) ([][]byte, error) {
+	p.scatters.Add(1)
+	out := make([][]byte, len(p.nodes))
+	errs := make([]error, len(p.nodes))
+	var wg sync.WaitGroup
+	for i := range p.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = p.Call(ctx, i, payload)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			p.scatterFailures.Add(1)
+			return nil, fmt.Errorf("shard %q: %w", p.nodes[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// Call round-trips one sub-query to shard i with hedging: if the first
+// attempt has not answered within the hedge delay, a second attempt races it
+// on a fresh connection, and the first reply wins. At most two attempts run;
+// an attempt that errors immediately re-arms the other attempt slot.
+func (p *Pool) Call(ctx context.Context, i int, payload []byte) ([]byte, error) {
+	p.calls.Add(1)
+	type result struct {
+		b   []byte
+		err error
+	}
+	ch := make(chan result, 2) // buffered: late attempts never block
+	attempt := func() {
+		b, err := p.callOnce(i, payload)
+		ch <- result{b, err}
+	}
+	go attempt()
+	hedge := time.NewTimer(p.cfg.Hedge)
+	defer hedge.Stop()
+	outstanding, spare := 1, 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.b, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			outstanding--
+			if spare > 0 { // immediate retry on failure
+				spare--
+				outstanding++
+				go attempt()
+				continue
+			}
+			if outstanding == 0 {
+				p.callFailures.Add(1)
+				return nil, firstErr
+			}
+		case <-hedge.C:
+			if spare > 0 {
+				spare--
+				outstanding++
+				p.hedges.Add(1)
+				go attempt()
+			}
+		case <-ctx.Done():
+			p.callFailures.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// callOnce performs one attempt: a pooled connection first (a stale one —
+// the shard restarted — falls back to a fresh dial), then a fresh dial.
+func (p *Pool) callOnce(i int, payload []byte) ([]byte, error) {
+	if conn := p.takeIdle(i); conn != nil {
+		p.reuses.Add(1)
+		if b, err := p.roundTrip(conn, i, payload); err == nil {
+			return b, nil
+		}
+	}
+	conn, err := net.DialTimeout("tcp", p.nodes[i].Addr, p.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", p.nodes[i].Addr, err)
+	}
+	return p.roundTrip(conn, i, payload)
+}
+
+// roundTrip writes the sub-query and reads the partial reply on conn. On
+// success the connection returns to the idle list; any failure closes it.
+func (p *Pool) roundTrip(conn net.Conn, i int, payload []byte) ([]byte, error) {
+	conn.SetDeadline(time.Now().Add(p.cfg.Timeout))
+	if err := repl.WriteFrame(conn, repl.Frame{Type: repl.TypeSubQuery, Payload: payload}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("send sub-query: %w", err)
+	}
+	f, err := repl.ReadFrame(conn, p.cfg.MaxPayload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("read partial: %w", err)
+	}
+	if f.Type != repl.TypePartial {
+		conn.Close()
+		return nil, fmt.Errorf("unexpected frame type %d in sub-query reply", f.Type)
+	}
+	conn.SetDeadline(time.Time{})
+	p.putIdle(i, conn)
+	return f.Payload, nil
+}
+
+// takeIdle pops a pooled connection for shard i, or nil.
+func (p *Pool) takeIdle(i int) net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.idle[i]
+	if len(conns) == 0 {
+		return nil
+	}
+	conn := conns[len(conns)-1]
+	p.idle[i] = conns[:len(conns)-1]
+	return conn
+}
+
+// putIdle returns a healthy connection to shard i's free list.
+func (p *Pool) putIdle(i int, conn net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		conn.Close()
+		return
+	}
+	p.idle[i] = append(p.idle[i], conn)
+}

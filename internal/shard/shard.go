@@ -1,0 +1,176 @@
+// Package shard implements deterministic dataset partitioning for the r2td
+// router tier. A sharded dataset is hash-partitioned on one relation's
+// primary key — the partition relation, the dataset's primary private
+// relation — so that every individual, and every join row referencing it,
+// lives on exactly one shard. That is precisely the single-FK SJA structure
+// the partition truncator exploits: with co-located individuals, per-shard
+// truncation partials merge into the unsharded operator exactly
+// (internal/truncation/partial.go), and the router's released answer is
+// bit-equal to the single-node evaluation on the union of rows.
+//
+// Routing classifies every relation of the schema:
+//
+//   - the partition relation routes by its own PK;
+//   - a relation with exactly one FK referencing the partition relation (and
+//     otherwise only FKs to broadcast relations) routes by that FK column;
+//   - a relation with no FK path to the partition relation is broadcast —
+//     replicated whole on every shard.
+//
+// Schemas outside this shape — two FKs to the partition relation (edge-DP
+// graphs), or FK chains through partitioned relations — are rejected: their
+// rows cannot be placed so that both shard-local referential integrity and
+// join co-location hold, so such datasets must stay unsharded.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"r2t/internal/schema"
+	"r2t/internal/value"
+)
+
+// Node names one shard and the repl address its primary serves sub-queries on.
+type Node struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// RouteKind classifies how a relation's rows are placed across shards.
+type RouteKind int
+
+const (
+	// Broadcast relations are replicated whole on every shard.
+	Broadcast RouteKind = iota
+	// ByPK relations (the partition relation) route by their primary key.
+	ByPK
+	// ByFK relations route by their FK column referencing the partition
+	// relation.
+	ByFK
+)
+
+// Route is one relation's placement rule.
+type Route struct {
+	Kind RouteKind
+	Col  int    // attribute index of the routing column (ByPK/ByFK)
+	Attr string // attribute name of the routing column (ByPK/ByFK)
+}
+
+// Routing holds the placement rules for every relation of a sharded dataset.
+type Routing struct {
+	Partition string
+	routes    map[string]Route
+}
+
+// NewRouting classifies s's relations for a dataset partitioned on relation
+// partition's primary key, or reports why the schema is not shardable.
+func NewRouting(s *schema.Schema, partition string) (*Routing, error) {
+	pRel := s.Relation(partition)
+	if pRel == nil {
+		return nil, fmt.Errorf("shard: partition relation %q not in schema", partition)
+	}
+	if pRel.PK == "" {
+		return nil, fmt.Errorf("shard: partition relation %q has no primary key", partition)
+	}
+	r := &Routing{Partition: partition, routes: make(map[string]Route)}
+	r.routes[partition] = Route{Kind: ByPK, Col: pRel.AttrIndex(pRel.PK), Attr: pRel.PK}
+	for _, name := range s.Names() {
+		if name == partition {
+			continue
+		}
+		rel := s.Relation(name)
+		var toPartition []string
+		for _, fk := range rel.FKs {
+			if fk.Ref == partition {
+				toPartition = append(toPartition, fk.Attr)
+			}
+		}
+		switch len(toPartition) {
+		case 0:
+			r.routes[name] = Route{Kind: Broadcast}
+		case 1:
+			r.routes[name] = Route{Kind: ByFK, Col: rel.AttrIndex(toPartition[0]), Attr: toPartition[0]}
+		default:
+			// Two references to the same individual relation (edge-DP graphs):
+			// a row can belong to two different shards at once.
+			return nil, fmt.Errorf("shard: relation %q references %q through %d foreign keys; its rows have no single owning shard", name, partition, len(toPartition))
+		}
+	}
+	// Placement must also preserve shard-local referential integrity: a
+	// partitioned row may only reference the partition relation (its owner's
+	// tuple is co-located by construction) or broadcast relations (present
+	// everywhere). A broadcast row may only reference broadcast relations.
+	for _, name := range s.Names() {
+		rel := s.Relation(name)
+		for _, fk := range rel.FKs {
+			if fk.Ref == partition {
+				continue
+			}
+			if r.routes[fk.Ref].Kind != Broadcast {
+				return nil, fmt.Errorf("shard: relation %q (via FK %s) references partitioned relation %q; the referenced row may live on another shard", name, fk.Attr, fk.Ref)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Route returns relation rel's placement rule (Broadcast for unknown names).
+func (r *Routing) Route(rel string) Route { return r.routes[rel] }
+
+// PartitionCols returns relation → routing attribute for every partitioned
+// relation — the map r2t.ShardCheck consumes.
+func (r *Routing) PartitionCols() map[string]string {
+	out := make(map[string]string)
+	for name, rt := range r.routes {
+		if rt.Kind != Broadcast {
+			out[name] = rt.Attr
+		}
+	}
+	return out
+}
+
+// RouteRow places one row of relation rel: the owning shard index in [0, n)
+// for partitioned relations, or broadcast=true.
+func (r *Routing) RouteRow(rel string, row []value.V, n int) (owner int, broadcast bool, err error) {
+	rt, ok := r.routes[rel]
+	if !ok {
+		return 0, false, fmt.Errorf("shard: unknown relation %q", rel)
+	}
+	if rt.Kind == Broadcast {
+		return 0, true, nil
+	}
+	if rt.Col >= len(row) {
+		return 0, false, fmt.Errorf("shard: relation %q row has %d columns, routing column is %d", rel, len(row), rt.Col)
+	}
+	return OwnerOf(row[rt.Col], n), false, nil
+}
+
+// OwnerOf deterministically maps a partition-key value to a shard index in
+// [0, n). The hash runs over the value's canonical Key() encoding (integral
+// floats collapse to ints, exactly as the engine's join keys do), so every
+// process — router, shards, loaders — agrees on ownership.
+func OwnerOf(v value.V, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := v.Key()
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = byte(k.K)
+	switch k.K {
+	case value.Int:
+		binary.BigEndian.PutUint64(buf[1:], uint64(k.I))
+		h.Write(buf[:9])
+	case value.Float:
+		binary.BigEndian.PutUint64(buf[1:], math.Float64bits(k.F))
+		h.Write(buf[:9])
+	case value.String:
+		h.Write(buf[:1])
+		h.Write([]byte(k.S))
+	default: // Null
+		h.Write(buf[:1])
+	}
+	return int(h.Sum64() % uint64(n))
+}

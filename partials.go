@@ -1,0 +1,242 @@
+package r2t
+
+import (
+	"context"
+	"fmt"
+
+	"r2t/internal/exec"
+	"r2t/internal/mech"
+	"r2t/internal/obs"
+	"r2t/internal/plan"
+	"r2t/internal/schema"
+	"r2t/internal/sql"
+	"r2t/internal/truncation"
+)
+
+// Partial is one shard's mergeable contribution to a partition-shaped
+// truncator (see internal/truncation/partial.go). A router merges the
+// per-shard partials with MergePartials and runs the release mechanism over
+// the merged operator; in the integer-exact regime the released estimate is
+// bit-identical to evaluating the unsharded union of rows.
+type Partial = truncation.Partial
+
+// MergePartials combines per-shard partials into the union truncator.
+func MergePartials(parts []*Partial) (*truncation.MergedPartition, error) {
+	return truncation.MergePartials(parts)
+}
+
+// QueryPartials is the result of one UNCHARGED sub-query evaluation on a
+// shard: the mergeable partials for each release unit, in release order, and
+// no noise. The caller (the router) owns the ε accounting — it charges once
+// before scattering sub-queries and adds noise only to the merged operator.
+// Like every non-released intermediate, partials are raw private data.
+type QueryPartials struct {
+	// Units holds one partial per release unit, in release order: a plain
+	// query has one unit; a signed split has two (positive, then negative);
+	// a group-by has one (or two, when signed) per group, in group order.
+	Units []*Partial
+	// Signed reports that units come in (positive, negative) pairs.
+	Signed bool
+}
+
+// Partials evaluates a query's mergeable truncation partials WITHOUT
+// charging ε or drawing noise. Options are validated exactly as for Query —
+// the shard and the router must agree on the public parameters — but only
+// the structural fields matter here: no mechanism runs. The resolved
+// mechanism must be r2t and the query must be partition-shaped (no
+// projection; each join result referencing at most one individual), the same
+// structure the partition fast path serves.
+func (db *DB) Partials(ctx context.Context, sqlText string, opt Options) (*QueryPartials, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: opt.Primary})
+	if err != nil {
+		return nil, err
+	}
+	choice, err := chooseFor(p, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	if choice.Mech != mech.MechR2T {
+		return nil, fmt.Errorf("r2t: mechanism %q does not produce mergeable partials (only r2t does)", choice.Mech)
+	}
+	if len(p.ProjVars) > 0 {
+		return nil, fmt.Errorf("r2t: projection queries have no mergeable partials")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var rec *obs.Recorder
+	c, err := db.coreFor(ctx, p, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	if opt.AllowNegativeSum && parsed.Agg == sql.AggSum {
+		pos, neg, err := c.SplitResult(p, rec)
+		if err != nil {
+			return nil, err
+		}
+		units, err := partialUnits(pos, neg)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryPartials{Units: units, Signed: true}, nil
+	}
+	res, err := c.Result(p, rec)
+	if err != nil {
+		return nil, err
+	}
+	units, err := partialUnits(res)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryPartials{Units: units}, nil
+}
+
+// GroupPartials is Partials for a group-by release: one unit per group (two
+// when the signed split applies), in group order — mirroring QueryGroupBy's
+// release order so a router that merges unit-by-unit and draws noise in the
+// same order reproduces the unsharded released sequence.
+func (db *DB) GroupPartials(ctx context.Context, sqlText string, column string, groups []Value, opt Options) (*QueryPartials, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("r2t: group-by needs at least one group value")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	colRef, err := parseColumn(column)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: opt.Primary})
+	if err != nil {
+		return nil, err
+	}
+	groupVar := p.ColVar(colRef)
+	if groupVar < 0 {
+		return nil, fmt.Errorf("r2t: group-by column %q does not name a join column of the query (unknown or ambiguous)", column)
+	}
+	signed := opt.AllowNegativeSum && parsed.Agg == sql.AggSum
+	if len(p.ProjVars) > 0 {
+		return nil, fmt.Errorf("r2t: projection queries have no mergeable partials")
+	}
+	perGroup := opt
+	perGroup.Epsilon = opt.Epsilon / float64(len(groups))
+	choice, err := chooseFor(p, perGroup, true)
+	if err != nil {
+		return nil, err
+	}
+	if choice.Mech != mech.MechR2T {
+		return nil, fmt.Errorf("r2t: mechanism %q does not produce mergeable partials (only r2t does)", choice.Mech)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var rec *obs.Recorder
+	c, err := db.coreFor(ctx, p, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := c.PartitionedResult(p, rec, groupVar, groups, signed)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryPartials{Signed: signed}
+	for i := range groups {
+		var units []*Partial
+		if signed {
+			pos, neg := exec.Split(parts[i])
+			units, err = partialUnits(pos, neg)
+		} else {
+			units, err = partialUnits(parts[i])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("r2t: group %v: %w", groups[i], err)
+		}
+		out.Units = append(out.Units, units...)
+	}
+	return out, nil
+}
+
+// partialUnits converts evaluated results to partials, one per unit.
+func partialUnits(results ...*exec.Result) ([]*Partial, error) {
+	units := make([]*Partial, 0, len(results))
+	for _, res := range results {
+		p, err := truncation.NewPartial(truncation.FromResult(res))
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, p)
+	}
+	return units, nil
+}
+
+// ShardCheck verifies that a query is safe to evaluate shard-locally on a
+// dataset hash-partitioned on relation partition's primary key. partitionCols
+// maps each partitioned relation to the column carrying its owner's key (the
+// PK for the partition relation itself, the referencing FK attribute for its
+// child relations); relations absent from the map are broadcast to every
+// shard. The query is shard-safe when
+//
+//   - exactly one atom of the completed plan is over a primary private
+//     relation, and that relation is the partition relation (so every join
+//     result references at most one individual — the partition shape — and
+//     that individual determines the owning shard), and
+//   - every atom over a partitioned relation joins its partition column to
+//     the partition relation's primary-key variable (so all rows a join
+//     result touches are co-located on the owner's shard), and
+//   - the query has no projection (partials do not merge across groups of
+//     join results).
+//
+// Under these conditions the shard-local joins partition the unsharded join
+// exactly: summing per-shard partials loses nothing and counts nothing twice.
+func (db *DB) ShardCheck(sqlText string, primary []string, partition string, partitionCols map[string]string) error {
+	parsed, err := sql.Parse(sqlText)
+	if err != nil {
+		return err
+	}
+	p, err := plan.Build(parsed, db.schema, schema.PrivateSpec{Primary: primary})
+	if err != nil {
+		return err
+	}
+	if len(p.ProjVars) > 0 {
+		return fmt.Errorf("r2t: projection queries are not shardable")
+	}
+	pkVar, privAtoms := -1, 0
+	for i, a := range p.Atoms {
+		if p.PrivPK[i] < 0 {
+			continue
+		}
+		privAtoms++
+		if a.Rel.Name != partition {
+			return fmt.Errorf("r2t: primary private relation %q is not the partition relation %q", a.Rel.Name, partition)
+		}
+		pkVar = p.PrivPK[i]
+	}
+	if privAtoms != 1 {
+		return fmt.Errorf("r2t: sharded evaluation requires exactly one atom over the partition relation %q, query has %d", partition, privAtoms)
+	}
+	for _, a := range p.Atoms {
+		col, ok := partitionCols[a.Rel.Name]
+		if !ok || a.Rel.Name == partition {
+			continue
+		}
+		idx := a.Rel.AttrIndex(col)
+		if idx < 0 {
+			return fmt.Errorf("r2t: partition column %s.%s does not exist", a.Rel.Name, col)
+		}
+		if a.Vars[idx] != pkVar {
+			return fmt.Errorf("r2t: atom %s does not join its partition column %s to the partition key of %s — join results would span shards", a.Rel.Name, col, partition)
+		}
+	}
+	return nil
+}

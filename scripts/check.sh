@@ -106,6 +106,24 @@ go test -race -run 'TestChoose|TestValidMechanism|TestErrorBounds|TestCostModel'
 go test -race -run 'TestPartitionFastPath|TestMechanism|TestChooserDataIndependence|TestBudgetNotChargedForInapplicableMechanism' .
 go test -race -run 'TestServerMechanismSelection|TestServerDatasetDefaultMechanism|TestServerInvalidDefaultMechanism' ./internal/server/
 
+# Sharding gate, named explicitly (these also ran inside the full suite
+# above): the shard package (routing classification, owner-hash stability,
+# wire round-trip, pool scatter/hedge/retry), the partial-merge unit suite
+# and the randomized library-level sharded-vs-unsharded bit-equality sweep
+# (COUNT/SUM, group-by, signed splits over 1/2/4 shards), the router-tier
+# acceptance tests (HTTP bit-equality against an unsharded twin, append
+# routing with X-R2T-Shard, charge-free structural gates, charge-stands-on-
+# scatter-failure), the 30-epoch kill-a-shard-mid-query chaos gate (one
+# ledger record per admitted request, spent ε exact and within budget,
+# 503 + Retry-After on failed scatters, every successful release bit-equal
+# to the twin), and the redirect/retry satellites (always-set X-R2T-Primary
+# on replica 409s, lag-scaled Retry-After, deterministic NodeName fallback)
+# — all under the race detector (DESIGN.md §16).
+go test -race ./internal/shard/
+go test -race -run 'TestPartial|TestMergedPartition' ./internal/truncation/
+go test -race -run 'TestShardedEquivalenceRandomized|TestPartialsGates' .
+go test -race -run 'TestShardedEquivalence|TestRouterAppendRouting|TestRouterGates|TestRouterChargeOnScatterFailure|TestChaosShardKill|TestRetryAfterForLag|TestDefaultNodeName' ./internal/server/
+
 # Benchmark-compile smoke: every benchmark builds and runs one iteration,
 # so BENCH_*.json regeneration can't silently rot.
 go test -run=NONE -bench=. -benchtime=1x ./...
